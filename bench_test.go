@@ -1,0 +1,112 @@
+package memoir
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (the per-experiment index of DESIGN.md). Each benchmark
+// iteration executes the corresponding experiment pipeline at test
+// scale; run the adebench command for the full-scale numbers.
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"memoir/internal/bench"
+	"memoir/internal/core"
+	"memoir/internal/experiments"
+	"memoir/internal/interp"
+)
+
+func cfg() experiments.Config {
+	return experiments.Config{Scale: bench.ScaleTest, Trials: 1, Out: io.Discard}
+}
+
+func runExperiment(b *testing.B, f func(experiments.Config) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(cfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4OpBreakdown regenerates Figure 4 (operation breakdown
+// and benchmark clustering).
+func BenchmarkFig4OpBreakdown(b *testing.B) { runExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5Headline regenerates Figure 5 (whole-program and ROI
+// speedup plus memory of ADE vs MEMOIR) and reports the geomean
+// modeled speedup as a metric.
+func BenchmarkFig5Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunSuite(experiments.CfgMemoir, cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ade, err := experiments.RunSuite(experiments.CfgADE, cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, n := 1.0, 0
+		for abbr, m := range base {
+			prod *= m.Modeled[interp.ArchIntelX64].Whole / ade[abbr].Modeled[interp.ArchIntelX64].Whole
+			n++
+		}
+		b.ReportMetric(math.Pow(prod, 1/float64(n)), "geo-speedup")
+	}
+}
+
+// BenchmarkFig6AArch64 regenerates Figure 6 (AArch64 replay).
+func BenchmarkFig6AArch64(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkTable2Accesses regenerates Table II (sparse/dense access
+// counts).
+func BenchmarkTable2Accesses(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkTable3PerOp regenerates Table III (per-operation speedups
+// of each implementation vs Hash{Set,Map}).
+func BenchmarkTable3PerOp(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+// BenchmarkFig7aNoRTE regenerates Figure 7a (ablation: RTE disabled).
+func BenchmarkFig7aNoRTE(b *testing.B) { runExperiment(b, experiments.Fig7a) }
+
+// BenchmarkFig7bNoPropagation regenerates Figure 7b (ablation:
+// propagation disabled).
+func BenchmarkFig7bNoPropagation(b *testing.B) { runExperiment(b, experiments.Fig7b) }
+
+// BenchmarkFig7cNoSharing regenerates Figure 7c (ablation: sharing
+// disabled).
+func BenchmarkFig7cNoSharing(b *testing.B) { runExperiment(b, experiments.Fig7c) }
+
+// BenchmarkFig8MemoryNoSharing regenerates Figure 8 (memory with
+// sharing disabled).
+func BenchmarkFig8MemoryNoSharing(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkRQ4PTADirectives regenerates the RQ4 case study (PTA tuned
+// with directives).
+func BenchmarkRQ4PTADirectives(b *testing.B) { runExperiment(b, experiments.RQ4) }
+
+// BenchmarkFig9Swiss regenerates Figure 9 (speedup with/against
+// Swiss{Set,Map}).
+func BenchmarkFig9Swiss(b *testing.B) { runExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10SwissMemory regenerates Figure 10 (memory
+// with/against Swiss{Set,Map}).
+func BenchmarkFig10SwissMemory(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkPGOExtension regenerates the profile-guided heuristic study
+// (the §III-C extension implemented as future work).
+func BenchmarkPGOExtension(b *testing.B) { runExperiment(b, experiments.PGO) }
+
+// BenchmarkADECompile measures the compiler pass itself over the whole
+// benchmark suite (not a paper figure; useful when hacking on the
+// pass).
+func BenchmarkADECompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range bench.All() {
+			prog := s.Build("")
+			if _, err := core.Apply(prog, core.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command adebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adebench -all                        # everything
+//	adebench -fig 5 -scale small         # one figure
+//	adebench -table 2 -trials 5
+//	adebench -rq4
+//
+// Figures: 4, 5, 6, 7a, 7b, 7c, 8, 9, 10. Tables: 2, 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"memoir/internal/bench"
+	"memoir/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate (4,5,6,7a,7b,7c,8,9,10)")
+		tab    = flag.String("table", "", "table to regenerate (2,3)")
+		rq4    = flag.Bool("rq4", false, "run the RQ4 PTA case study")
+		pgo    = flag.Bool("pgo", false, "run the profile-guided heuristic extension study")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scale  = flag.String("scale", "small", "workload scale: test, small, full")
+		trials = flag.Int("trials", 3, "timing trials per configuration (median reported)")
+		outDir = flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt (artifact style)")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "test":
+		sc = bench.ScaleTest
+	case "small":
+		sc = bench.ScaleSmall
+	case "full":
+		sc = bench.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: sc, Trials: *trials, Out: os.Stdout}
+
+	type job struct {
+		name string
+		run  func(experiments.Config) error
+	}
+	jobs := map[string]job{
+		"fig4":   {"Figure 4", experiments.Fig4},
+		"fig5":   {"Figure 5", experiments.Fig5},
+		"fig6":   {"Figure 6", experiments.Fig6},
+		"fig7a":  {"Figure 7a", experiments.Fig7a},
+		"fig7b":  {"Figure 7b", experiments.Fig7b},
+		"fig7c":  {"Figure 7c", experiments.Fig7c},
+		"fig8":   {"Figure 8", experiments.Fig8},
+		"fig9":   {"Figure 9", experiments.Fig9},
+		"fig10":  {"Figure 10", experiments.Fig10},
+		"table2": {"Table II", experiments.Table2},
+		"table3": {"Table III", experiments.Table3},
+		"rq4":    {"RQ4", experiments.RQ4},
+		"pgo":    {"PGO extension", experiments.PGO},
+	}
+	order := []string{"fig4", "fig5", "fig6", "table2", "table3", "fig7a", "fig7b", "fig7c", "fig8", "rq4", "fig9", "fig10", "pgo"}
+
+	var selected []string
+	switch {
+	case *all:
+		selected = order
+	case *fig != "":
+		selected = []string{"fig" + *fig}
+	case *tab != "":
+		selected = []string{"table" + *tab}
+	case *rq4:
+		selected = []string{"rq4"}
+	case *pgo:
+		selected = []string{"pgo"}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range selected {
+		j, ok := jobs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		runCfg := cfg
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runCfg.Out = io.MultiWriter(os.Stdout, f)
+		}
+		err := j.run(runCfg)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+	}
+}

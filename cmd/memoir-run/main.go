@@ -1,0 +1,95 @@
+// Command memoir-run parses a textual MEMOIR program, optionally
+// applies ADE, executes its @main function on the instrumented
+// interpreter, and reports the result, output checksum and dynamic
+// statistics.
+//
+// Usage:
+//
+//	memoir-run program.mir
+//	memoir-run -ade -stats program.mir
+//	memoir-run -ade -args 10,20 program.mir   # scalar u64 args
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+)
+
+func main() {
+	var (
+		ade   = flag.Bool("ade", false, "apply Automatic Data Enumeration before running")
+		stats = flag.Bool("stats", false, "print dynamic operation statistics")
+		args  = flag.String("args", "", "comma-separated u64 arguments for @main")
+		entry = flag.String("entry", "main", "entry function")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memoir-run [flags] program.mir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := ir.Verify(prog); err != nil {
+		fatal(fmt.Errorf("verify: %w", err))
+	}
+	if *ade {
+		rep, err := core.Apply(prog, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		if err := ir.Verify(prog); err != nil {
+			fatal(fmt.Errorf("verify after ADE: %w", err))
+		}
+		fmt.Fprint(os.Stderr, rep)
+	}
+	ip := interp.New(prog, interp.DefaultOptions())
+	var vals []interp.Val
+	if *args != "" {
+		for _, a := range strings.Split(*args, ",") {
+			x, err := strconv.ParseUint(strings.TrimSpace(a), 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			vals = append(vals, interp.IntV(x))
+		}
+	}
+	start := time.Now()
+	ret, err := ip.Run(*entry, vals...)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	ip.FinalizeMem()
+	fmt.Printf("result: %s\n", ret)
+	fmt.Printf("output: count=%d checksum=%d\n", ip.Stats.EmitCount, ip.Stats.EmitSum)
+	if *stats {
+		fmt.Printf("wall: %v\n", elapsed)
+		fmt.Printf("steps: %d  sparse: %d  dense: %d  peak: %d bytes\n",
+			ip.Stats.Steps, ip.Stats.Sparse, ip.Stats.Dense, ip.Stats.PeakBytes)
+		fmt.Printf("modeled: intel=%.0fns aarch64=%.0fns\n",
+			ip.Stats.ModeledNanos(interp.ArchIntelX64), ip.Stats.ModeledNanos(interp.ArchAArch64))
+		for op, n := range ip.Stats.ByOpKind() {
+			fmt.Printf("  %-9s %d\n", op, n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memoir-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package memoir_test
+
+import (
+	"fmt"
+	"strings"
+
+	"memoir"
+)
+
+const dedupSrc = `
+fn u64 @main(): exported
+  %words := new Seq<str>()
+  %w1 := insert(%words, end, "foo")
+  %w2 := insert(%w1, end, "bar")
+  %w3 := insert(%w2, end, "foo")
+  %seen := new Set<str>()
+  for [%i, %v] in %w3:
+    %s0 := phi(%seen, %s2)
+    %dup := has(%s0, %v)
+    if %dup:
+      %nop := add(0, 0)
+    else:
+      %s1 := insert(%s0, %v)
+      emit(%v)
+    %s2 := phi(%s0, %s1)
+  %sF := phi(%s0)
+  %n := size(%sF)
+  ret %n
+`
+
+// Compile a program with ADE and run it: the set of seen strings
+// becomes a bitset over interned identifiers, and the output is
+// unchanged.
+func ExampleCompile() {
+	baseline, err := memoir.Compile(dedupSrc, memoir.WithoutADE())
+	if err != nil {
+		panic(err)
+	}
+	ade, err := memoir.Compile(dedupSrc)
+	if err != nil {
+		panic(err)
+	}
+	rb, _ := baseline.Run("main")
+	ra, _ := ade.Run("main")
+	fmt.Println("unique:", ra.Value)
+	fmt.Println("outputs equal:", rb.Checksum == ra.Checksum)
+	fmt.Println("set became:", strings.Contains(ade.Text(), "Set{BitSet}<idx>"))
+	// Output:
+	// unique: 2
+	// outputs equal: true
+	// set became: true
+}
+
+// Parse without transforming to inspect a program as written.
+func ExampleParse() {
+	prog, err := memoir.Parse(dedupSrc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Contains(prog.Text(), "new Set<str>()"))
+	// Output:
+	// true
+}

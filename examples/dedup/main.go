@@ -1,0 +1,88 @@
+// Dedup: the paper's introduction example — find the unique items in
+// an array — here over strings, showing that data enumeration is
+// string interning generalized: the set of seen strings becomes a
+// BitSet over interned identifiers, and the array of strings becomes a
+// sequence of identifiers (propagation), decoded only when printed.
+//
+// Run with: go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memoir"
+)
+
+// The program builds an array with many duplicate strings, then
+// prints (emits) each unique item once — the intro's code shape:
+//
+//	for v in array:
+//	  if not set.has(v):
+//	    set.insert(v)
+//	    print(v)
+const src = `
+fn u64 @main(): exported
+  %words := new Seq<str>()
+  do:
+    %i := phi(0, %i1)
+    %w0 := phi(%words, %w4)
+    %sel := rem(%i, 3)
+    %is0 := eq(%sel, 0)
+    if %is0:
+      %w1 := insert(%w0, end, "foo")
+    else:
+      %is1 := eq(%sel, 1)
+      if %is1:
+        %w2 := insert(%w0, end, "bar")
+      else:
+        %w3 := insert(%w0, end, "quux")
+      %wi := phi(%w2, %w3)
+    %w4 := phi(%w1, %wi)
+    %i1 := add(%i, 1)
+    %more := lt(%i1, 3000)
+  while %more
+  %wF := phi(%w0)
+
+  %seen := new Set<str>()
+  for [%j, %v] in %wF:
+    %s0 := phi(%seen, %s2)
+    %dup := has(%s0, %v)
+    if %dup:
+      %skip := add(0, 0)
+    else:
+      %s1 := insert(%s0, %v)
+      emit(%v)
+    %s2 := phi(%s0, %s1)
+  %sF := phi(%s0)
+  %n := size(%sF)
+  ret %n
+`
+
+func main() {
+	baseline, err := memoir.Compile(src, memoir.WithoutADE())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ade, err := memoir.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== ADE report ===")
+	fmt.Print(ade.Report)
+
+	rb, err := baseline.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ra, err := ade.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: unique=%d checksum=%d sparse=%d\n", rb.Value, rb.Checksum, rb.Sparse)
+	fmt.Printf("ade:      unique=%d checksum=%d sparse=%d\n", ra.Value, ra.Checksum, ra.Sparse)
+	if rb.Checksum != ra.Checksum {
+		log.Fatal("outputs differ")
+	}
+	fmt.Println("string keys interned; membership tests became bit tests.")
+}

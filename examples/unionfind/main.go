@@ -1,0 +1,90 @@
+// Unionfind: the paper's propagation case study (§III-E, Listings 3
+// and 4). The parent map of a union-find forest stores node
+// identities in its values; without propagation every chase step
+// would translate, with propagation the loop runs translation-free —
+// one @add on entry, one @dec on exit, exactly Listing 4.
+//
+// Run with: go run ./examples/unionfind
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memoir"
+)
+
+const src = `
+fn u64 @find(%uf: Map<u64,u64>, %v: u64):
+  do:
+    %curr := phi(%v, %parent)
+    %parent := read(%uf, %curr)
+    %not_done := neq(%parent, %curr)
+  while %not_done
+  %found := phi(%parent)
+  ret %found
+
+fn u64 @main(): exported
+  %keys := new Seq<u64>()
+  %uf := new Map<u64,u64>()
+  do:
+    %i := phi(0, %i1)
+    %k0 := phi(%keys, %k1)
+    %u0 := phi(%uf, %u2)
+    %lab := mul(%i, 2654435761)
+    %k1 := insert(%k0, end, %lab)
+    %half := div(%i, 2)
+    %plab := mul(%half, 2654435761)
+    %u1 := insert(%u0, %lab)
+    %u2 := write(%u1, %lab, %plab)
+    %i1 := add(%i, 1)
+    %more := lt(%i1, 4096)
+  while %more
+  %kF := phi(%k0)
+  %uF := phi(%u0)
+
+  for [%j, %q] in %kF:
+    %acc0 := phi(0, %acc1)
+    %root := call @find(%uF, %q)
+    %acc1 := xor(%acc0, %root)
+  %accF := phi(%acc0)
+  emit(%accF)
+  ret %accF
+`
+
+func main() {
+	ade, err := memoir.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== transformed @find (compare with the paper's Listing 4) ===")
+	fmt.Println(ade.Text()[:indexOf(ade.Text(), "fn u64 @main")])
+	fmt.Print("=== ADE report ===\n", ade.Report)
+
+	baseline, err := memoir.Compile(src, memoir.WithoutADE())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, err := baseline.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ra, err := ade.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: checksum=%d sparse=%d wall=%v\n", rb.Checksum, rb.Sparse, rb.Wall)
+	fmt.Printf("ade:      checksum=%d sparse=%d wall=%v\n", ra.Checksum, ra.Sparse, ra.Wall)
+	if rb.Checksum != ra.Checksum {
+		log.Fatal("outputs differ")
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return len(s)
+}

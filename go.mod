@@ -1,0 +1,3 @@
+module memoir
+
+go 1.22

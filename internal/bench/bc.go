@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// BC: betweenness centrality (Brandes, single source, fixed-point
+// integer dependencies). The forward phase is a BFS building sigma
+// (shortest-path counts) and a visit-order stack; the backward phase
+// walks the stack in reverse accumulating dependencies — three maps
+// and a sequence all sharing the node enumeration.
+func init() {
+	const scale = 1 << 16
+	Register(&Spec{
+		Abbr: "BC",
+		Name: "betweenness centrality (Brandes)",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			b.ROI()
+
+			dist := b.New(ir.MapOf(ir.TU64, ir.TU64), "dist")
+			sigma := b.New(ir.MapOf(ir.TU64, ir.TU64), "sigma")
+			stack := b.New(ir.SeqOf(ir.TU64), "stack")
+			root := b.Read(ir.Op(nodes), u64c(0), "root")
+			d1 := b.Insert(ir.Op(dist), root, "")
+			d2 := b.Write(ir.Op(d1), root, u64c(0), "")
+			s1 := b.Insert(ir.Op(sigma), root, "")
+			s2 := b.Write(ir.Op(s1), root, u64c(1), "")
+			st1 := b.InsertSeq(ir.Op(stack), nil, root, "")
+			front := b.New(ir.SeqOf(ir.TU64), "front")
+			f1 := b.InsertSeq(ir.Op(front), nil, root, "")
+
+			// Forward BFS.
+			fw := ir.StartWhile(b, d2, s2, st1, f1, u64c(1))
+			distC, sigC, stC, frC, level := fw.Cur[0], fw.Cur[1], fw.Cur[2], fw.Cur[3], fw.Cur[4]
+			next := b.New(ir.SeqOf(ir.TU64), "next")
+			fl := ir.StartForEach(b, ir.Op(frC), distC, sigC, stC, next)
+			u := fl.Val
+			du := b.Read(ir.Op(fl.Cur[0]), u, "")
+			su := b.Read(ir.Op(fl.Cur[1]), u, "")
+			nl := ir.StartForEach(b, ir.OpAt(adj, u), fl.Cur[0], fl.Cur[1], fl.Cur[2], fl.Cur[3])
+			v := nl.Val
+			known := b.Has(ir.Op(nl.Cur[0]), v, "")
+			after := ir.IfElse(b, known, func() []*ir.Value {
+				dv := b.Read(ir.Op(nl.Cur[0]), v, "")
+				du1 := b.Bin(ir.BinAdd, du, u64c(1), "")
+				onPath := b.Cmp(ir.CmpEq, dv, du1, "")
+				return ir.IfOnly(b, onPath, []*ir.Value{nl.Cur[0], nl.Cur[1], nl.Cur[2], nl.Cur[3]}, func() []*ir.Value {
+					sv := b.Read(ir.Op(nl.Cur[1]), v, "")
+					sv1 := b.Bin(ir.BinAdd, sv, su, "")
+					sW := b.Write(ir.Op(nl.Cur[1]), v, sv1, "")
+					return []*ir.Value{nl.Cur[0], sW, nl.Cur[2], nl.Cur[3]}
+				})
+			}, func() []*ir.Value {
+				dA := b.Insert(ir.Op(nl.Cur[0]), v, "")
+				dB := b.Write(ir.Op(dA), v, level, "")
+				sA := b.Insert(ir.Op(nl.Cur[1]), v, "")
+				sB := b.Write(ir.Op(sA), v, su, "")
+				stA := b.InsertSeq(ir.Op(nl.Cur[2]), nil, v, "")
+				nxA := b.InsertSeq(ir.Op(nl.Cur[3]), nil, v, "")
+				return []*ir.Value{dB, sB, stA, nxA}
+			})
+			ne := nl.End(after[0], after[1], after[2], after[3])
+			fe := fl.End(ne[0], ne[1], ne[2], ne[3])
+			sz := b.Size(ir.Op(fe[3]), "")
+			more := b.Cmp(ir.CmpGt, sz, u64c(0), "")
+			lv1 := b.Bin(ir.BinAdd, level, u64c(1), "")
+			fx := fw.End(more, fe[0], fe[1], fe[2], fe[3], lv1)
+			distF, sigF, stF := fx[0], fx[1], fx[2]
+
+			// Backward accumulation over the stack in reverse.
+			delta := b.New(ir.MapOf(ir.TU64, ir.TU64), "delta")
+			dl := ir.StartForEach(b, ir.Op(stF), delta)
+			dIns := b.Insert(ir.Op(dl.Cur[0]), dl.Val, "")
+			dZ := b.Write(ir.Op(dIns), dl.Val, u64c(0), "")
+			deltaA := dl.End(dZ)[0]
+
+			n := b.Size(ir.Op(stF), "")
+			bw := ir.StartWhile(b, n, deltaA)
+			iC, delC := bw.Cur[0], bw.Cur[1]
+			i1 := b.Bin(ir.BinSub, iC, u64c(1), "")
+			w := b.Read(ir.Op(stF), i1, "")
+			dw := b.Read(ir.Op(distF), w, "")
+			sw := b.Read(ir.Op(sigF), w, "")
+			delw := b.Read(ir.Op(delC), w, "")
+			al := ir.StartForEach(b, ir.OpAt(adj, w), delC)
+			v2 := al.Val
+			dv2 := b.Read(ir.Op(distF), v2, "")
+			// Accumulate into predecessors: dist[v] + 1 == dist[w].
+			dv21 := b.Bin(ir.BinAdd, dv2, u64c(1), "")
+			onPath2 := b.Cmp(ir.CmpEq, dv21, dw, "")
+			upd := ir.IfOnly(b, onPath2, []*ir.Value{al.Cur[0]}, func() []*ir.Value {
+				sv2 := b.Read(ir.Op(sigF), v2, "")
+				dv := b.Read(ir.Op(al.Cur[0]), v2, "")
+				// delta[v] += sigma[v]/sigma[w] * (scale + delta[w])
+				num := b.Bin(ir.BinMul, sv2, b.Bin(ir.BinAdd, u64c(scale), delw, ""), "")
+				frac := b.Bin(ir.BinDiv, num, sw, "")
+				dvn := b.Bin(ir.BinAdd, dv, frac, "")
+				return []*ir.Value{b.Write(ir.Op(al.Cur[0]), v2, dvn, "")}
+			})
+			delAfter := al.End(upd[0])[0]
+			goOn := b.Cmp(ir.CmpGt, i1, u64c(0), "")
+			bx := bw.End(goOn, i1, delAfter)
+			deltaF := bx[1]
+
+			cl := ir.StartForEach(b, ir.Op(deltaF), u64c(0))
+			mix := b.Bin(ir.BinMul, cl.Val, u64c(0x9E3779B97F4A7C15), "")
+			kx := b.Bin(ir.BinXor, cl.Key, mix, "")
+			acc := b.Bin(ir.BinAdd, cl.Cur[0], kx, "")
+			accF := cl.End(acc)[0]
+			b.Emit(accF)
+			b.Ret(accF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(149, 6, 4).Undirect()
+			case ScaleSmall:
+				g = graphgen.RMAT(149, 10, 6).Undirect()
+			default:
+				g = graphgen.RMAT(149, 12, 8).Undirect()
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

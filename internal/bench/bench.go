@@ -1,0 +1,194 @@
+// Package bench implements the paper's benchmark suite: 15 of the
+// Lonestar 'Analytics' benchmarks plus PARSEC freqmine (Figure 4's
+// list), written against the MEMOIR IR the way the paper's C++
+// benchmarks are written against MEMOIR collection types — abstract
+// collections with sparse keys, before any manual optimization.
+//
+// Every program is an exported @main taking input collections built by
+// the generators in internal/graphgen, emits an order-insensitive
+// checksum (so baseline and ADE-transformed runs are comparable even
+// though iteration orders differ), and contains a `roi` marker
+// separating initialization from the region of interest.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+	"memoir/internal/profile"
+)
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// ScaleTest is small enough for unit tests (sub-second full-suite
+	// equivalence runs).
+	ScaleTest Scale = iota
+	// ScaleSmall is the quick-benchmark size.
+	ScaleSmall
+	// ScaleFull is the headline-benchmark size.
+	ScaleFull
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	Abbr string // the paper's abbreviation, e.g. "BFS"
+	Name string
+	// Build constructs the program. The variant string selects the
+	// RQ4 directive variants on PTA ("" is the default program).
+	Build func(variant string) *ir.Program
+	// Input constructs @main's arguments.
+	Input func(ip *interp.Interp, sc Scale) []interp.Val
+	// Variants lists the supported non-default build variants.
+	Variants []string
+}
+
+var registry = map[string]*Spec{}
+
+// Register adds a benchmark (called from each benchmark's init).
+func Register(s *Spec) {
+	if _, dup := registry[s.Abbr]; dup {
+		panic("duplicate benchmark " + s.Abbr)
+	}
+	registry[s.Abbr] = s
+}
+
+// All returns the suite sorted by abbreviation.
+func All() []*Spec {
+	var out []*Spec
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Abbr < out[j].Abbr })
+	return out
+}
+
+// Get returns one benchmark by abbreviation.
+func Get(abbr string) *Spec { return registry[abbr] }
+
+// Result is one execution's measurements.
+type Result struct {
+	Ret       uint64
+	EmitSum   uint64
+	EmitCount uint64
+
+	WallWhole time.Duration
+	WallROI   time.Duration
+	WallInit  time.Duration
+
+	Stats    *interp.Stats // whole program
+	ROIStats *interp.Stats // kernel only
+	Peak     int64
+}
+
+// Execute runs an already-built (and possibly ADE-transformed) program
+// on the benchmark's input at the given scale.
+func Execute(s *Spec, prog *ir.Program, opts interp.Options, sc Scale) (*Result, error) {
+	ip := interp.New(prog, opts)
+	args := s.Input(ip, sc)
+	// Settle the heap so one configuration's garbage doesn't tax the
+	// next configuration's timing.
+	runtime.GC()
+	start := time.Now()
+	ret, err := ip.Run("main", args...)
+	whole := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Abbr, err)
+	}
+	ip.FinalizeMem()
+	res := &Result{
+		Ret: ret.I, EmitSum: ip.Stats.EmitSum, EmitCount: ip.Stats.EmitCount,
+		WallWhole: whole, Stats: ip.Stats, ROIStats: ip.ROIStats(),
+		Peak: ip.Stats.PeakBytes,
+	}
+	if ip.ROISnapshot != nil {
+		res.WallROI = time.Since(ip.ROIStart)
+		res.WallInit = whole - res.WallROI
+	} else {
+		res.WallROI = whole
+	}
+	return res, nil
+}
+
+// CollectProfile executes prog on the benchmark's input and returns
+// the per-instruction execution profile for the profile-guided
+// benefit heuristic.
+func CollectProfile(s *Spec, prog *ir.Program, sc Scale) (profile.Profile, error) {
+	opts := interp.DefaultOptions()
+	opts.CollectProfile = true
+	opts.MemSampleEvery = 1 << 30
+	ip := interp.New(prog, opts)
+	args := s.Input(ip, sc)
+	if _, err := ip.Run("main", args...); err != nil {
+		return nil, fmt.Errorf("%s: profiling run: %w", s.Abbr, err)
+	}
+	return ip.Profile(), nil
+}
+
+// --- shared input builders ---
+
+// seqOfLabels materializes a Seq<u64> input collection.
+func seqOfLabels(ip *interp.Interp, labels []uint64) interp.Val {
+	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
+	for _, l := range labels {
+		c.Append(interp.IntV(l))
+	}
+	return interp.CollV(c.(interp.Coll))
+}
+
+// seqOfIndexed materializes a Seq<u64> of labels selected by index.
+func seqOfIndexed(ip *interp.Interp, labels []uint64, idx []int32) interp.Val {
+	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
+	for _, i := range idx {
+		c.Append(interp.IntV(labels[i]))
+	}
+	return interp.CollV(c.(interp.Coll))
+}
+
+// --- shared IR fragments ---
+
+// u64c is shorthand for a u64 constant.
+func u64c(x uint64) *ir.Value { return ir.ConstInt(ir.TU64, x) }
+
+// emitAdjSeqBuild emits the standard initialization: an adjacency map
+// Map<u64, Seq<u64>> with one (possibly empty) neighbor sequence per
+// node.
+func emitAdjSeqBuild(b *ir.Builder, nodes, src, dst *ir.Value) *ir.Value {
+	adj := b.New(ir.MapOf(ir.TU64, ir.SeqOf(ir.TU64)), "adj")
+	l := ir.StartForEach(b, ir.Op(nodes), adj)
+	a1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	adjF := l.End(a1)[0]
+
+	l2 := ir.StartForEach(b, ir.Op(src), adjF)
+	v := b.Read(ir.Op(dst), l2.Key, "")
+	a2 := b.InsertSeq(ir.OpAt(l2.Cur[0], l2.Val), nil, v, "")
+	return l2.End(a2)[0]
+}
+
+// emitAdjSetBuild emits an adjacency map over sets:
+// Map<u64, Set<u64>>.
+func emitAdjSetBuild(b *ir.Builder, nodes, src, dst *ir.Value) *ir.Value {
+	adj := b.New(ir.MapOf(ir.TU64, ir.SetOf(ir.TU64)), "adjs")
+	l := ir.StartForEach(b, ir.Op(nodes), adj)
+	a1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	adjF := l.End(a1)[0]
+
+	l2 := ir.StartForEach(b, ir.Op(src), adjF)
+	v := b.Read(ir.Op(dst), l2.Key, "")
+	a2 := b.Insert(ir.OpAt(l2.Cur[0], l2.Val), v, "")
+	return l2.End(a2)[0]
+}
+
+// emitEdgeWeight computes a deterministic pseudo-random weight in
+// [1, 16] from an edge's position (independent of node identity, so
+// identical under enumeration).
+func emitEdgeWeight(b *ir.Builder, edgeIdx *ir.Value) *ir.Value {
+	h := b.Bin(ir.BinMul, edgeIdx, u64c(0x9E3779B97F4A7C15), "")
+	s := b.Bin(ir.BinShr, h, u64c(60), "")
+	return b.Bin(ir.BinAdd, s, u64c(1), "")
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// CC: connected components with a union-find map. The parent map
+// stores node identities in its values — the paper's Listing 3/4
+// propagation case — and the find() helper exercises the
+// interprocedural unification of Algorithm 5.
+func init() {
+	Register(&Spec{
+		Abbr: "CC",
+		Name: "connected components",
+		Build: func(string) *ir.Program {
+			// fn u64 @find(%comp: Map<u64,u64>, %x: u64) — chase with
+			// path halving: parent(cur) := grandparent(cur) each step.
+			f := ir.NewFunc("find", ir.TU64)
+			comp := f.Param("comp", ir.MapOf(ir.TU64, ir.TU64))
+			x := f.Param("x", ir.TU64)
+			chase := ir.StartWhile(f, x, x)
+			cur := chase.Cur[0]
+			par := f.Read(ir.Op(comp), cur, "")
+			gp := f.Read(ir.Op(comp), par, "")
+			f.Write(ir.Op(comp), cur, gp, "")
+			again := f.Cmp(ir.CmpNe, par, cur, "")
+			root := chase.End(again, gp, par)[1]
+			f.Ret(root)
+
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			cm := b.New(ir.MapOf(ir.TU64, ir.TU64), "comp")
+			il := ir.StartForEach(b, ir.Op(nodes), cm)
+			c1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			c2 := b.Write(ir.Op(c1), il.Val, il.Val, "")
+			cmA := il.End(c2)[0]
+
+			b.ROI()
+
+			el := ir.StartForEach(b, ir.Op(src), cmA)
+			u := el.Val
+			v := b.Read(ir.Op(dst), el.Key, "")
+			ru := b.Call("find", ir.TU64, "", ir.Op(el.Cur[0]), ir.Op(u))
+			rv := b.Call("find", ir.TU64, "", ir.Op(el.Cur[0]), ir.Op(v))
+			diff := b.Cmp(ir.CmpNe, ru, rv, "")
+			merged := ir.IfOnly(b, diff, []*ir.Value{el.Cur[0]}, func() []*ir.Value {
+				cW := b.Write(ir.Op(el.Cur[0]), ru, rv, "")
+				return []*ir.Value{cW}
+			})
+			cmF := el.End(merged[0])[0]
+
+			// Count roots (an identifier-to-identifier equality after
+			// ADE) and fold component representatives into a checksum.
+			rl := ir.StartForEach(b, ir.Op(cmF), u64c(0))
+			isRoot := b.Cmp(ir.CmpEq, rl.Key, rl.Val, "")
+			one := b.Select(isRoot, u64c(1), u64c(0), "")
+			acc := b.Bin(ir.BinAdd, rl.Cur[0], one, "")
+			roots := rl.End(acc)[0]
+			b.Emit(roots)
+			b.Ret(roots)
+
+			p := ir.NewProgram()
+			p.Add(f.Fn)
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.ER(55, 100, 160)
+			case ScaleSmall:
+				g = graphgen.ER(55, 3000, 5000)
+			default:
+				g = graphgen.ER(55, 30000, 48000)
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

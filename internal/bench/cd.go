@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// CD: community detection by synchronous label propagation. Labels
+// are node identities stored as map values (propagation), and each
+// node allocates a short-lived frequency map keyed by labels — a
+// sharing opportunity across a loop-local allocation.
+func init() {
+	const rounds = 3
+	Register(&Spec{
+		Abbr: "CD",
+		Name: "community detection (label propagation)",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			b.ROI()
+
+			labels := b.New(ir.MapOf(ir.TU64, ir.TU64), "labels")
+			il := ir.StartForEach(b, ir.Op(nodes), labels)
+			l1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			l2 := b.Write(ir.Op(l1), il.Val, il.Val, "")
+			labelsA := il.End(l2)[0]
+
+			labelsF := ir.CountedLoop(b, u64c(rounds), []*ir.Value{labelsA}, func(_ *ir.Value, cur []*ir.Value) []*ir.Value {
+				nl := ir.StartForEach(b, ir.Op(nodes), cur[0])
+				n := nl.Val
+				freq := b.New(ir.MapOf(ir.TU64, ir.TU64), "freq")
+				al := ir.StartForEach(b, ir.OpAt(adj, n), nl.Cur[0], freq)
+				v := al.Val
+				lv := b.Read(ir.Op(al.Cur[0]), v, "")
+				hasL := b.Has(ir.Op(al.Cur[1]), lv, "")
+				fq := ir.IfElse(b, hasL, func() []*ir.Value {
+					c := b.Read(ir.Op(al.Cur[1]), lv, "")
+					c1 := b.Bin(ir.BinAdd, c, u64c(1), "")
+					return []*ir.Value{b.Write(ir.Op(al.Cur[1]), lv, c1, "")}
+				}, func() []*ir.Value {
+					fA := b.Insert(ir.Op(al.Cur[1]), lv, "")
+					return []*ir.Value{b.Write(ir.Op(fA), lv, u64c(1), "")}
+				})
+				afterAdj := al.End(al.Cur[0], fq[0])
+				lab1, freqF := afterAdj[0], afterAdj[1]
+
+				// argmax neighbor label; ties broken by smaller label
+				// value (stable under enumeration via decode).
+				own := b.Read(ir.Op(lab1), n, "")
+				pick := ir.StartForEach(b, ir.Op(freqF), own, u64c(0))
+				lbl, cnt := pick.Key, pick.Val
+				better := b.Cmp(ir.CmpGt, cnt, pick.Cur[1], "")
+				same := b.Cmp(ir.CmpEq, cnt, pick.Cur[1], "")
+				smaller := b.Cmp(ir.CmpLt, lbl, pick.Cur[0], "")
+				tie := b.Bin(ir.BinAnd, boolToU64(b, same), boolToU64(b, smaller), "")
+				upd := b.Bin(ir.BinOr, boolToU64(b, better), tie, "")
+				updB := b.Cmp(ir.CmpNe, upd, u64c(0), "")
+				bl := b.Select(updB, lbl, pick.Cur[0], "")
+				bc := b.Select(updB, cnt, pick.Cur[1], "")
+				picked := pick.End(bl, bc)
+				lab2 := b.Write(ir.Op(lab1), n, picked[0], "")
+				return []*ir.Value{nl.End(lab2)[0]}
+			})[0]
+
+			cl := ir.StartForEach(b, ir.Op(labelsF), u64c(0))
+			mix := b.Bin(ir.BinMul, cl.Val, u64c(0x9E3779B97F4A7C15), "")
+			kx := b.Bin(ir.BinXor, cl.Key, mix, "")
+			acc := b.Bin(ir.BinAdd, cl.Cur[0], kx, "")
+			accF := cl.End(acc)[0]
+			b.Emit(accF)
+			b.Ret(accF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(47, 6, 4).Undirect()
+			case ScaleSmall:
+				g = graphgen.RMAT(47, 9, 8).Undirect()
+			default:
+				g = graphgen.RMAT(47, 11, 10).Undirect()
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}
+
+// boolToU64 widens a bool to a u64 0/1 for bitwise combination.
+func boolToU64(b *ir.Builder, v *ir.Value) *ir.Value {
+	return b.Select(v, u64c(1), u64c(0), "")
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// FIM: frequent itemset mining (Apriori, 1- and 2-itemsets) over
+// Zipf-distributed transaction baskets — the PARSEC freqmine stand-in.
+// Pair counts live in a nested Map<item, Map<item,u64>>. A per-
+// transaction statistics map keyed by a different sparse domain is
+// only read under a verbose flag that the input disables: the static
+// benefit heuristic still enumerates it, reproducing the paper's FIM
+// memory regression.
+func init() {
+	const minsup = 8
+	Register(&Spec{
+		Abbr: "FIM",
+		Name: "frequent itemset mining (Apriori)",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			txStart := b.Param("txStart", ir.SeqOf(ir.TU64)) // offsets, plus final end
+			txItems := b.Param("txItems", ir.SeqOf(ir.TU64))
+			txIDs := b.Param("txIDs", ir.SeqOf(ir.TU64)) // sparse transaction ids
+			verbose := b.Param("verbose", ir.TU64)
+
+			b.ROI()
+
+			// Pass 1: item frequencies.
+			freq := b.New(ir.MapOf(ir.TU64, ir.TU64), "freq")
+			fl := ir.StartForEach(b, ir.Op(txItems), freq)
+			it := fl.Val
+			known := b.Has(ir.Op(fl.Cur[0]), it, "")
+			f1 := ir.IfElse(b, known, func() []*ir.Value {
+				c := b.Read(ir.Op(fl.Cur[0]), it, "")
+				return []*ir.Value{b.Write(ir.Op(fl.Cur[0]), it, b.Bin(ir.BinAdd, c, u64c(1), ""), "")}
+			}, func() []*ir.Value {
+				fA := b.Insert(ir.Op(fl.Cur[0]), it, "")
+				return []*ir.Value{b.Write(ir.Op(fA), it, u64c(1), "")}
+			})
+			freqF := fl.End(f1[0])[0]
+
+			// Frequent 1-itemsets.
+			fset := b.New(ir.SetOf(ir.TU64), "fset")
+			sl := ir.StartForEach(b, ir.Op(freqF), fset)
+			isFreq := b.Cmp(ir.CmpGe, sl.Val, u64c(minsup), "")
+			s1 := ir.IfOnly(b, isFreq, []*ir.Value{sl.Cur[0]}, func() []*ir.Value {
+				return []*ir.Value{b.Insert(ir.Op(sl.Cur[0]), sl.Key, "")}
+			})
+			fsetF := sl.End(s1[0])[0]
+
+			// Per-transaction statistics: cold unless verbose.
+			vstats := b.New(ir.MapOf(ir.TU64, ir.TU64), "vstats")
+
+			// Pass 2: frequent-pair counting per transaction.
+			pairs := b.New(ir.MapOf(ir.TU64, ir.MapOf(ir.TU64, ir.TU64)), "pairs")
+			ntx := b.Size(ir.Op(txStart), "")
+			ntx1 := b.Bin(ir.BinSub, ntx, u64c(1), "")
+			exit := ir.CountedLoop(b, ntx1, []*ir.Value{pairs, vstats}, func(t *ir.Value, cur []*ir.Value) []*ir.Value {
+				lo := b.Read(ir.Op(txStart), t, "")
+				hi := b.Read(ir.Op(txStart), b.Bin(ir.BinAdd, t, u64c(1), ""), "")
+				span := b.Bin(ir.BinSub, hi, lo, "")
+				tid := b.Read(ir.Op(txIDs), t, "")
+				vA := b.Insert(ir.Op(cur[1]), tid, "")
+				vB := b.Write(ir.Op(vA), tid, span, "")
+
+				// All ordered pairs (i < j) of frequent items.
+				pOut := ir.CountedLoop(b, span, []*ir.Value{cur[0]}, func(i *ir.Value, pc []*ir.Value) []*ir.Value {
+					a := b.Read(ir.Op(txItems), b.Bin(ir.BinAdd, lo, i, ""), "")
+					aFreq := b.Has(ir.Op(fsetF), a, "")
+					inner := ir.IfOnly(b, aFreq, []*ir.Value{pc[0]}, func() []*ir.Value {
+						jOut := ir.CountedLoop(b, span, []*ir.Value{pc[0]}, func(j *ir.Value, jc []*ir.Value) []*ir.Value {
+							after := b.Cmp(ir.CmpGt, j, i, "")
+							return ir.IfOnly(b, after, []*ir.Value{jc[0]}, func() []*ir.Value {
+								c2 := b.Read(ir.Op(txItems), b.Bin(ir.BinAdd, lo, j, ""), "")
+								bFreq := b.Has(ir.Op(fsetF), c2, "")
+								return ir.IfOnly(b, bFreq, []*ir.Value{jc[0]}, func() []*ir.Value {
+									pA := b.Insert(ir.Op(jc[0]), a, "")
+									pB := b.Insert(ir.OpAt(pA, a), c2, "")
+									old := b.Read(ir.OpAt(pB, a), c2, "")
+									pC := b.Write(ir.OpAt(pB, a), c2, b.Bin(ir.BinAdd, old, u64c(1), ""), "")
+									return []*ir.Value{pC}
+								})
+							})
+						})
+						return []*ir.Value{jOut[0]}
+					})
+					return []*ir.Value{inner[0]}
+				})
+				return []*ir.Value{pOut[0], vB}
+			})
+			pairsF, vstatsF := exit[0], exit[1]
+
+			// Count frequent pairs and fold a checksum.
+			cnt := ir.StartForEach(b, ir.Op(pairsF), u64c(0), u64c(0))
+			a2 := cnt.Key
+			inl := ir.StartForEach(b, ir.OpAt(pairsF, a2), cnt.Cur[0], cnt.Cur[1])
+			pFreq := b.Cmp(ir.CmpGe, inl.Val, u64c(minsup), "")
+			upd := ir.IfOnly(b, pFreq, []*ir.Value{inl.Cur[0], inl.Cur[1]}, func() []*ir.Value {
+				n1 := b.Bin(ir.BinAdd, inl.Cur[0], u64c(1), "")
+				mixd := b.Bin(ir.BinXor, b.Bin(ir.BinMul, a2, u64c(0x9E3779B97F4A7C15), ""), b.Bin(ir.BinMul, inl.Key, u64c(0xC2B2AE3D27D4EB4F), ""), "")
+				h1 := b.Bin(ir.BinAdd, inl.Cur[1], mixd, "")
+				return []*ir.Value{n1, h1}
+			})
+			ie := inl.End(upd[0], upd[1])
+			ce := cnt.End(ie[0], ie[1])
+			nPairs, checksum := ce[0], ce[1]
+
+			// Verbose output: statically hot, dynamically disabled.
+			vOn := b.Cmp(ir.CmpNe, verbose, u64c(0), "")
+			vres := ir.IfOnly(b, vOn, []*ir.Value{u64c(0)}, func() []*ir.Value {
+				vl := ir.StartForEach(b, ir.Op(vstatsF), u64c(0))
+				got := b.Read(ir.Op(vstatsF), vl.Key, "")
+				va := b.Bin(ir.BinAdd, vl.Cur[0], got, "")
+				return []*ir.Value{vl.End(va)[0]}
+			})
+
+			out := b.Bin(ir.BinAdd, checksum, b.Bin(ir.BinMul, nPairs, u64c(1000003), ""), "")
+			out2 := b.Bin(ir.BinAdd, out, vres[0], "")
+			b.Emit(out2)
+			b.Ret(nPairs)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var bs *graphgen.BasketSet
+			switch sc {
+			case ScaleTest:
+				bs = graphgen.Baskets(404, 60, 150, 6)
+			case ScaleSmall:
+				bs = graphgen.Baskets(404, 400, 3000, 10)
+			default:
+				bs = graphgen.Baskets(404, 1200, 20000, 12)
+			}
+			var starts, items, tids []uint64
+			off := uint64(0)
+			for t, tx := range bs.Tx {
+				starts = append(starts, off)
+				for _, it := range tx {
+					items = append(items, bs.ItemLabels[it])
+					off++
+				}
+				tids = append(tids, graphgen.Label(99, t))
+			}
+			starts = append(starts, off)
+			return []interp.Val{
+				seqOfLabels(ip, starts),
+				seqOfLabels(ip, items),
+				seqOfLabels(ip, tids),
+				interp.IntV(0), // verbose off
+			}
+		},
+	})
+}

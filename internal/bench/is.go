@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// IS: greedy maximal independent set. Scanning nodes in input order
+// keeps the greedy choice deterministic across implementations; the
+// conflict probe tests propagated neighbor identities against the
+// result set (shared enumeration).
+func init() {
+	Register(&Spec{
+		Abbr: "IS",
+		Name: "maximal independent set",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			b.ROI()
+
+			mis := b.New(ir.SetOf(ir.TU64), "mis")
+			ol := ir.StartForEach(b, ir.Op(nodes), mis)
+			n := ol.Val
+			// conflict = any neighbor already selected?
+			cl := ir.StartForEach(b, ir.OpAt(adj, n), u64c(0))
+			inMis := b.Has(ir.Op(ol.Cur[0]), cl.Val, "")
+			c1 := b.Bin(ir.BinOr, cl.Cur[0], boolToU64(b, inMis), "")
+			conflict := cl.End(c1)[0]
+			free := b.Cmp(ir.CmpEq, conflict, u64c(0), "")
+			misNext := ir.IfOnly(b, free, []*ir.Value{ol.Cur[0]}, func() []*ir.Value {
+				return []*ir.Value{b.Insert(ir.Op(ol.Cur[0]), n, "")}
+			})
+			misF := ol.End(misNext[0])[0]
+
+			// Checksum: xor of selected node mixes plus the size.
+			sl := ir.StartForEach(b, ir.Op(misF), u64c(0))
+			mix := b.Bin(ir.BinMul, sl.Val, u64c(0x9E3779B97F4A7C15), "")
+			acc := b.Bin(ir.BinXor, sl.Cur[0], mix, "")
+			accF := sl.End(acc)[0]
+			sz := b.Size(ir.Op(misF), "")
+			out := b.Bin(ir.BinAdd, accF, sz, "")
+			b.Emit(out)
+			b.Ret(sz)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(61, 6, 4).Undirect()
+			case ScaleSmall:
+				g = graphgen.RMAT(61, 10, 8).Undirect()
+			default:
+				g = graphgen.RMAT(61, 12, 10).Undirect()
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// KC: k-core decomposition by peeling. Initialization (degree map and
+// adjacency construction) dominates run time on sparse inputs — the
+// paper's one whole-program regression, where enumeration construction
+// is not amortized by the ROI.
+func init() {
+	const k = 3
+	Register(&Spec{
+		Abbr: "KC",
+		Name: "k-core decomposition",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			deg := b.New(ir.MapOf(ir.TU64, ir.TU64), "deg")
+			alive := b.New(ir.SetOf(ir.TU64), "alive")
+			dl := ir.StartForEach(b, ir.Op(nodes), deg, alive)
+			d1 := b.Insert(ir.Op(dl.Cur[0]), dl.Val, "")
+			dsz := b.Size(ir.OpAt(adj, dl.Val), "")
+			d2 := b.Write(ir.Op(d1), dl.Val, dsz, "")
+			a1 := b.Insert(ir.Op(dl.Cur[1]), dl.Val, "")
+			ini := dl.End(d2, a1)
+			degA, aliveA := ini[0], ini[1]
+
+			b.ROI()
+
+			// Seed worklist with under-degree nodes.
+			work := b.New(ir.SeqOf(ir.TU64), "work")
+			wl := ir.StartForEach(b, ir.Op(degA), work)
+			low := b.Cmp(ir.CmpLt, wl.Val, u64c(k), "")
+			w1 := ir.IfOnly(b, low, []*ir.Value{wl.Cur[0]}, func() []*ir.Value {
+				return []*ir.Value{b.InsertSeq(ir.Op(wl.Cur[0]), nil, wl.Key, "")}
+			})
+			workA := wl.End(w1[0])[0]
+
+			peel := ir.StartWhile(b, degA, aliveA, workA)
+			degC, aliveC, workC := peel.Cur[0], peel.Cur[1], peel.Cur[2]
+			next := b.New(ir.SeqOf(ir.TU64), "next")
+			pl := ir.StartForEach(b, ir.Op(workC), degC, aliveC, next)
+			u := pl.Val
+			isAlive := b.Has(ir.Op(pl.Cur[1]), u, "")
+			after := ir.IfOnly(b, isAlive, []*ir.Value{pl.Cur[0], pl.Cur[1], pl.Cur[2]}, func() []*ir.Value {
+				al := b.Remove(ir.Op(pl.Cur[1]), u, "")
+				nb := ir.StartForEach(b, ir.OpAt(adj, u), pl.Cur[0], al, pl.Cur[2])
+				v := nb.Val
+				va := b.Has(ir.Op(nb.Cur[1]), v, "")
+				upd := ir.IfOnly(b, va, []*ir.Value{nb.Cur[0], nb.Cur[2]}, func() []*ir.Value {
+					dv := b.Read(ir.Op(nb.Cur[0]), v, "")
+					dv1 := b.Bin(ir.BinSub, dv, u64c(1), "")
+					dW := b.Write(ir.Op(nb.Cur[0]), v, dv1, "")
+					drop := b.Cmp(ir.CmpLt, dv1, u64c(k), "")
+					nx := ir.IfOnly(b, drop, []*ir.Value{nb.Cur[2]}, func() []*ir.Value {
+						return []*ir.Value{b.InsertSeq(ir.Op(nb.Cur[2]), nil, v, "")}
+					})
+					return []*ir.Value{dW, nx[0]}
+				})
+				ne := nb.End(upd[0], nb.Cur[1], upd[1])
+				return []*ir.Value{ne[0], ne[1], ne[2]}
+			})
+			pe := pl.End(after[0], after[1], after[2])
+			sz := b.Size(ir.Op(pe[2]), "")
+			more := b.Cmp(ir.CmpGt, sz, u64c(0), "")
+			exits := peel.End(more, pe[0], pe[1], pe[2])
+			aliveF := exits[1]
+
+			sl := ir.StartForEach(b, ir.Op(aliveF), u64c(0))
+			mix := b.Bin(ir.BinMul, sl.Val, u64c(0x9E3779B97F4A7C15), "")
+			acc := b.Bin(ir.BinXor, sl.Cur[0], mix, "")
+			accF := sl.End(acc)[0]
+			szF := b.Size(ir.Op(aliveF), "")
+			out := b.Bin(ir.BinAdd, accF, szF, "")
+			b.Emit(out)
+			b.Ret(szF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.ER(83, 80, 150)
+			case ScaleSmall:
+				g = graphgen.ER(83, 4000, 7000)
+			default:
+				g = graphgen.ER(83, 40000, 70000)
+			}
+			g = g.Undirect()
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// MCBM: maximum cardinality bipartite matching via augmenting paths
+// (Hungarian / Kuhn). The recursive augment helper exercises
+// Algorithm 5's recursion handling (the enumeration global is reused
+// across invocations) and the match map stores node identities
+// (propagation).
+func init() {
+	Register(&Spec{
+		Abbr: "MCBM",
+		Name: "maximum cardinality bipartite matching",
+		Build: func(string) *ir.Program {
+			// fn u64 @aug(%adj, %matchR, %visited, %u) -> 0/1
+			f := ir.NewFunc("aug", ir.TU64)
+			adj := f.Param("adj", ir.MapOf(ir.TU64, ir.SeqOf(ir.TU64)))
+			matchR := f.Param("matchR", ir.MapOf(ir.TU64, ir.TU64))
+			visited := f.Param("visited", ir.SetOf(ir.TU64))
+			u := f.Param("u", ir.TU64)
+
+			nl := ir.StartForEach(f, ir.OpAt(adj, u), ir.ConstInt(ir.TU64, 0))
+			v := nl.Val
+			notFound := f.Cmp(ir.CmpEq, nl.Cur[0], u64c(0), "")
+			seen := f.Has(ir.Op(visited), v, "")
+			fresh := f.Not(seen, "")
+			tryV := f.Bin(ir.BinAnd, boolToU64(f, notFound), boolToU64(f, fresh), "")
+			tryB := f.Cmp(ir.CmpNe, tryV, u64c(0), "")
+			found := ir.IfOnly(f, tryB, []*ir.Value{nl.Cur[0]}, func() []*ir.Value {
+				f.Insert(ir.Op(visited), v, "")
+				taken := f.Has(ir.Op(matchR), v, "")
+				return ir.IfElse(f, taken, func() []*ir.Value {
+					mu := f.Read(ir.Op(matchR), v, "")
+					r := f.Call("aug", ir.TU64, "", ir.Op(adj), ir.Op(matchR), ir.Op(visited), ir.Op(mu))
+					ok := f.Cmp(ir.CmpNe, r, u64c(0), "")
+					return ir.IfOnly(f, ok, []*ir.Value{nl.Cur[0]}, func() []*ir.Value {
+						f.Write(ir.Op(matchR), v, u, "")
+						return []*ir.Value{u64c(1)}
+					})
+				}, func() []*ir.Value {
+					m1 := f.Insert(ir.Op(matchR), v, "")
+					f.Write(ir.Op(m1), v, u, "")
+					return []*ir.Value{u64c(1)}
+				})
+			})
+			foundF := nl.End(found[0])[0]
+			f.Ret(foundF)
+
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			left := b.Param("left", ir.SeqOf(ir.TU64))
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adjM := emitAdjSeqBuild(b, nodes, src, dst)
+			b.ROI()
+
+			matchRM := b.New(ir.MapOf(ir.TU64, ir.TU64), "matchR")
+			ol := ir.StartForEach(b, ir.Op(left), u64c(0))
+			vis := b.New(ir.SetOf(ir.TU64), "visited")
+			r := b.Call("aug", ir.TU64, "", ir.Op(adjM), ir.Op(matchRM), ir.Op(vis), ir.Op(ol.Val))
+			m1 := b.Bin(ir.BinAdd, ol.Cur[0], r, "")
+			matched := ol.End(m1)[0]
+
+			// Emit the matching itself: re-probe each right node's mate.
+			el := ir.StartForEach(b, ir.Op(matchRM), u64c(0))
+			mate := b.Read(ir.Op(matchRM), el.Key, "")
+			mix := b.Bin(ir.BinMul, mate, u64c(0x9E3779B97F4A7C15), "")
+			acc := b.Bin(ir.BinXor, el.Cur[0], mix, "")
+			accF := el.End(acc)[0]
+			sz := b.Size(ir.Op(matchRM), "")
+			out := b.Bin(ir.BinMul, matched, u64c(1000003), "")
+			out2 := b.Bin(ir.BinAdd, out, sz, "")
+			out3 := b.Bin(ir.BinAdd, out2, accF, "")
+			b.Emit(out3)
+			b.Ret(matched)
+
+			p := ir.NewProgram()
+			p.Add(f.Fn)
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var nl, nr, m int
+			switch sc {
+			case ScaleTest:
+				nl, nr, m = 40, 40, 120
+			case ScaleSmall:
+				nl, nr, m = 800, 800, 4000
+			default:
+				nl, nr, m = 4000, 4000, 24000
+			}
+			g := graphgen.Bipartite(137, nl, nr, m)
+			leftIdx := make([]int32, nl)
+			for i := range leftIdx {
+				leftIdx[i] = int32(i)
+			}
+			return []interp.Val{
+				seqOfIndexed(ip, g.Labels, leftIdx),
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

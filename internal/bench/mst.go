@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// MST: Kruskal over 16 weight buckets (counting sort) with an inlined
+// union-find chase over a parent map — the propagation pattern of the
+// paper's Listing 3, inlined rather than called.
+func init() {
+	Register(&Spec{
+		Abbr: "MST",
+		Name: "minimum spanning forest (Kruskal, bucketed)",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			comp := b.New(ir.MapOf(ir.TU64, ir.TU64), "comp")
+			il := ir.StartForEach(b, ir.Op(nodes), comp)
+			c1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			c2 := b.Write(ir.Op(c1), il.Val, il.Val, "")
+			compA := il.End(c2)[0]
+
+			b.ROI()
+
+			// Chase with path halving (parent := grandparent per step).
+			find := func(cm, x *ir.Value) *ir.Value {
+				chase := ir.StartWhile(b, x, x)
+				cur := chase.Cur[0]
+				par := b.Read(ir.Op(cm), cur, "")
+				gp := b.Read(ir.Op(cm), par, "")
+				b.Write(ir.Op(cm), cur, gp, "")
+				again := b.Cmp(ir.CmpNe, par, cur, "")
+				return chase.End(again, gp, par)[1]
+			}
+
+			// 16 weight buckets, lightest first.
+			exit := ir.CountedLoop(b, u64c(16), []*ir.Value{compA, u64c(0), u64c(0)}, func(w *ir.Value, cur []*ir.Value) []*ir.Value {
+				bucket := b.Bin(ir.BinAdd, w, u64c(1), "")
+				el := ir.StartForEach(b, ir.Op(src), cur[0], cur[1], cur[2])
+				ew := emitEdgeWeight(b, el.Key)
+				inBucket := b.Cmp(ir.CmpEq, ew, bucket, "")
+				after := ir.IfOnly(b, inBucket, []*ir.Value{el.Cur[0], el.Cur[1], el.Cur[2]}, func() []*ir.Value {
+					u := el.Val
+					v := b.Read(ir.Op(dst), el.Key, "")
+					ru := find(el.Cur[0], u)
+					rv := find(el.Cur[0], v)
+					joinable := b.Cmp(ir.CmpNe, ru, rv, "")
+					return ir.IfOnly(b, joinable, []*ir.Value{el.Cur[0], el.Cur[1], el.Cur[2]}, func() []*ir.Value {
+						cm := b.Write(ir.Op(el.Cur[0]), ru, rv, "")
+						tw := b.Bin(ir.BinAdd, el.Cur[1], ew, "")
+						tc := b.Bin(ir.BinAdd, el.Cur[2], u64c(1), "")
+						return []*ir.Value{cm, tw, tc}
+					})
+				})
+				ee := el.End(after[0], after[1], after[2])
+				return []*ir.Value{ee[0], ee[1], ee[2]}
+			})
+			weight, count := exit[1], exit[2]
+			out := b.Bin(ir.BinMul, weight, u64c(1000003), "")
+			out2 := b.Bin(ir.BinAdd, out, count, "")
+			b.Emit(out2)
+			b.Ret(out2)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.ER(91, 80, 200)
+			case ScaleSmall:
+				g = graphgen.ER(91, 2500, 6000)
+			default:
+				g = graphgen.ER(91, 20000, 50000)
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// PP: preflow-push (push-relabel) rounds on a capacitated graph.
+// Residual capacities live in an edge-indexed sequence (the mirrored
+// graph makes e^1 the reverse edge); excess and height are maps keyed
+// by sparse node labels, sharing the node enumeration with the
+// adjacency map.
+func init() {
+	const rounds = 20
+	Register(&Spec{
+		Abbr: "PP",
+		Name: "preflow-push max-flow rounds",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			// Parallel edge-index lists: adjE[u][j] is the edge index
+			// of u's j-th out-edge.
+			adjE := b.New(ir.MapOf(ir.TU64, ir.SeqOf(ir.TU64)), "adjE")
+			al := ir.StartForEach(b, ir.Op(nodes), adjE)
+			e1 := b.Insert(ir.Op(al.Cur[0]), al.Val, "")
+			adjEA := al.End(e1)[0]
+			el := ir.StartForEach(b, ir.Op(src), adjEA)
+			e2 := b.InsertSeq(ir.OpAt(el.Cur[0], el.Val), nil, el.Key, "")
+			adjEF := el.End(e2)[0]
+
+			// Forward edges get weight-derived capacity; the mirrored
+			// partner (e^1) starts as a zero-capacity residual when it
+			// is the higher index of the pair.
+			capm := b.New(ir.SeqOf(ir.TU64), "cap")
+			cl := ir.StartForEach(b, ir.Op(src), capm)
+			w := emitEdgeWeight(b, cl.Key)
+			c1 := b.InsertSeq(ir.Op(cl.Cur[0]), nil, w, "")
+			capF := cl.End(c1)[0]
+
+			exm := b.New(ir.MapOf(ir.TU64, ir.TU64), "excess")
+			htm := b.New(ir.MapOf(ir.TU64, ir.TU64), "height")
+			il := ir.StartForEach(b, ir.Op(nodes), exm, htm)
+			x1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			x2 := b.Write(ir.Op(x1), il.Val, u64c(0), "")
+			h1 := b.Insert(ir.Op(il.Cur[1]), il.Val, "")
+			h2 := b.Write(ir.Op(h1), il.Val, u64c(0), "")
+			ini := il.End(x2, h2)
+			exA, htA := ini[0], ini[1]
+
+			source := b.Read(ir.Op(nodes), u64c(0), "source")
+			sink := b.Read(ir.Op(nodes), u64c(1), "sink")
+			nsz := b.Size(ir.Op(exA), "")
+			htB := b.Write(ir.Op(htA), source, nsz, "")
+			// Saturate source edges.
+			sl := ir.StartForEach(b, ir.OpAt(adjEF, source), exA)
+			se := sl.Val
+			sv := b.Read(ir.OpAt(adj, source), sl.Key, "")
+			scap := b.Read(ir.Op(capF), se, "")
+			ex0 := b.Read(ir.Op(sl.Cur[0]), sv, "")
+			ex1 := b.Bin(ir.BinAdd, ex0, scap, "")
+			exW := b.Write(ir.Op(sl.Cur[0]), sv, ex1, "")
+			b.Write(ir.Op(capF), se, u64c(0), "")
+			exB := sl.End(exW)[0]
+
+			b.ROI()
+
+			done := ir.CountedLoop(b, u64c(rounds), []*ir.Value{exB, htB}, func(_ *ir.Value, cur []*ir.Value) []*ir.Value {
+				rl := ir.StartForEach(b, ir.Op(nodes), cur[0], cur[1])
+				u := rl.Val
+				exu := b.Read(ir.Op(rl.Cur[0]), u, "")
+				isSrc := b.Cmp(ir.CmpEq, u, source, "")
+				isSink := b.Cmp(ir.CmpEq, u, sink, "")
+				skip := b.Bin(ir.BinOr, boolToU64(b, isSrc), boolToU64(b, isSink), "")
+				active := b.Bin(ir.BinAnd, boolToU64(b, b.Cmp(ir.CmpGt, exu, u64c(0), "")), b.Bin(ir.BinXor, skip, u64c(1), ""), "")
+				activeB := b.Cmp(ir.CmpNe, active, u64c(0), "")
+				after := ir.IfOnly(b, activeB, []*ir.Value{rl.Cur[0], rl.Cur[1]}, func() []*ir.Value {
+					hu := b.Read(ir.Op(rl.Cur[1]), u, "")
+					// Push along admissible residual edges; track the
+					// minimum residual-neighbor height for relabeling.
+					pl := ir.StartForEach(b, ir.OpAt(adjEF, u), rl.Cur[0], u64c(1<<40))
+					e := pl.Val
+					v := b.Read(ir.OpAt(adj, u), pl.Key, "")
+					cuv := b.Read(ir.Op(capF), e, "")
+					hv := b.Read(ir.Op(rl.Cur[1]), v, "")
+					hasCap := b.Cmp(ir.CmpGt, cuv, u64c(0), "")
+					minh := b.Select(hasCap, b.Bin(ir.BinMin, pl.Cur[1], hv, ""), pl.Cur[1], "")
+					admissible := b.Bin(ir.BinAnd, boolToU64(b, hasCap), boolToU64(b, b.Cmp(ir.CmpEq, hu, b.Bin(ir.BinAdd, hv, u64c(1), ""), "")), "")
+					admB := b.Cmp(ir.CmpNe, admissible, u64c(0), "")
+					pushed := ir.IfOnly(b, admB, []*ir.Value{pl.Cur[0]}, func() []*ir.Value {
+						exuNow := b.Read(ir.Op(pl.Cur[0]), u, "")
+						amt := b.Bin(ir.BinMin, exuNow, cuv, "")
+						b.Write(ir.Op(capF), e, b.Bin(ir.BinSub, cuv, amt, ""), "")
+						rev := b.Bin(ir.BinXor, e, u64c(1), "")
+						crev := b.Read(ir.Op(capF), rev, "")
+						b.Write(ir.Op(capF), rev, b.Bin(ir.BinAdd, crev, amt, ""), "")
+						eA := b.Write(ir.Op(pl.Cur[0]), u, b.Bin(ir.BinSub, exuNow, amt, ""), "")
+						exv := b.Read(ir.Op(eA), v, "")
+						eB := b.Write(ir.Op(eA), v, b.Bin(ir.BinAdd, exv, amt, ""), "")
+						return []*ir.Value{eB}
+					})
+					pe := pl.End(pushed[0], minh)
+					exAfter, minhF := pe[0], pe[1]
+					// Relabel if still active and some residual edge
+					// exists.
+					exu2 := b.Read(ir.Op(exAfter), u, "")
+					still := b.Cmp(ir.CmpGt, exu2, u64c(0), "")
+					canRise := b.Cmp(ir.CmpLt, minhF, u64c(1<<40), "")
+					doRe := b.Bin(ir.BinAnd, boolToU64(b, still), boolToU64(b, canRise), "")
+					doReB := b.Cmp(ir.CmpNe, doRe, u64c(0), "")
+					htAfter := ir.IfOnly(b, doReB, []*ir.Value{rl.Cur[1]}, func() []*ir.Value {
+						nh := b.Bin(ir.BinAdd, minhF, u64c(1), "")
+						curh := b.Read(ir.Op(rl.Cur[1]), u, "")
+						higher := b.Bin(ir.BinMax, curh, nh, "")
+						return []*ir.Value{b.Write(ir.Op(rl.Cur[1]), u, higher, "")}
+					})
+					return []*ir.Value{exAfter, htAfter[0]}
+				})
+				re := rl.End(after[0], after[1])
+				return []*ir.Value{re[0], re[1]}
+			})
+			exF := done[0]
+
+			flow := b.Read(ir.Op(exF), sink, "")
+			cs := ir.StartForEach(b, ir.Op(exF), u64c(0))
+			mix := b.Bin(ir.BinMul, cs.Val, u64c(0x9E3779B97F4A7C15), "")
+			kx := b.Bin(ir.BinXor, cs.Key, mix, "")
+			acc := b.Bin(ir.BinAdd, cs.Cur[0], kx, "")
+			accF := cs.End(acc)[0]
+			out := b.Bin(ir.BinAdd, accF, flow, "")
+			b.Emit(out)
+			b.Ret(flow)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.ER(171, 40, 160)
+			case ScaleSmall:
+				g = graphgen.ER(171, 500, 2500)
+			default:
+				g = graphgen.ER(171, 2000, 12000)
+			}
+			g = g.Undirect()
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// PR: PageRank with fixed-point integer arithmetic (so accumulation is
+// exactly order-independent and baseline/ADE outputs are comparable).
+// Ranks, next-ranks and degrees are all keyed by node: a sharing-heavy
+// benchmark where the round loop re-probes three maps with iterated
+// keys.
+func init() {
+	const rounds = 5
+	const scale = 1_000_000
+	Register(&Spec{
+		Abbr: "PR",
+		Name: "PageRank",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			deg := b.New(ir.MapOf(ir.TU64, ir.TU64), "deg")
+			dl := ir.StartForEach(b, ir.Op(nodes), deg)
+			g1 := b.Insert(ir.Op(dl.Cur[0]), dl.Val, "")
+			dsz := b.Size(ir.OpAt(adj, dl.Val), "")
+			g2 := b.Write(ir.Op(g1), dl.Val, dsz, "")
+			degF := dl.End(g2)[0]
+
+			b.ROI()
+
+			rank := b.New(ir.MapOf(ir.TU64, ir.TU64), "rank")
+			rl := ir.StartForEach(b, ir.Op(nodes), rank)
+			r1 := b.Insert(ir.Op(rl.Cur[0]), rl.Val, "")
+			r2 := b.Write(ir.Op(r1), rl.Val, u64c(scale), "")
+			rankA := rl.End(r2)[0]
+
+			rankF := ir.CountedLoop(b, u64c(rounds), []*ir.Value{rankA}, func(_ *ir.Value, cur []*ir.Value) []*ir.Value {
+				rc := cur[0]
+				next := b.New(ir.MapOf(ir.TU64, ir.TU64), "next")
+				// Base rank for every node.
+				bl := ir.StartForEach(b, ir.Op(rc), next)
+				n1 := b.Insert(ir.Op(bl.Cur[0]), bl.Key, "")
+				n2 := b.Write(ir.Op(n1), bl.Key, u64c(scale*15/100), "")
+				nextA := bl.End(n2)[0]
+				// Scatter contributions.
+				sl := ir.StartForEach(b, ir.Op(rc), nextA)
+				u, ru := sl.Key, sl.Val
+				d := b.Read(ir.Op(degF), u, "")
+				hasOut := b.Cmp(ir.CmpGt, d, u64c(0), "")
+				after := ir.IfOnly(b, hasOut, []*ir.Value{sl.Cur[0]}, func() []*ir.Value {
+					part := b.Bin(ir.BinMul, ru, u64c(85), "")
+					part2 := b.Bin(ir.BinDiv, part, u64c(100), "")
+					share := b.Bin(ir.BinDiv, part2, d, "")
+					il := ir.StartForEach(b, ir.OpAt(adj, u), sl.Cur[0])
+					v := il.Val
+					old := b.Read(ir.Op(il.Cur[0]), v, "")
+					nv := b.Bin(ir.BinAdd, old, share, "")
+					nx := b.Write(ir.Op(il.Cur[0]), v, nv, "")
+					return []*ir.Value{il.End(nx)[0]}
+				})
+				return []*ir.Value{sl.End(after[0])[0]}
+			})[0]
+
+			cl := ir.StartForEach(b, ir.Op(rankF), u64c(0))
+			mix := b.Bin(ir.BinMul, cl.Val, u64c(0x9E3779B97F4A7C15), "")
+			kx := b.Bin(ir.BinXor, cl.Key, mix, "")
+			acc := b.Bin(ir.BinAdd, cl.Cur[0], kx, "")
+			accF := cl.End(acc)[0]
+			b.Emit(accF)
+			b.Ret(accF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(31, 6, 4)
+			case ScaleSmall:
+				g = graphgen.RMAT(31, 10, 8)
+			default:
+				g = graphgen.RMAT(31, 12, 10)
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

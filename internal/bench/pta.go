@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"memoir/internal/collections"
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// PTA: Andersen-style inclusion-based points-to analysis — the RQ4
+// performance-engineering case study. The points-to relation is a
+// nested Map<ptr, Set<obj>>; copy constraints are resolved with set
+// unions, and load/store constraints use inner-set elements as outer
+// keys, which is what tempts the sharing heuristic to fuse the inner
+// element domain (objects) with the outer key domain (pointers). With
+// far more pointers than objects, the shared enumeration leaves the
+// inner bitsets sparsely populated — the regression the paper tunes
+// away with the noshare directive.
+//
+// Variants (paper artifact configurations):
+//
+//	""             default ADE decisions
+//	"noshare"      #pragma ade inner(noshare) — own enumeration for
+//	               the inner sets (the 78x fix)
+//	"noenumerate"  inner sets stay hash sets
+//	"sparse"       inner sets select SparseBitSet (shared enumeration)
+//	"flat"         inner sets select FlatSet (shared enumeration)
+func init() {
+	Register(&Spec{
+		Abbr:     "PTA",
+		Name:     "points-to analysis (Andersen)",
+		Variants: []string{"noshare", "noenumerate", "sparse", "flat"},
+		Build: func(variant string) *ir.Program {
+			var dir *ir.Directive
+			switch variant {
+			case "noshare":
+				dir = &ir.Directive{Inner: &ir.Directive{NoShare: true}}
+			case "noenumerate":
+				dir = &ir.Directive{Inner: &ir.Directive{NoEnumerate: true}}
+			case "sparse":
+				dir = &ir.Directive{Inner: &ir.Directive{Select: collections.ImplSparseBitSet}}
+			case "flat":
+				dir = &ir.Directive{Inner: &ir.Directive{Select: collections.ImplFlatSet}}
+			}
+
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			ptrs := b.Param("ptrs", ir.SeqOf(ir.TU64))
+			addrP := b.Param("addrP", ir.SeqOf(ir.TU64))
+			addrO := b.Param("addrO", ir.SeqOf(ir.TU64))
+			copyD := b.Param("copyD", ir.SeqOf(ir.TU64))
+			copyS := b.Param("copyS", ir.SeqOf(ir.TU64))
+
+			pts := b.NewDir(ir.MapOf(ir.TU64, ir.SetOf(ir.TU64)), "pts", dir)
+			// Every pointer (and object: objects can be dereferenced)
+			// gets a points-to set.
+			il := ir.StartForEach(b, ir.Op(ptrs), pts)
+			p1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			ptsA := il.End(p1)[0]
+			ol := ir.StartForEach(b, ir.Op(addrO), ptsA)
+			p2 := b.Insert(ir.Op(ol.Cur[0]), ol.Val, "")
+			ptsB := ol.End(p2)[0]
+			// Address-of seeds: pts[p] ∋ o.
+			al := ir.StartForEach(b, ir.Op(addrP), ptsB)
+			o := b.Read(ir.Op(addrO), al.Key, "")
+			p3 := b.Insert(ir.OpAt(al.Cur[0], al.Val), o, "")
+			ptsC := al.End(p3)[0]
+
+			b.ROI()
+
+			// Fixpoint rounds: copy (d ⊇ s), store (*s ⊇ d for every
+			// target of s), load (d ⊇ *s), partitioned by index mod 3.
+			fix := ir.StartWhile(b, ptsC, u64c(0))
+			ptsR, prev := fix.Cur[0], fix.Cur[1]
+			cl := ir.StartForEach(b, ir.Op(copyD), ptsR)
+			d := cl.Val
+			s := b.Read(ir.Op(copyS), cl.Key, "")
+			kind := b.Bin(ir.BinRem, cl.Key, u64c(3), "")
+			isCopy := b.Cmp(ir.CmpEq, kind, u64c(0), "")
+			r1 := ir.IfElse(b, isCopy, func() []*ir.Value {
+				return []*ir.Value{b.Union(ir.OpAt(cl.Cur[0], d), ir.OpAt(cl.Cur[0], s), "")}
+			}, func() []*ir.Value {
+				isStore := b.Cmp(ir.CmpEq, kind, u64c(1), "")
+				return ir.IfElse(b, isStore, func() []*ir.Value {
+					// store: for each o in pts[s]: pts[o] ⊇ pts[d].
+					tl := ir.StartForEach(b, ir.OpAt(cl.Cur[0], s), cl.Cur[0])
+					tgt := tl.Val
+					up := b.Union(ir.OpAt(tl.Cur[0], tgt), ir.OpAt(tl.Cur[0], d), "")
+					return []*ir.Value{tl.End(up)[0]}
+				}, func() []*ir.Value {
+					// load: for each o in pts[s]: pts[d] ⊇ pts[o].
+					tl := ir.StartForEach(b, ir.OpAt(cl.Cur[0], s), cl.Cur[0])
+					tgt := tl.Val
+					up := b.Union(ir.OpAt(tl.Cur[0], d), ir.OpAt(tl.Cur[0], tgt), "")
+					return []*ir.Value{tl.End(up)[0]}
+				})
+			})
+			ptsNext := cl.End(r1[0])[0]
+
+			// Converged when the total points-to size stops growing.
+			szl := ir.StartForEach(b, ir.Op(ptsNext), u64c(0))
+			s1 := b.Size(ir.OpAt(ptsNext, szl.Key), "")
+			s2 := b.Bin(ir.BinAdd, szl.Cur[0], s1, "")
+			total := szl.End(s2)[0]
+			grew := b.Cmp(ir.CmpGt, total, prev, "")
+			fx := fix.End(grew, ptsNext, total)
+			ptsF, totalF := fx[0], fx[1]
+
+			// Checksum: per-pointer set sizes, order-insensitively.
+			ql := ir.StartForEach(b, ir.Op(ptrs), u64c(0))
+			qs := b.Size(ir.OpAt(ptsF, ql.Val), "")
+			qm := b.Bin(ir.BinXor, b.Bin(ir.BinMul, ql.Val, u64c(0x9E3779B97F4A7C15), ""), qs, "")
+			qa := b.Bin(ir.BinAdd, ql.Cur[0], qm, "")
+			qaF := ql.End(qa)[0]
+			out := b.Bin(ir.BinAdd, qaF, totalF, "")
+			b.Emit(out)
+			b.Ret(totalF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var in *graphgen.PTAInput
+			switch sc {
+			case ScaleTest:
+				in = graphgen.PTA(303, 150, 12, 60, 150)
+			case ScaleSmall:
+				in = graphgen.PTA(303, 4000, 60, 800, 2500)
+			default:
+				// The paper's sqlite3 input has ~2e3 allocations and
+				// 2e7 pointers; we keep a ~100x domain ratio at laptop
+				// scale so the shared enumeration leaves inner bitsets
+				// <1% occupied, the RQ4 regression.
+				in = graphgen.PTA(303, 30000, 300, 3000, 9000)
+			}
+			ptrLabels := in.PtrLabels
+			objAsPtr := make([]uint64, len(in.AddrO))
+			for i, oi := range in.AddrO {
+				objAsPtr[i] = in.ObjLabels[oi]
+			}
+			copyDL := make([]uint64, len(in.CopyD))
+			copySL := make([]uint64, len(in.CopyS))
+			for i := range in.CopyD {
+				copyDL[i] = ptrLabels[in.CopyD[i]]
+				copySL[i] = ptrLabels[in.CopyS[i]]
+			}
+			addrPL := make([]uint64, len(in.AddrP))
+			for i := range in.AddrP {
+				addrPL[i] = ptrLabels[in.AddrP[i]]
+			}
+			return []interp.Val{
+				seqOfLabels(ip, ptrLabels),
+				seqOfLabels(ip, addrPL),
+				seqOfLabels(ip, objAsPtr),
+				seqOfLabels(ip, copyDL),
+				seqOfLabels(ip, copySL),
+			}
+		},
+	})
+}

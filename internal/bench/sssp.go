@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// SSSP: Bellman-Ford with a worklist. The distance map's hot
+// write/insert path is exactly the operation mix the paper calls out
+// when explaining SSSP's architecture sensitivity (Table III BitMap
+// write/insert), and propagation through the worklist is what keeps
+// the relaxation loop translation-free (Fig. 7b).
+func init() {
+	Register(&Spec{
+		Abbr: "SSSP",
+		Name: "single-source shortest paths",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			adj := emitAdjSeqBuild(b, nodes, src, dst)
+			// Parallel weight lists: wadj[u][j] is the weight of u's
+			// j-th out-edge, derived from the edge position.
+			wadj := b.New(ir.MapOf(ir.TU64, ir.SeqOf(ir.TU64)), "wadj")
+			wl0 := ir.StartForEach(b, ir.Op(nodes), wadj)
+			w1 := b.Insert(ir.Op(wl0.Cur[0]), wl0.Val, "")
+			wadjA := wl0.End(w1)[0]
+			wl1 := ir.StartForEach(b, ir.Op(src), wadjA)
+			wgt := emitEdgeWeight(b, wl1.Key)
+			w2 := b.InsertSeq(ir.OpAt(wl1.Cur[0], wl1.Val), nil, wgt, "")
+			wadjF := wl1.End(w2)[0]
+
+			b.ROI()
+
+			dist := b.New(ir.MapOf(ir.TU64, ir.TU64), "dist")
+			root := b.Read(ir.Op(nodes), u64c(0), "root")
+			d1 := b.Insert(ir.Op(dist), root, "")
+			d2 := b.Write(ir.Op(d1), root, u64c(0), "")
+			work := b.New(ir.SeqOf(ir.TU64), "work")
+			wk1 := b.InsertSeq(ir.Op(work), nil, root, "")
+
+			loop := ir.StartWhile(b, d2, wk1)
+			distC, workC := loop.Cur[0], loop.Cur[1]
+			next := b.New(ir.SeqOf(ir.TU64), "next")
+
+			fl := ir.StartForEach(b, ir.Op(workC), distC, next)
+			u := fl.Val
+			du := b.Read(ir.Op(fl.Cur[0]), u, "")
+			nl := ir.StartForEach(b, ir.OpAt(adj, u), fl.Cur[0], fl.Cur[1])
+			v := nl.Val
+			w := b.Read(ir.OpAt(wadjF, u), nl.Key, "")
+			nd := b.Bin(ir.BinAdd, du, w, "")
+			hasV := b.Has(ir.Op(nl.Cur[0]), v, "")
+			merged := ir.IfElse(b, hasV, func() []*ir.Value {
+				old := b.Read(ir.Op(nl.Cur[0]), v, "")
+				closer := b.Cmp(ir.CmpLt, nd, old, "")
+				return ir.IfOnly(b, closer, []*ir.Value{nl.Cur[0], nl.Cur[1]}, func() []*ir.Value {
+					dA := b.Write(ir.Op(nl.Cur[0]), v, nd, "")
+					nA := b.InsertSeq(ir.Op(nl.Cur[1]), nil, v, "")
+					return []*ir.Value{dA, nA}
+				})
+			}, func() []*ir.Value {
+				dA := b.Insert(ir.Op(nl.Cur[0]), v, "")
+				dB := b.Write(ir.Op(dA), v, nd, "")
+				nA := b.InsertSeq(ir.Op(nl.Cur[1]), nil, v, "")
+				return []*ir.Value{dB, nA}
+			})
+			inner := nl.End(merged[0], merged[1])
+			outer := fl.End(inner[0], inner[1])
+			sz := b.Size(ir.Op(outer[1]), "")
+			more := b.Cmp(ir.CmpGt, sz, u64c(0), "")
+			exits := loop.End(more, outer[0], outer[1])
+			distF := exits[0]
+
+			cl := ir.StartForEach(b, ir.Op(distF), u64c(0))
+			mix := b.Bin(ir.BinMul, cl.Val, u64c(0x9E3779B97F4A7C15), "")
+			kx := b.Bin(ir.BinXor, cl.Key, mix, "")
+			acc := b.Bin(ir.BinAdd, cl.Cur[0], kx, "")
+			accF := cl.End(acc)[0]
+			b.Emit(accF)
+			b.Ret(accF)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(77, 6, 4).Undirect()
+			case ScaleSmall:
+				g = graphgen.RMAT(77, 10, 6).Undirect()
+			default:
+				g = graphgen.RMAT(77, 12, 8).Undirect()
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

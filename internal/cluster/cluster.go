@@ -1,0 +1,134 @@
+// Package cluster implements average-linkage agglomerative
+// hierarchical clustering over feature vectors. The paper's Figure 4
+// clusters benchmarks by their dynamic collection-operation breakdown;
+// this package regenerates that dendrogram.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node is a dendrogram node: either a leaf (Name set) or an internal
+// merge of Left and Right at the given Distance.
+type Node struct {
+	Name        string
+	Left, Right *Node
+	Distance    float64
+	size        int
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.Left == nil }
+
+// Leaves returns the leaf names in dendrogram order.
+func (n *Node) Leaves() []string {
+	if n.Leaf() {
+		return []string{n.Name}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// Euclidean computes the L2 distance between two vectors.
+func Euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Agglomerate clusters the named vectors with average linkage (UPGMA),
+// returning the dendrogram root. Names and vectors must align. Input
+// order is made deterministic by sorting names first.
+func Agglomerate(items map[string][]float64) *Node {
+	names := make([]string, 0, len(items))
+	for n := range items {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var active []*Node
+	vecs := map[*Node][]float64{}
+	for _, n := range names {
+		nd := &Node{Name: n, size: 1}
+		active = append(active, nd)
+		vecs[nd] = items[n]
+	}
+	// Pairwise average-linkage distance, computed from cluster member
+	// leaves.
+	leafVec := map[string][]float64{}
+	for _, n := range names {
+		leafVec[n] = items[n]
+	}
+	dist := func(a, b *Node) float64 {
+		al, bl := a.Leaves(), b.Leaves()
+		s := 0.0
+		for _, x := range al {
+			for _, y := range bl {
+				s += Euclidean(leafVec[x], leafVec[y])
+			}
+		}
+		return s / float64(len(al)*len(bl))
+	}
+	for len(active) > 1 {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if d := dist(active[i], active[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		merged := &Node{
+			Left: active[bi], Right: active[bj], Distance: bd,
+			size: active[bi].size + active[bj].size,
+		}
+		next := make([]*Node, 0, len(active)-1)
+		for k, n := range active {
+			if k != bi && k != bj {
+				next = append(next, n)
+			}
+		}
+		active = append(next, merged)
+	}
+	return active[0]
+}
+
+// Render draws the dendrogram as indented ASCII, mirroring Figure 4's
+// left margin.
+func Render(n *Node) string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		pad := strings.Repeat("  ", depth)
+		if n.Leaf() {
+			fmt.Fprintf(&sb, "%s- %s\n", pad, n.Name)
+			return
+		}
+		fmt.Fprintf(&sb, "%s+ (d=%.3f)\n", pad, n.Distance)
+		rec(n.Left, depth+1)
+		rec(n.Right, depth+1)
+	}
+	rec(n, 0)
+	return sb.String()
+}
+
+// Cut returns the cluster memberships obtained by cutting the
+// dendrogram at the given distance threshold.
+func Cut(root *Node, threshold float64) [][]string {
+	var out [][]string
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Leaf() || n.Distance <= threshold {
+			out = append(out, n.Leaves())
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(root)
+	return out
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestAgglomerateGroupsObviousClusters(t *testing.T) {
+	items := map[string][]float64{
+		"a1": {1, 0, 0},
+		"a2": {0.9, 0.1, 0},
+		"b1": {0, 1, 0},
+		"b2": {0, 0.9, 0.1},
+		"c1": {0, 0, 1},
+	}
+	root := Agglomerate(items)
+	if len(root.Leaves()) != 5 {
+		t.Fatalf("leaves=%v", root.Leaves())
+	}
+	cut := Cut(root, 0.5)
+	byName := map[string][]string{}
+	for _, grp := range cut {
+		for _, n := range grp {
+			byName[n] = grp
+		}
+	}
+	sameGroup := func(x, y string) bool {
+		gx := byName[x]
+		for _, n := range gx {
+			if n == y {
+				return true
+			}
+		}
+		return false
+	}
+	if !sameGroup("a1", "a2") || !sameGroup("b1", "b2") {
+		t.Fatalf("obvious pairs not clustered: %v", cut)
+	}
+	if sameGroup("a1", "b1") || sameGroup("a1", "c1") {
+		t.Fatalf("distinct clusters merged at low threshold: %v", cut)
+	}
+}
+
+func TestRenderContainsLeaves(t *testing.T) {
+	root := Agglomerate(map[string][]float64{
+		"x": {0}, "y": {1},
+	})
+	s := Render(root)
+	for _, want := range []string{"- x", "- y", "+ (d="} {
+		if !containsStr(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 3}, []float64{4, 0}); d != 5 {
+		t.Fatalf("d=%f", d)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	root := Agglomerate(map[string][]float64{"only": {1, 2}})
+	if !root.Leaf() || root.Name != "only" {
+		t.Fatal("single-item clustering wrong")
+	}
+}

@@ -1,0 +1,173 @@
+package collections
+
+import "testing"
+
+func TestSparseArrayToBitmapConversion(t *testing.T) {
+	s := NewSparseBitSet()
+	// All within one chunk; crossing arrayMax forces a bitmap container.
+	for i := uint32(0); i <= arrayMax; i++ {
+		s.Insert(i * 2)
+	}
+	if len(s.ctrs) != 1 {
+		t.Fatalf("chunks=%d want 1", len(s.ctrs))
+	}
+	if _, ok := s.ctrs[0].(*bitmapContainer); !ok {
+		t.Fatalf("container is %T, want bitmap after exceeding arrayMax", s.ctrs[0])
+	}
+	if s.Len() != arrayMax+1 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	for i := uint32(0); i <= arrayMax; i++ {
+		if !s.Has(i*2) || s.Has(i*2+1) {
+			t.Fatalf("membership wrong at %d", i)
+		}
+	}
+}
+
+func TestSparseBitmapToArrayConversion(t *testing.T) {
+	s := NewSparseBitSet()
+	for i := uint32(0); i <= arrayMax; i++ {
+		s.Insert(i)
+	}
+	// Remove until cardinality drops to arrayMax/2; expect array again.
+	for i := uint32(0); i <= arrayMax/2; i++ {
+		s.Remove(i)
+	}
+	if _, ok := s.ctrs[0].(arrayContainer); !ok {
+		t.Fatalf("container is %T, want array after shrinking", s.ctrs[0])
+	}
+	if s.Len() != arrayMax/2 {
+		t.Fatalf("Len=%d want %d", s.Len(), arrayMax/2)
+	}
+}
+
+func TestSparseChunkLifecycle(t *testing.T) {
+	s := NewSparseBitSet()
+	s.Insert(5)
+	s.Insert(1 << 20)
+	s.Insert(1 << 28)
+	if len(s.keys) != 3 {
+		t.Fatalf("chunks=%d want 3", len(s.keys))
+	}
+	s.Remove(1 << 20)
+	if len(s.keys) != 2 {
+		t.Fatalf("empty chunk not removed: %d", len(s.keys))
+	}
+	var got []uint32
+	s.Iterate(func(k uint32) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != 5 || got[1] != 1<<28 {
+		t.Fatalf("iterate got %v", got)
+	}
+}
+
+func TestSparseUnionWith(t *testing.T) {
+	a, b := NewSparseBitSet(), NewSparseBitSet()
+	for i := uint32(0); i < 100; i++ {
+		a.Insert(i * 3)
+		b.Insert(i*3 + 70000) // different chunk
+	}
+	b.Insert(0) // overlap
+	a.UnionWith(b)
+	if a.Len() != 200 {
+		t.Fatalf("Len=%d want 200", a.Len())
+	}
+	if !a.Has(70000) || !a.Has(297) {
+		t.Fatal("union missing members")
+	}
+	// Mutating a must not corrupt b (containers were cloned).
+	a.Remove(70000)
+	if !b.Has(70000) {
+		t.Fatal("union aliased b's containers")
+	}
+}
+
+func TestSparseUnionArrayOverflowToBitmap(t *testing.T) {
+	a, b := NewSparseBitSet(), NewSparseBitSet()
+	for i := uint32(0); i < 3000; i++ {
+		a.Insert(i * 2)
+		b.Insert(i*2 + 1)
+	}
+	a.UnionWith(b)
+	if a.Len() != 6000 {
+		t.Fatalf("Len=%d want 6000", a.Len())
+	}
+	if _, ok := a.ctrs[0].(*bitmapContainer); !ok {
+		t.Fatalf("container is %T, want bitmap after overflowing union", a.ctrs[0])
+	}
+}
+
+func TestSparseRunOptimize(t *testing.T) {
+	s := NewSparseBitSet()
+	for i := uint32(100); i < 5000; i++ {
+		s.Insert(i)
+	}
+	before := s.Bytes()
+	s.RunOptimize()
+	if _, ok := s.ctrs[0].(*runContainer); !ok {
+		t.Fatalf("container is %T, want run after RunOptimize on a dense range", s.ctrs[0])
+	}
+	if s.Bytes() >= before {
+		t.Fatalf("RunOptimize did not shrink: %d -> %d", before, s.Bytes())
+	}
+	if s.Len() != 4900 || !s.Has(100) || !s.Has(4999) || s.Has(99) || s.Has(5000) {
+		t.Fatal("run container membership wrong")
+	}
+	// Mutations after optimization must stay correct.
+	if s.Insert(100) {
+		t.Fatal("duplicate insert into run reported new")
+	}
+	if !s.Insert(5000) || !s.Has(5000) {
+		t.Fatal("extend run failed")
+	}
+	if !s.Remove(2500) || s.Has(2500) || s.Len() != 4900 {
+		t.Fatal("split run failed")
+	}
+	if !s.Insert(99) || !s.Has(99) {
+		t.Fatal("prepend to run failed")
+	}
+}
+
+func TestSparseRunContainerEdgeOps(t *testing.T) {
+	r := &runContainer{}
+	var c container = r
+	for _, lo := range []uint16{10, 11, 12, 20, 21, 5} {
+		c, _ = c.insert(lo)
+	}
+	if c.card() != 6 {
+		t.Fatalf("card=%d", c.card())
+	}
+	// Insert bridging two runs: 10..12 and a lone 13+? Insert 13 then 19
+	// bridging 13 with 20..21? 13 extends [10,12]; 19 extends [20,21] head.
+	c, _ = c.insert(13)
+	c, _ = c.insert(19)
+	// Bridge [10..13] and [19..21] via 14..18.
+	for lo := uint16(14); lo <= 18; lo++ {
+		c, _ = c.insert(lo)
+	}
+	rc := c.(*runContainer)
+	if len(rc.runs) != 2 { // {5} and {10..21}
+		t.Fatalf("runs=%v", rc.runs)
+	}
+	// Remove from the front, back, middle.
+	c, _ = c.remove(5)
+	c, _ = c.remove(10)
+	c, _ = c.remove(21)
+	c, _ = c.remove(15)
+	if c.has(5) || c.has(10) || c.has(21) || c.has(15) || !c.has(11) || !c.has(20) {
+		t.Fatal("run removals wrong")
+	}
+}
+
+func TestSparseBytesCompression(t *testing.T) {
+	dense, sparse := NewBitSet(), NewSparseBitSet()
+	// One element at a huge key: BitSet pays for the whole range,
+	// SparseBitSet pays one chunk.
+	dense.Insert(10_000_000)
+	sparse.Insert(10_000_000)
+	if sparse.Bytes() >= dense.Bytes()/100 {
+		t.Fatalf("sparse=%dB dense=%dB; expected >100x compression", sparse.Bytes(), dense.Bytes())
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"memoir/internal/ir"
+	"memoir/internal/profile"
+)
+
+// adeCtx is the shared state of one ADE run.
+type adeCtx struct {
+	prog *ir.Program
+	opts Options
+	fis  map[*ir.Func]*fnInfo
+
+	// linked maps an allocation-site facet to the parameter facets it
+	// structurally reaches through call arguments (transitively).
+	// Candidate benefit extends across these links so that callee
+	// redundancy (e.g. the chase loop inside a find() helper) counts
+	// toward the caller's allocation, as Algorithm 5's unification
+	// implies.
+	linked map[*facet][]*facet
+
+	// Profile lookup state: instruction ordinals per function and
+	// clone-name aliases (clones inherit their original's profile).
+	ordinals map[*ir.Func]map[*ir.Instr]int
+	fnAlias  map[string]string
+}
+
+func (cx *adeCtx) fiOf(fn *ir.Func) *fnInfo { return cx.fis[fn] }
+
+// weightFn returns the benefit weight function for fn: static counts
+// without a profile, dynamic execution counts with one.
+func (cx *adeCtx) weightFn(fn *ir.Func) func(*ir.Instr) uint64 {
+	if cx.opts.Profile == nil {
+		return nil
+	}
+	ords, ok := cx.ordinals[fn]
+	if !ok {
+		ords = profile.Ordinals(fn)
+		cx.ordinals[fn] = ords
+	}
+	name := fn.Name
+	if orig, ok := cx.fnAlias[name]; ok {
+		name = orig
+	}
+	return func(in *ir.Instr) uint64 {
+		o, ok := ords[in]
+		if !ok {
+			return 1 // instruction unknown to the profile (inserted)
+		}
+		return cx.opts.Profile[profile.Key{Fn: name, Ordinal: o}]
+	}
+}
+
+// rebuildLinkage recomputes facet linkage across call edges.
+func (cx *adeCtx) rebuildLinkage() {
+	cx.linked = map[*facet][]*facet{}
+	// Direct edges: argument root facets -> parameter root facets.
+	direct := map[*facet][]*facet{}
+	for _, name := range cx.prog.Order {
+		fn := cx.prog.Funcs[name]
+		fi := cx.fis[fn]
+		if fi == nil {
+			continue
+		}
+		ir.WalkInstrs(fn, func(in *ir.Instr) {
+			if in.Op != ir.OpCall {
+				return
+			}
+			callee := cx.prog.Func(in.Callee)
+			cfi := cx.fis[callee]
+			if cfi == nil {
+				return
+			}
+			for i, a := range in.Args {
+				if a.Base == nil || len(a.Path) > 0 || ir.AsColl(a.InnerType()) == nil {
+					continue
+				}
+				if i >= len(callee.Params) {
+					continue
+				}
+				for _, as := range fi.sites {
+					if !as.redefs[a.Base] {
+						continue
+					}
+					for _, ps := range cfi.sites {
+						if ps.param != callee.Params[i] || ps.depth != as.depth {
+							continue
+						}
+						if as.key != nil && ps.key != nil {
+							direct[as.key] = append(direct[as.key], ps.key)
+						}
+						if as.elem != nil && ps.elem != nil {
+							direct[as.elem] = append(direct[as.elem], ps.elem)
+						}
+					}
+				}
+			}
+		})
+	}
+	// Transitive closure (params forwarded to further calls).
+	var close func(f *facet, seen map[*facet]bool, out *[]*facet)
+	close = func(f *facet, seen map[*facet]bool, out *[]*facet) {
+		for _, g := range direct[f] {
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			*out = append(*out, g)
+			close(g, seen, out)
+		}
+	}
+	for f := range direct {
+		if f.st.param != nil {
+			continue // closure is rooted at allocations
+		}
+		seen := map[*facet]bool{f: true}
+		var out []*facet
+		close(f, seen, &out)
+		cx.linked[f] = out
+	}
+}
+
+// extBenefit evaluates a facet group including the linked parameter
+// facets in callees, grouped per function.
+func (cx *adeCtx) extBenefit(facets []*facet) int {
+	perFn := map[*ir.Func][]*facet{}
+	seen := map[*facet]bool{}
+	var add func(f *facet)
+	add = func(f *facet) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		perFn[f.st.fn] = append(perFn[f.st.fn], f)
+		for _, g := range cx.linked[f] {
+			add(g)
+		}
+	}
+	for _, f := range facets {
+		add(f)
+	}
+	total := 0
+	for fn, fs := range perFn {
+		total += benefit(cx.fis[fn], fs, cx.weightFn(fn))
+	}
+	return total
+}
+
+// Apply runs Automatic Data Enumeration over the whole program,
+// mutating it in place, and returns a report of the decisions taken.
+func Apply(prog *ir.Program, opts Options) (*Report, error) {
+	report := &Report{}
+
+	cx := &adeCtx{
+		prog: prog, opts: opts, fis: map[*ir.Func]*fnInfo{},
+		ordinals: map[*ir.Func]map[*ir.Instr]int{},
+		fnAlias:  map[string]string{},
+	}
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		cx.fis[fn] = analyzeFunc(fn)
+	}
+	cx.rebuildLinkage()
+
+	cands := map[*ir.Func][]*candidate{}
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		cands[fn] = formCandidates(cx, cx.fis[fn], report)
+	}
+
+	ipc := &interproc{cx: cx, prog: prog, opts: opts, report: report, fis: cx.fis, cands: cands, clones: map[string]string{}}
+	classes, classOf, err := ipc.resolve()
+	if err != nil {
+		return report, err
+	}
+
+	dropUnsafeUnionClasses(prog, cx.fis, classes, classOf, report)
+
+	// prog.Order may have grown with clones; transform everything.
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		fi := cx.fis[fn]
+		if fi == nil {
+			continue
+		}
+		if err := transformFunc(fi, opts, classOf); err != nil {
+			return report, fmt.Errorf("ade: @%s: %w", fn.Name, err)
+		}
+	}
+
+	for _, ci := range classes {
+		if !classAlive(ci, classOf) {
+			continue
+		}
+		cr := &ClassReport{Global: ci.global, Benefit: ci.benefit}
+		for _, f := range ci.facets {
+			cr.Sites = append(cr.Sites, f.name())
+		}
+		report.Classes = append(report.Classes, cr)
+	}
+	return report, nil
+}
+
+func classAlive(ci *classInfo, classOf map[*facet]*classInfo) bool {
+	for _, f := range ci.facets {
+		if classOf[f] == ci {
+			return true
+		}
+	}
+	return false
+}
+
+// dropUnsafeUnionClasses is a correctness net: a union instruction
+// whose two operands would end up with different enumerations (or one
+// enumerated and one plain) cannot be lowered word-wise nor
+// element-wise without retranslation we do not insert; drop the
+// enumeration of both sides.
+func dropUnsafeUnionClasses(prog *ir.Program, fis map[*ir.Func]*fnInfo, classes []*classInfo, classOf map[*facet]*classInfo, report *Report) {
+	siteKeyFacet := func(fi *fnInfo, o ir.Operand) (*facet, bool) {
+		if o.Base == nil {
+			return nil, false
+		}
+		d := len(o.Path)
+		for _, s := range fi.sites {
+			if s.depth == d && s.redefs[o.Base] {
+				return s.key, true
+			}
+		}
+		return nil, false
+	}
+	drop := func(ci *classInfo, why string) {
+		if ci == nil {
+			return
+		}
+		alive := false
+		for _, f := range ci.facets {
+			if classOf[f] == ci {
+				alive = true
+				delete(classOf, f)
+			}
+		}
+		if alive {
+			report.Skipped = append(report.Skipped, fmt.Sprintf("class %s dropped: %s", ci.global, why))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			fi := fis[fn]
+			if fi == nil {
+				continue
+			}
+			ir.WalkInstrs(fn, func(in *ir.Instr) {
+				if in.Op != ir.OpUnion {
+					return
+				}
+				fa, okA := siteKeyFacet(fi, in.Args[0])
+				fb, okB := siteKeyFacet(fi, in.Args[1])
+				var ca, cb *classInfo
+				if okA && fa != nil {
+					ca = classOf[fa]
+				}
+				if okB && fb != nil {
+					cb = classOf[fb]
+				}
+				if ca == cb {
+					return
+				}
+				if ca != nil {
+					drop(ca, "union with a differently-enumerated set")
+					changed = true
+				}
+				if cb != nil {
+					drop(cb, "union with a differently-enumerated set")
+					changed = true
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"sort"
+
+	"memoir/internal/ir"
+)
+
+// candidate is a group of facets (within one function) that will share
+// an enumeration, per Algorithm 3.
+type candidate struct {
+	fi      *fnInfo
+	facets  []*facet
+	benefit int
+	forced  bool
+}
+
+func (c *candidate) has(f *facet) bool {
+	for _, x := range c.facets {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// eligible reports whether f may be enumerated at all.
+func eligible(f *facet, opts Options) bool {
+	if f == nil {
+		return false
+	}
+	s := f.st
+	if s.escaped != "" {
+		return false
+	}
+	if s.dir != nil && s.dir.NoEnumerate {
+		return false
+	}
+	if s.param != nil && s.fn.Exported {
+		return false // externally visible parameter (§III-F)
+	}
+	return true
+}
+
+// blocked reports whether directives forbid a and b sharing an
+// enumeration.
+func blocked(a, b *facet) bool {
+	if a.st == b.st {
+		return false // a site's own facets may always pair
+	}
+	check := func(x, y *facet) bool {
+		d := x.st.dir
+		if d == nil {
+			return false
+		}
+		if d.NoShare {
+			return true
+		}
+		yName := ""
+		if ya := y.st.alloc(); ya != nil && ya.Result() != nil {
+			yName = ya.Result().Name
+		}
+		for _, n := range d.NoShareWith {
+			if n == yName {
+				return true
+			}
+		}
+		return false
+	}
+	return check(a, b) || check(b, a)
+}
+
+// shareGroup returns the directive share-group name of a facet's site.
+func shareGroup(f *facet) string {
+	if f.st.dir != nil {
+		return f.st.dir.ShareGroup
+	}
+	return ""
+}
+
+// forcedEnum reports whether the site carries an `enumerate`
+// directive.
+func forcedEnum(f *facet) bool {
+	return f.st.dir != nil && f.st.dir.Enumerate
+}
+
+// formCandidates runs Algorithm 3 for one function: greedy maximal
+// groups that beat the sum of their parts, seeded by associative key
+// facets, with union edges and share-group directives as mandatory
+// merges, and propagators joining only established candidates.
+//
+// Parameter-rooted facets never form or join candidates directly —
+// they enter classes only through Algorithm 5's argument unification —
+// but the benefit evaluation extends through call linkage so callee
+// redundancy counts (cx.extBenefit).
+func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
+	opts := cx.opts
+	// Gather facets in deterministic program order.
+	var keyFacets, elemFacets []*facet
+	for _, s := range fi.sites {
+		if s.param != nil {
+			continue
+		}
+		if s.key != nil {
+			if eligible(s.key, opts) {
+				keyFacets = append(keyFacets, s.key)
+			} else if s.escaped != "" {
+				report.Skipped = append(report.Skipped, s.name()+": "+s.escaped)
+			}
+		}
+		if s.elem != nil && eligible(s.elem, opts) {
+			elemFacets = append(elemFacets, s.elem)
+		}
+	}
+
+	// Mandatory merges: facets linked by a union instruction must land
+	// in the same candidate (an enumerated set can only be unioned
+	// word-wise with a set over the same identifiers), and share-group
+	// directives force grouping.
+	mandatory := newFacetUF()
+	unionSites := map[*ir.Instr][]*facet{}
+	for _, f := range keyFacets {
+		for _, u := range f.unions {
+			unionSites[u] = append(unionSites[u], f)
+		}
+	}
+	for _, fs := range unionSites {
+		for i := 1; i < len(fs); i++ {
+			mandatory.union(fs[0], fs[i])
+		}
+	}
+	groups := map[string][]*facet{}
+	for _, f := range append(append([]*facet{}, keyFacets...), elemFacets...) {
+		if g := shareGroup(f); g != "" {
+			groups[g] = append(groups[g], f)
+		}
+	}
+	var groupNames []string
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	for _, g := range groupNames {
+		fs := groups[g]
+		for i := 1; i < len(fs); i++ {
+			mandatory.union(fs[0], fs[i])
+		}
+	}
+
+	used := map[*facet]bool{}
+	var cands []*candidate
+	for _, seed := range keyFacets {
+		if used[seed] {
+			continue
+		}
+		c := &candidate{fi: fi}
+		add := func(f *facet) {
+			c.facets = append(c.facets, f)
+			used[f] = true
+			if forcedEnum(f) {
+				c.forced = true
+			}
+		}
+		add(seed)
+		// Pull in everything mandatorily grouped with the seed.
+		for _, f := range append(append([]*facet{}, keyFacets...), elemFacets...) {
+			if !used[f] && mandatory.find(f) == mandatory.find(seed) {
+				add(f)
+			}
+		}
+
+		if opts.Sharing {
+			// Greedy expansion: keep sweeping while a facet improves
+			// the candidate beyond the sum of its parts.
+			for changed := true; changed; {
+				changed = false
+				for _, b := range keyFacets {
+					if used[b] || !ir.TypesEqual(b.domain, seed.domain) || anyBlocked(c, b) {
+						continue
+					}
+					if joinGain(cx, c, b) {
+						add(b)
+						changed = true
+					}
+				}
+				if opts.Propagation {
+					for _, b := range elemFacets {
+						if used[b] || !ir.TypesEqual(b.domain, seed.domain) || anyBlocked(c, b) {
+							continue
+						}
+						if joinGain(cx, c, b) {
+							add(b)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+
+		c.benefit = cx.extBenefit(c.facets)
+		if c.forced || opts.ForceAll || c.benefit > 0 {
+			cands = append(cands, c)
+		} else {
+			for _, f := range c.facets {
+				// Leave non-seeds available for other candidates.
+				if f != seed {
+					used[f] = false
+				}
+			}
+			report.Skipped = append(report.Skipped, seed.name()+": no benefit")
+		}
+	}
+	return cands
+}
+
+func anyBlocked(c *candidate, b *facet) bool {
+	for _, f := range c.facets {
+		if blocked(f, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinGain implements Algorithm 3's test: the union's benefit must be
+// greater than the sum of its parts.
+func joinGain(cx *adeCtx, c *candidate, b *facet) bool {
+	bSum := cx.extBenefit(c.facets) + cx.extBenefit([]*facet{b})
+	bCup := cx.extBenefit(append(append([]*facet{}, c.facets...), b))
+	return bCup > bSum
+}
+
+// facetUF is a small union-find over facets.
+type facetUF struct {
+	parent map[*facet]*facet
+}
+
+func newFacetUF() *facetUF { return &facetUF{parent: map[*facet]*facet{}} }
+
+func (u *facetUF) find(f *facet) *facet {
+	p, ok := u.parent[f]
+	if !ok || p == f {
+		u.parent[f] = f
+		return f
+	}
+	r := u.find(p)
+	u.parent[f] = r
+	return r
+}
+
+func (u *facetUF) union(a, b *facet) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"memoir/internal/ir"
+)
+
+// buildTwoSets builds two sets over the same domain with no
+// cross-collection redundancy: without directives the heuristic keeps
+// them apart; a shared group forces one class.
+func buildTwoSets(group bool) *ir.Program {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	var d1, d2 *ir.Directive
+	if group {
+		d1 = &ir.Directive{ShareGroup: "g", Enumerate: true}
+		d2 = &ir.Directive{ShareGroup: "g", Enumerate: true}
+	} else {
+		d1 = &ir.Directive{Enumerate: true, NoShare: true}
+		d2 = &ir.Directive{Enumerate: true, NoShare: true}
+	}
+	s1 := b.NewDir(ir.SetOf(ir.TU64), "s1", d1)
+	s2 := b.NewDir(ir.SetOf(ir.TU64), "s2", d2)
+	l := ir.StartForEach(b, ir.Op(keys), s1, s2)
+	a1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	a2 := b.Insert(ir.Op(l.Cur[1]), l.Val, "")
+	outs := l.End(a1, a2)
+	n1 := b.Size(ir.Op(outs[0]), "")
+	n2 := b.Size(ir.Op(outs[1]), "")
+	out := b.Bin(ir.BinAdd, n1, n2, "")
+	b.Emit(out)
+	b.Ret(out)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	return p
+}
+
+func TestShareGroupForcesOneClass(t *testing.T) {
+	_, _, rep := applyADE(t, buildTwoSets(true), DefaultOptions())
+	if len(rep.Classes) != 1 {
+		t.Fatalf("share group produced %d classes:\n%s", len(rep.Classes), rep)
+	}
+	if len(rep.Classes[0].Sites) != 2 {
+		t.Fatalf("share group class covers %d sites", len(rep.Classes[0].Sites))
+	}
+}
+
+func TestNoShareKeepsClassesApart(t *testing.T) {
+	_, _, rep := applyADE(t, buildTwoSets(false), DefaultOptions())
+	if len(rep.Classes) != 2 {
+		t.Fatalf("noshare produced %d classes:\n%s", len(rep.Classes), rep)
+	}
+}
+
+func TestNoShareStillRunsCorrectly(t *testing.T) {
+	base, ade, _ := applyADE(t, buildTwoSets(false), DefaultOptions())
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatal("noshare changed output")
+	}
+}
+
+// Recursion: a self-calling function over an enumerated map must reuse
+// one enumeration (a global), not construct one per invocation.
+func TestRecursionReusesEnumeration(t *testing.T) {
+	// fn u64 @walk(%m: Map<u64,u64>, %x: u64, %fuel: u64)
+	f := ir.NewFunc("walk", ir.TU64)
+	m := f.Param("m", ir.MapOf(ir.TU64, ir.TU64))
+	x := f.Param("x", ir.TU64)
+	fuel := f.Param("fuel", ir.TU64)
+	stop := f.Cmp(ir.CmpEq, fuel, ir.ConstInt(ir.TU64, 0), "")
+	res := ir.IfElse(f, stop, func() []*ir.Value {
+		return []*ir.Value{x}
+	}, func() []*ir.Value {
+		nxt := f.Read(ir.Op(m), x, "")
+		less := f.Bin(ir.BinSub, fuel, ir.ConstInt(ir.TU64, 1), "")
+		r := f.Call("walk", ir.TU64, "", ir.Op(m), ir.Op(nxt), ir.Op(less))
+		return []*ir.Value{r}
+	})
+	f.Ret(res[0])
+
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	// The chase crosses a scalar parameter, which Algorithm 5 does not
+	// unify, so the static heuristic sees no redundancy; force
+	// enumeration to exercise recursion reuse through the global.
+	mm := b.NewDir(ir.MapOf(ir.TU64, ir.TU64), "m", &ir.Directive{Enumerate: true})
+	l := ir.StartForEach(b, ir.Op(keys), mm)
+	half := b.Bin(ir.BinDiv, l.Key, ir.ConstInt(ir.TU64, 2), "")
+	pk := b.Read(ir.Op(keys), half, "")
+	i1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	i2 := b.Write(ir.Op(i1), l.Val, pk, "")
+	mf := l.End(i2)[0]
+	start := b.Read(ir.Op(keys), ir.ConstInt(ir.TU64, 7), "")
+	r := b.Call("walk", ir.TU64, "", ir.Op(mf), ir.Op(start), ir.Op(ir.ConstInt(ir.TU64, 6)))
+	b.Emit(r)
+	b.Ret(r)
+
+	p := ir.NewProgram()
+	p.Add(f.Fn)
+	p.Add(b.Fn)
+	base, ade, rep := applyADE(t, p, DefaultOptions())
+	if len(rep.Classes) != 1 {
+		t.Fatalf("want one class across recursion:\n%s", rep)
+	}
+	text := ir.Print(ade)
+	if !strings.Contains(text, "enumglobal") {
+		t.Fatalf("recursive class not stored in a global:\n%s", text)
+	}
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatalf("recursion output changed: %d vs %d", retB, retA)
+	}
+}
+
+// The worklist pattern: a fresh collection per loop level, phi-merged
+// with the previous level, must be treated as one site (not an escape).
+func TestWorklistPatternMergesAllocations(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	seen := b.New(ir.MapOf(ir.TU64, ir.TU64), "seen")
+	il := ir.StartForEach(b, ir.Op(keys), seen)
+	s1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+	s2 := b.Write(ir.Op(s1), il.Val, il.Key, "")
+	seenF := il.End(s2)[0]
+
+	work := b.New(ir.SeqOf(ir.TU64), "work")
+	w0 := b.InsertSeq(ir.Op(work), nil, b.Read(ir.Op(keys), ir.ConstInt(ir.TU64, 0), ""), "")
+
+	wl := ir.StartWhile(b, w0, ir.ConstInt(ir.TU64, 0), ir.ConstInt(ir.TU64, 0))
+	cw, acc, round := wl.Cur[0], wl.Cur[1], wl.Cur[2]
+	next := b.New(ir.SeqOf(ir.TU64), "next")
+	fl := ir.StartForEach(b, ir.Op(cw), acc, next)
+	got := b.Read(ir.Op(seenF), fl.Val, "")
+	acc1 := b.Bin(ir.BinAdd, fl.Cur[0], got, "")
+	halfK := b.Bin(ir.BinRem, got, ir.ConstInt(ir.TU64, 4), "")
+	pk := b.Read(ir.Op(keys), halfK, "")
+	n1 := b.InsertSeq(ir.Op(fl.Cur[1]), nil, pk, "")
+	fe := fl.End(acc1, n1)
+	r1 := b.Bin(ir.BinAdd, round, ir.ConstInt(ir.TU64, 1), "")
+	more := b.Cmp(ir.CmpLt, r1, ir.ConstInt(ir.TU64, 4), "")
+	exits := wl.End(more, fe[1], fe[0], r1)
+	b.Emit(exits[1])
+	b.Ret(exits[1])
+
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	base, ade, rep := applyADE(t, p, DefaultOptions())
+	// The worklist (work + per-level next) must appear as one merged
+	// propagator site inside the class, not be skipped as aliased.
+	for _, s := range rep.Skipped {
+		if strings.Contains(s, "alias") {
+			t.Fatalf("worklist pattern escaped: %s", s)
+		}
+	}
+	if len(rep.Classes) == 0 {
+		t.Fatalf("nothing enumerated:\n%s", rep)
+	}
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatalf("worklist output changed: %d vs %d", retB, retA)
+	}
+}
+
+// Exported callee: enumerated callers must get a clone, and the
+// original must keep working on plain data.
+func TestExportedCalleeCloned(t *testing.T) {
+	h := ir.NewFunc("sum", ir.TU64)
+	h.Fn.Exported = true // externally visible
+	hm := h.Param("m", ir.MapOf(ir.TU64, ir.TU64))
+	l := ir.StartForEach(h, ir.Op(hm), ir.ConstInt(ir.TU64, 0))
+	got := h.Read(ir.Op(hm), l.Key, "")
+	a1 := h.Bin(ir.BinAdd, l.Cur[0], got, "")
+	acc := l.End(a1)[0]
+	h.Ret(acc)
+
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	mm := b.New(ir.MapOf(ir.TU64, ir.TU64), "m")
+	il := ir.StartForEach(b, ir.Op(keys), mm)
+	i1 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+	i2 := b.Write(ir.Op(i1), il.Val, il.Key, "")
+	mf := il.End(i2)[0]
+	// Local redundancy so the map enumerates.
+	rl := ir.StartForEach(b, ir.Op(mf), ir.ConstInt(ir.TU64, 0))
+	got2 := b.Read(ir.Op(mf), rl.Key, "")
+	racc := b.Bin(ir.BinAdd, rl.Cur[0], got2, "")
+	raccF := rl.End(racc)[0]
+	r := b.Call("sum", ir.TU64, "", ir.Op(mf))
+	out := b.Bin(ir.BinAdd, r, raccF, "")
+	b.Emit(out)
+	b.Ret(out)
+
+	p := ir.NewProgram()
+	p.Add(h.Fn)
+	p.Add(b.Fn)
+	base, ade, rep := applyADE(t, p, DefaultOptions())
+	if len(rep.Cloned) != 1 {
+		t.Fatalf("exported callee not cloned: %v\n%s", rep.Cloned, ir.Print(ade))
+	}
+	// The original @sum must be untransformed.
+	var sb strings.Builder
+	ir.PrintFunc(&sb, ade.Func("sum"))
+	if strings.Contains(sb.String(), "idx") {
+		t.Fatalf("exported original was transformed:\n%s", sb.String())
+	}
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatal("output changed")
+	}
+}

@@ -1,0 +1,124 @@
+// Package core implements Automatic Data Enumeration (ADE), the
+// paper's primary contribution: a transformation over the MEMOIR IR
+// that decomposes sparse associative collections K→V into an
+// enumeration K→E plus a dense collection E→V, where E = [0,|K|).
+//
+// The pipeline follows §III of the paper:
+//
+//  1. Site discovery — find enumerable associative collection sites,
+//     including nested levels (§III-G), with a conservative escape
+//     analysis (§III-F).
+//  2. Use analysis — compute ToEnc/ToDec/ToAdd per site (Algorithm 1)
+//     and the propagator variants (Algorithm 4).
+//  3. Candidate formation — group sites that share an enumeration
+//     when the benefit heuristic improves (Algorithm 3), honoring
+//     `#pragma ade` directives (§III-I).
+//  4. Interprocedural unification — union-find over sites and
+//     collection parameters, one enumeration global per class,
+//     cloning mixed-caller and exported callees (Algorithm 5).
+//  5. Transformation — rewrite types to idx, select dense
+//     implementations (§III-H), and patch uses with @enc/@dec/@add,
+//     eliding the redundant translations RTE identifies (Algorithm 2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+	"memoir/internal/profile"
+)
+
+// Options configures the ADE pass. The zero value disables everything;
+// use DefaultOptions for the paper's full configuration.
+type Options struct {
+	// RTE enables redundant translation elimination (§III-C). The
+	// ade-noredundant ablation disables it.
+	RTE bool
+	// Propagation enables storing identifiers in collection elements
+	// (§III-E). The ade-nopropagation ablation disables it.
+	Propagation bool
+	// Sharing enables enumeration sharing between collections
+	// (§III-D). Disabling sharing also disables propagation, matching
+	// the paper's ade-nosharing configuration.
+	Sharing bool
+
+	// SetImpl and MapImpl are the selections applied to enumerated
+	// collections; the defaults are BitSet and BitMap. The ade-sparse
+	// configuration selects SparseBitSet.
+	SetImpl collections.Impl
+	MapImpl collections.Impl
+
+	// ForceAll enumerates every eligible site regardless of the
+	// benefit heuristic (useful in tests).
+	ForceAll bool
+
+	// Profile, when non-nil, weights the benefit heuristic by dynamic
+	// execution counts instead of static use counts — the extension
+	// the paper sketches in §III-C. Cold code (never-executed uses,
+	// like FIM's disabled verbose output) then contributes no benefit,
+	// avoiding the enumeration of cold collections.
+	Profile profile.Profile
+}
+
+// DefaultOptions returns the paper's full ADE configuration.
+func DefaultOptions() Options {
+	return Options{
+		RTE:         true,
+		Propagation: true,
+		Sharing:     true,
+		SetImpl:     collections.ImplBitSet,
+		MapImpl:     collections.ImplBitMap,
+	}
+}
+
+// Report summarizes what the pass did, for the compiler driver's
+// diagnostics and for tests.
+type Report struct {
+	Classes []*ClassReport
+	// Skipped lists sites considered but not enumerated, with the
+	// reason.
+	Skipped []string
+	// Cloned lists functions cloned for transformation (§III-F).
+	Cloned []string
+}
+
+// ClassReport describes one enumeration equivalence class.
+type ClassReport struct {
+	Global  string // enumeration global name
+	Sites   []string
+	Benefit int
+	Trims   int
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, c := range r.Classes {
+		fmt.Fprintf(&sb, "enum %s (benefit %d):\n", c.Global, c.Benefit)
+		for _, s := range c.Sites {
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&sb, "skipped: %s\n", s)
+	}
+	for _, c := range r.Cloned {
+		fmt.Fprintf(&sb, "cloned: %s\n", c)
+	}
+	return sb.String()
+}
+
+// enumerableKey reports whether a key domain can be enumerated: any
+// scalar domain except identifiers themselves.
+func enumerableKey(t ir.Type) bool {
+	st, ok := t.(*ir.ScalarType)
+	if !ok {
+		return false
+	}
+	switch st.Kind {
+	case ir.Void, ir.Idx, ir.Bool:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"memoir/internal/ir"
+)
+
+// A union linking an enumerable set to one forbidden from enumeration
+// must not leave the pair half-transformed: the correctness net drops
+// the class.
+func TestUnionSafetyNetDropsMismatchedClass(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	a := b.NewDir(ir.SetOf(ir.TU64), "a", &ir.Directive{Enumerate: true, NoShare: true})
+	c := b.NewDir(ir.SetOf(ir.TU64), "c", &ir.Directive{NoEnumerate: true})
+	l := ir.StartForEach(b, ir.Op(keys), a, c)
+	a1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	double := b.Bin(ir.BinMul, l.Val, ir.ConstInt(ir.TU64, 2), "")
+	c1 := b.Insert(ir.Op(l.Cur[1]), double, "")
+	outs := l.End(a1, c1)
+	u := b.Union(ir.Op(outs[0]), ir.Op(outs[1]), "u")
+	n := b.Size(ir.Op(u), "")
+	b.Emit(n)
+	b.Ret(n)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+
+	base, ade, rep := applyADE(t, p, DefaultOptions())
+	// The forced enumeration of %a conflicts with %c's noenumerate
+	// across the union; the net must drop it.
+	for _, cl := range rep.Classes {
+		for _, s := range cl.Sites {
+			if strings.Contains(s, "%a") {
+				t.Fatalf("mismatched union class survived:\n%s\n%s", rep, ir.Print(ade))
+			}
+		}
+	}
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatalf("outputs differ: %d vs %d", retB, retA)
+	}
+}
+
+// Identifier equality is rewritten (injectivity); identifier ordering
+// must decode first because identifier order differs from value order.
+// A program whose output depends on an ordering comparison over
+// propagated values must still be exact.
+func TestOrderingComparisonDecodes(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	m := b.New(ir.MapOf(ir.TU64, ir.TU64), "m")
+	l := ir.StartForEach(b, ir.Op(keys), m)
+	half := b.Bin(ir.BinDiv, l.Key, ir.ConstInt(ir.TU64, 2), "")
+	pv := b.Read(ir.Op(keys), half, "")
+	m1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	m2 := b.Write(ir.Op(m1), l.Val, pv, "")
+	mf := l.End(m2)[0]
+
+	// max over stored values, probed via iterated keys (so keys trim
+	// while the lt comparison must decode).
+	sl := ir.StartForEach(b, ir.Op(mf), ir.ConstInt(ir.TU64, 0))
+	got := b.Read(ir.Op(mf), sl.Key, "")
+	bigger := b.Cmp(ir.CmpGt, got, sl.Cur[0], "")
+	best := b.Select(bigger, got, sl.Cur[0], "")
+	bestF := sl.End(best)[0]
+	b.Emit(bestF)
+	b.Ret(bestF)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+
+	base, ade, rep := applyADE(t, p, DefaultOptions())
+	if len(rep.Classes) == 0 {
+		t.Fatalf("nothing enumerated:\n%s", rep)
+	}
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatalf("ordering over propagated values broke: %d vs %d\n%s", retB, retA, ir.Print(ade))
+	}
+}
+
+// Identifier equality over two DIFFERENT classes must not compare ids
+// directly (class A's id 3 and class B's id 3 are unrelated).
+func TestCrossClassEqualityDecodes(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	keys := b.Param("keys", ir.SeqOf(ir.TU64))
+	m1 := b.NewDir(ir.MapOf(ir.TU64, ir.TU64), "m1", &ir.Directive{Enumerate: true, NoShare: true})
+	m2 := b.NewDir(ir.MapOf(ir.TU64, ir.TU64), "m2", &ir.Directive{Enumerate: true, NoShare: true})
+	l := ir.StartForEach(b, ir.Op(keys), m1, m2)
+	rev := b.Bin(ir.BinXor, l.Val, ir.ConstInt(ir.TU64, 0xFF), "")
+	a1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+	a2 := b.Write(ir.Op(a1), l.Val, l.Key, "")
+	c1 := b.Insert(ir.Op(l.Cur[1]), rev, "")
+	c2 := b.Write(ir.Op(c1), rev, l.Key, "")
+	outs := l.End(a2, c2)
+	// Compare m1's keys against m2's keys: equal only if v == v^0xFF,
+	// i.e. never — but an id-to-id comparison across classes would
+	// accidentally match.
+	cnt := ir.StartForEach(b, ir.Op(outs[0]), ir.ConstInt(ir.TU64, 0))
+	inner := ir.StartForEach(b, ir.Op(outs[1]), cnt.Cur[0])
+	same := b.Cmp(ir.CmpEq, cnt.Key, inner.Key, "")
+	one := b.Select(same, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 0), "")
+	acc := b.Bin(ir.BinAdd, inner.Cur[0], one, "")
+	innerF := inner.End(acc)[0]
+	cntF := cnt.End(innerF)[0]
+	b.Emit(cntF)
+	b.Ret(cntF)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+
+	base, ade, _ := applyADE(t, p, DefaultOptions())
+	retB, sB := runMain(t, base, ufKeys)
+	retA, sA := runMain(t, ade, ufKeys)
+	if retB != 0 {
+		t.Fatalf("test premise broken: baseline found %d matches", retB)
+	}
+	if retB != retA || sB.EmitSum != sA.EmitSum {
+		t.Fatalf("cross-class id comparison not decoded: %d vs %d\n%s", retB, retA, ir.Print(ade))
+	}
+}

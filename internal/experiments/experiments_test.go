@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memoir/internal/bench"
+)
+
+func testCfg(buf *bytes.Buffer) Config {
+	return Config{Scale: bench.ScaleTest, Trials: 1, Out: buf}
+}
+
+// Every experiment must run end-to-end and emit its table.
+func TestAllExperimentsSmoke(t *testing.T) {
+	cases := map[string]struct {
+		run  func(Config) error
+		want []string
+	}{
+		"Fig4":   {Fig4, []string{"Figure 4", "hierarchical clustering", "BFS", "PTA"}},
+		"Fig5":   {Fig5, []string{"Figure 5", "GEO", "whole(model)"}},
+		"Fig6":   {Fig6, []string{"Figure 6", "AArch64", "vs Intel"}},
+		"Table2": {Table2, []string{"Table II", "Δsparse"}},
+		"Table3": {Table3, []string{"Table III", "BitSet", "SwissMap", "AArch64"}},
+		"Fig7a":  {Fig7a, []string{"Figure 7a", "RTE"}},
+		"Fig7b":  {Fig7b, []string{"Figure 7b", "propagation"}},
+		"Fig7c":  {Fig7c, []string{"Figure 7c", "sharing"}},
+		"Fig8":   {Fig8, []string{"Figure 8", "mem"}},
+		"RQ4":    {RQ4, []string{"RQ4", "ade+inner-noshare", "ade+inner-flat"}},
+		"PGO":    {PGO, []string{"profile-guided", "pgo mem", "GEO"}},
+	}
+	for name, tc := range cases {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.run(testCfg(&buf)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Fatalf("%s output missing %q:\n%s", name, w, out)
+				}
+			}
+		})
+	}
+}
+
+// Figures 9 and 10 run four suites each; keep them in one test.
+func TestSwissExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four-suite experiment")
+	}
+	var buf bytes.Buffer
+	if err := Fig9(testCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig10(testCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{"Figure 9a", "Figure 9b", "Figure 9c", "Figure 10", "swiss/hash"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q", w)
+		}
+	}
+}
+
+// Sanity of the headline shape at test scale: ADE must win on the
+// modeled geomean and Table II's sparse share must collapse.
+func TestHeadlineShape(t *testing.T) {
+	var buf bytes.Buffer
+	c := testCfg(&buf)
+	base, err := RunSuite(CfgMemoir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ade, err := RunSuite(CfgADE, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for abbr, b := range base {
+		a := ade[abbr]
+		if b.EmitSum != a.EmitSum {
+			t.Fatalf("%s: outputs differ", abbr)
+		}
+		if a.Modeled[1].Whole > 0 && b.Modeled[1].Whole/a.Modeled[1].Whole > 1.05 {
+			wins++
+		}
+		// Table II: ADE ROI sparse share must drop on every benchmark
+		// except the known outlier (MCBM's visited sets churn).
+		bs := float64(b.ROIStats.Sparse)
+		as := float64(a.ROIStats.Sparse)
+		if abbr != "MCBM" && as > bs {
+			t.Errorf("%s: ROI sparse accesses grew %0.f -> %0.f", abbr, bs, as)
+		}
+	}
+	// The profile-guided heuristic must fix the FIM memory regression
+	// without perturbing outputs.
+	fim := bench.Get("FIM")
+	pg, err := Run(fim, CfgPGO, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ade["FIM"]
+	if pg.EmitSum != base["FIM"].EmitSum {
+		t.Fatal("PGO changed FIM output")
+	}
+	if pg.Peak >= st.Peak {
+		t.Errorf("PGO did not reduce FIM peak: %0.f vs static %0.f", pg.Peak, st.Peak)
+	}
+	if wins < 8 {
+		t.Fatalf("only %d/16 benchmarks show a modeled ARM win", wins)
+	}
+}

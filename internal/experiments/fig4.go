@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memoir/internal/bench"
+	"memoir/internal/cluster"
+	"memoir/internal/interp"
+)
+
+// benchPTA returns the PTA spec (used by RQ4).
+func benchPTA() *bench.Spec { return bench.Get("PTA") }
+
+// fig4Kinds are the dynamic operation categories of Figure 4's
+// breakdown.
+var fig4Kinds = []interp.OpKind{
+	interp.OKRead, interp.OKWrite, interp.OKInsert,
+	interp.OKRemove, interp.OKHas, interp.OKIter, interp.OKUnionWord,
+}
+
+// opBreakdown computes the fraction of dynamic collection operations
+// per category for one measurement.
+func opBreakdown(m *Measurement) []float64 {
+	total := float64(m.Stats.CollOps())
+	if total == 0 {
+		total = 1
+	}
+	out := make([]float64, len(fig4Kinds))
+	for i, k := range fig4Kinds {
+		var c uint64
+		for impl := 0; impl < interp.NImpls; impl++ {
+			c += m.Stats.Counts[impl][k]
+		}
+		out[i] = float64(c) / total
+	}
+	return out
+}
+
+// Fig4 reproduces Figure 4: the per-benchmark dynamic collection
+// operation breakdown on the MEMOIR baseline and the hierarchical
+// clustering of benchmarks by that breakdown.
+func Fig4(c Config) error {
+	base, err := RunSuite(CfgMemoir, c)
+	if err != nil {
+		return err
+	}
+	header(c.Out, "Figure 4: dynamic collection-operation breakdown + hierarchical clustering")
+	t := &table{header: []string{"bench", "read", "write", "insert", "remove", "has", "iterate", "union"}}
+	vecs := map[string][]float64{}
+	for _, abbr := range benchOrder(base) {
+		bd := opBreakdown(base[abbr])
+		vecs[abbr] = bd
+		row := []string{abbr}
+		for _, x := range bd {
+			row = append(row, pct(x))
+		}
+		t.add(row...)
+	}
+	t.write(c.Out)
+
+	root := cluster.Agglomerate(vecs)
+	fmt.Fprintln(c.Out, "\nhierarchical clustering (average linkage):")
+	fmt.Fprint(c.Out, cluster.Render(root))
+	fmt.Fprintln(c.Out, "\nclusters at distance 0.25:")
+	for _, grp := range cluster.Cut(root, 0.25) {
+		fmt.Fprintf(c.Out, "  %v\n", grp)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"memoir/internal/bench"
+	"memoir/internal/interp"
+	"memoir/internal/stats"
+)
+
+// speedupRow renders one benchmark's baseline/variant ratio set.
+func speedup(base, v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return base / v
+}
+
+// Fig5 reproduces Figure 5: whole-program speedup (a), ROI speedup
+// (b), and maximum resident size (c) of ADE relative to MEMOIR on the
+// Intel-x64 analog.
+func Fig5(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgADE}, c)
+	if err != nil {
+		return err
+	}
+	return writeComparison(c.Out, "Figure 5: ADE vs MEMOIR (Intel-x64 analog)", ms[0], ms[1], interp.ArchIntelX64)
+}
+
+func writeComparison(w io.Writer, title string, base, ade map[string]*Measurement, arch interp.Arch) error {
+	header(w, title)
+	t := &table{header: []string{"bench", "whole(wall)", "whole(model)", "roi(wall)", "roi(model)", "mem(rel)"}}
+	var ww, wm, rw, rm, mem []float64
+	for _, abbr := range benchOrder(base) {
+		b, a := base[abbr], ade[abbr]
+		if b.EmitSum != a.EmitSum {
+			return fmt.Errorf("%s: outputs differ between configurations", abbr)
+		}
+		sw := speedup(b.WallWhole, a.WallWhole)
+		sm := speedup(b.Modeled[arch].Whole, a.Modeled[arch].Whole)
+		srw := speedup(b.WallROI, a.WallROI)
+		srm := speedup(b.Modeled[arch].ROI, a.Modeled[arch].ROI)
+		mr := a.Peak / b.Peak
+		ww = append(ww, sw)
+		wm = append(wm, sm)
+		rw = append(rw, srw)
+		rm = append(rm, srm)
+		mem = append(mem, mr)
+		t.add(abbr, f2(sw)+"x", f2(sm)+"x", f2(srw)+"x", f2(srm)+"x", pct(mr))
+	}
+	t.add("GEO", f2(stats.GeoMean(ww))+"x", f2(stats.GeoMean(wm))+"x",
+		f2(stats.GeoMean(rw))+"x", f2(stats.GeoMean(rm))+"x", pct(stats.GeoMean(mem)))
+	t.write(w)
+	return nil
+}
+
+// Fig6 reproduces Figure 6: the AArch64 replay of Figure 5's
+// speedups, with a marker showing whether each benchmark fares better
+// (+) or worse (-) than on Intel-x64 — the paper shades bars
+// green/red the same way.
+func Fig6(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgADE}, c)
+	if err != nil {
+		return err
+	}
+	base, ade := ms[0], ms[1]
+	header(c.Out, "Figure 6: ADE vs MEMOIR on AArch64 (cost-model replay)")
+	t := &table{header: []string{"bench", "whole(model)", "roi(model)", "vs Intel"}}
+	var wm, rm []float64
+	for _, abbr := range benchOrder(base) {
+		b, a := base[abbr], ade[abbr]
+		sARM := speedup(b.Modeled[interp.ArchAArch64].Whole, a.Modeled[interp.ArchAArch64].Whole)
+		rARM := speedup(b.Modeled[interp.ArchAArch64].ROI, a.Modeled[interp.ArchAArch64].ROI)
+		sX86 := speedup(b.Modeled[interp.ArchIntelX64].Whole, a.Modeled[interp.ArchIntelX64].Whole)
+		mark := "+"
+		if sARM < sX86 {
+			mark = "-"
+		}
+		wm = append(wm, sARM)
+		rm = append(rm, rARM)
+		t.add(abbr, f2(sARM)+"x", f2(rARM)+"x", mark)
+	}
+	t.add("GEO", f2(stats.GeoMean(wm))+"x", f2(stats.GeoMean(rm))+"x", "")
+	t.write(c.Out)
+	return nil
+}
+
+// Table2 reproduces Table II: sparse and dense access counts of
+// MEMOIR and ADE, normalized so the MEMOIR total is 100, over the
+// region of interest.
+func Table2(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgADE}, c)
+	if err != nil {
+		return err
+	}
+	base, ade := ms[0], ms[1]
+	header(c.Out, "Table II: sparse/dense access counts relative to MEMOIR (ROI)")
+	t := &table{header: []string{"bench", "MEM sparse", "MEM dense", "ADE sparse", "ADE dense", "Δsparse", "Δdense", "Δtotal"}}
+	for _, abbr := range benchOrder(base) {
+		b, a := base[abbr], ade[abbr]
+		tot := float64(b.ROIStats.Sparse + b.ROIStats.Dense)
+		if tot == 0 {
+			tot = 1
+		}
+		n := func(x uint64) float64 { return 100 * float64(x) / tot }
+		bs, bd := n(b.ROIStats.Sparse), n(b.ROIStats.Dense)
+		as, ad := n(a.ROIStats.Sparse), n(a.ROIStats.Dense)
+		t.add(abbr,
+			fmt.Sprintf("%.1f", bs), fmt.Sprintf("%.1f", bd),
+			fmt.Sprintf("%.1f", as), fmt.Sprintf("%.1f", ad),
+			fmt.Sprintf("%+.1f", as-bs), fmt.Sprintf("%+.1f", ad-bd),
+			fmt.Sprintf("%+.1f", (as+ad)-(bs+bd)))
+	}
+	t.write(c.Out)
+	return nil
+}
+
+// ablation runs one disabled-optimization configuration and reports
+// slowdown relative to full ADE (Figure 7's framing: bars are the
+// slowdown when the technique is disabled).
+func ablation(c Config, cfg CompilerConfig, title string) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgADE, cfg}, c)
+	if err != nil {
+		return err
+	}
+	full, abl := ms[0], ms[1]
+	header(c.Out, title)
+	t := &table{header: []string{"bench", "slowdown(wall)", "slowdown(model)", "mem(rel)"}}
+	var sw, sm, mem []float64
+	for _, abbr := range benchOrder(full) {
+		f, a := full[abbr], abl[abbr]
+		if f.EmitSum != a.EmitSum {
+			return fmt.Errorf("%s: ablation changed program output", abbr)
+		}
+		s1 := a.WallWhole / f.WallWhole
+		s2 := a.Modeled[interp.ArchIntelX64].Whole / f.Modeled[interp.ArchIntelX64].Whole
+		m := a.Peak / f.Peak
+		sw = append(sw, s1)
+		sm = append(sm, s2)
+		mem = append(mem, m)
+		t.add(abbr, f2(s1)+"x", f2(s2)+"x", pct(m))
+	}
+	t.add("GEO", f2(stats.GeoMean(sw))+"x", f2(stats.GeoMean(sm))+"x", pct(stats.GeoMean(mem)))
+	t.write(c.Out)
+	return nil
+}
+
+// Fig7a: redundant translation elimination disabled.
+func Fig7a(c Config) error {
+	return ablation(c, CfgNoRedundant, "Figure 7a: slowdown with RTE disabled (vs full ADE)")
+}
+
+// Fig7b: propagation disabled.
+func Fig7b(c Config) error {
+	return ablation(c, CfgNoPropagation, "Figure 7b: slowdown with propagation disabled (vs full ADE)")
+}
+
+// Fig7c: sharing disabled (which also disables propagation).
+func Fig7c(c Config) error {
+	return ablation(c, CfgNoSharing, "Figure 7c: slowdown with sharing disabled (vs full ADE)")
+}
+
+// Fig8 reproduces Figure 8: memory usage with sharing disabled,
+// relative to full ADE (the FIM balloon).
+func Fig8(c Config) error {
+	return ablation(c, CfgNoSharing, "Figure 8: memory with sharing disabled (vs full ADE) — see mem column")
+}
+
+// Fig9 reproduces Figure 9: the three Swiss-table speedup comparisons.
+func Fig9(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgMemoirAbseil, CfgADE, CfgADEAbseil}, c)
+	if err != nil {
+		return err
+	}
+	memoirHash, memoirSwiss, adeHash, adeSwiss := ms[0], ms[1], ms[2], ms[3]
+	pairs := []struct {
+		title      string
+		base, varn map[string]*Measurement
+	}{
+		{"Figure 9a: MEMOIR+Swiss{Set,Map} vs MEMOIR+Hash{Set,Map}", memoirHash, memoirSwiss},
+		{"Figure 9b: ADE+Hash{Set,Map} vs MEMOIR+Swiss{Set,Map}", memoirSwiss, adeHash},
+		{"Figure 9c: ADE+Swiss{Set,Map} vs MEMOIR+Swiss{Set,Map}", memoirSwiss, adeSwiss},
+	}
+	for _, p := range pairs {
+		if err := writeComparison(c.Out, p.title, p.base, p.varn, interp.ArchIntelX64); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig10 reproduces Figure 10: the Swiss-table memory comparisons
+// (the mem column of the Figure 9 tables, broken out per pair).
+func Fig10(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgMemoirAbseil, CfgADE, CfgADEAbseil}, c)
+	if err != nil {
+		return err
+	}
+	memoirHash, memoirSwiss, adeHash, adeSwiss := ms[0], ms[1], ms[2], ms[3]
+	header(c.Out, "Figure 10: maximum resident size with/against Swiss{Set,Map} (lower is better)")
+	t := &table{header: []string{"bench", "swiss/hash", "adehash/swiss", "adeswiss/swiss"}}
+	var a1, a2, a3 []float64
+	for _, abbr := range benchOrder(memoirHash) {
+		r1 := memoirSwiss[abbr].Peak / memoirHash[abbr].Peak
+		r2 := adeHash[abbr].Peak / memoirSwiss[abbr].Peak
+		r3 := adeSwiss[abbr].Peak / memoirSwiss[abbr].Peak
+		a1 = append(a1, r1)
+		a2 = append(a2, r2)
+		a3 = append(a3, r3)
+		t.add(abbr, pct(r1), pct(r2), pct(r3))
+	}
+	t.add("GEO", pct(stats.GeoMean(a1)), pct(stats.GeoMean(a2)), pct(stats.GeoMean(a3)))
+	t.write(c.Out)
+	return nil
+}
+
+// RQ4 reproduces the PTA performance-engineering case study: the
+// directive variants of §IV:RQ4, all relative to the MEMOIR baseline
+// and to untuned ADE.
+func RQ4(c Config) error {
+	s := benchPTA()
+	configs := []CompilerConfig{
+		CfgMemoir,
+		CfgADE, // untuned
+		{Name: "ade+inner-noshare", ADE: adeOpts(nil), Variant: "noshare"},
+		{Name: "ade+inner-noenumerate", ADE: adeOpts(nil), Variant: "noenumerate"},
+		{Name: "ade+inner-sparse", ADE: adeOpts(nil), Variant: "sparse"},
+		{Name: "ade+inner-flat", ADE: adeOpts(nil), Variant: "flat"},
+	}
+	ms, err := RunConfigsFor([]*bench.Spec{s}, configs, c)
+	if err != nil {
+		return err
+	}
+	baseline := ms[0][s.Abbr]
+	header(c.Out, "RQ4: PTA performance engineering with directives")
+	t := &table{header: []string{"config", "speedup(wall)", "speedup(model)", "mem vs MEMOIR", "vs untuned ADE (model)"}}
+	var untuned *Measurement
+	for i, cfg := range configs[1:] {
+		m := ms[i+1][s.Abbr]
+		if m.EmitSum != baseline.EmitSum {
+			return fmt.Errorf("%s: output mismatch", cfg.Name)
+		}
+		if cfg.Name == "ade" {
+			untuned = m
+		}
+		rel := ""
+		if untuned != nil && cfg.Name != "ade" {
+			rel = f2(untuned.Modeled[interp.ArchIntelX64].Whole/m.Modeled[interp.ArchIntelX64].Whole) + "x"
+		}
+		t.add(cfg.Name,
+			f2(speedup(baseline.WallWhole, m.WallWhole))+"x",
+			f2(speedup(baseline.Modeled[interp.ArchIntelX64].Whole, m.Modeled[interp.ArchIntelX64].Whole))+"x",
+			pct(m.Peak/baseline.Peak), rel)
+	}
+	t.write(c.Out)
+	return nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memoir/internal/interp"
+	"memoir/internal/stats"
+)
+
+// PGO evaluates the profile-guided benefit heuristic — the extension
+// the paper sketches in §III-C ("This heuristic could be extended
+// with profile information"). The static heuristic enumerates on
+// syntactic redundancy alone, which over-triggers on cold code: FIM's
+// verbose-statistics map is only read under a disabled flag, yet its
+// uses look beneficial statically, so its enumeration mappings are
+// allocated and never used (the paper's FIM memory regression).
+// Weighting the heuristic by a baseline profile removes exactly those
+// decisions.
+func PGO(c Config) error {
+	ms, err := RunConfigs([]CompilerConfig{CfgMemoir, CfgADE, CfgPGO}, c)
+	if err != nil {
+		return err
+	}
+	base, static, pgo := ms[0], ms[1], ms[2]
+	header(c.Out, "Extension: profile-guided benefit heuristic (vs static ADE)")
+	t := &table{header: []string{"bench", "static speedup", "pgo speedup", "static mem", "pgo mem"}}
+	var ss, ps, sm, pm []float64
+	for _, abbr := range benchOrder(base) {
+		b, s, p := base[abbr], static[abbr], pgo[abbr]
+		if p.EmitSum != b.EmitSum {
+			return fmt.Errorf("%s: pgo changed output", abbr)
+		}
+		s1 := speedup(b.Modeled[interp.ArchIntelX64].Whole, s.Modeled[interp.ArchIntelX64].Whole)
+		p1 := speedup(b.Modeled[interp.ArchIntelX64].Whole, p.Modeled[interp.ArchIntelX64].Whole)
+		m1 := s.Peak / b.Peak
+		m2 := p.Peak / b.Peak
+		ss = append(ss, s1)
+		ps = append(ps, p1)
+		sm = append(sm, m1)
+		pm = append(pm, m2)
+		t.add(abbr, f2(s1)+"x", f2(p1)+"x", pct(m1), pct(m2))
+	}
+	t.add("GEO", f2(stats.GeoMean(ss))+"x", f2(stats.GeoMean(ps))+"x",
+		pct(stats.GeoMean(sm)), pct(stats.GeoMean(pm)))
+	t.write(c.Out)
+	fmt.Fprintln(c.Out, "\nexpected: FIM's memory regression disappears under PGO (the cold")
+	fmt.Fprintln(c.Out, "verbose-statistics map is no longer enumerated); hot decisions are kept.")
+	return nil
+}

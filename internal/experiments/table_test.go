@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := &table{header: []string{"name", "value"}}
+	tb.add("short", "1.00x")
+	tb.add("a-much-longer-name", "2")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Columns align: "value" starts at the same offset everywhere.
+	off := strings.Index(lines[0], "value")
+	if off < len("a-much-longer-name") {
+		t.Fatalf("header not padded to widest cell: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3][off:], "2") {
+		t.Fatalf("cell misaligned: %q", lines[3])
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Fatalf("trailing spaces in %q", l)
+		}
+	}
+}
+
+func TestSpeedupGuardsZero(t *testing.T) {
+	if got := speedup(5, 0); got != 1 {
+		t.Fatalf("speedup(x, 0) = %f, want 1", got)
+	}
+	if got := speedup(10, 5); got != 2 {
+		t.Fatalf("speedup = %f", got)
+	}
+}
+
+func TestCompilerConfigsDistinct(t *testing.T) {
+	cfgs := []CompilerConfig{CfgMemoir, CfgADE, CfgMemoirAbseil, CfgADEAbseil,
+		CfgNoRedundant, CfgNoPropagation, CfgNoSharing, CfgSparse, CfgPGO}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if seen[c.Name] {
+			t.Fatalf("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if CfgMemoir.ADE != nil || CfgADE.ADE == nil {
+		t.Fatal("baseline/ADE config shape wrong")
+	}
+	if !CfgNoRedundant.ADE.Propagation || CfgNoRedundant.ADE.RTE {
+		t.Fatal("ade-noredundant must disable only RTE")
+	}
+	if CfgNoSharing.ADE.Sharing || CfgNoSharing.ADE.Propagation {
+		t.Fatal("ade-nosharing must disable sharing and propagation")
+	}
+}

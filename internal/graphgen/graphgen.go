@@ -1,0 +1,226 @@
+// Package graphgen generates the deterministic synthetic workloads
+// standing in for the paper's SNAP / Lonestar / PARSEC inputs: RMAT
+// power-law graphs, Erdős–Rényi graphs, bipartite graphs, grids,
+// transaction baskets (freqmine) and points-to constraint sets.
+//
+// Node identities are sparse 64-bit labels (a splitmix64 image of the
+// dense index), because the property ADE exploits — and the property
+// real datasets have — is a sparse key domain.
+package graphgen
+
+import (
+	"math/rand"
+
+	"memoir/internal/collections"
+)
+
+// Graph is a directed multigraph over dense node indices with sparse
+// external labels.
+type Graph struct {
+	N      int
+	Labels []uint64 // sparse external label per node
+	Src    []int32  // edge sources (dense index)
+	Dst    []int32  // edge destinations (dense index)
+}
+
+// Label materializes the sparse label of dense node i for seed s.
+func Label(seed uint64, i int) uint64 {
+	return collections.Mix64(seed*0x9e3779b97f4a7c15 + uint64(i) + 1)
+}
+
+func newGraph(seed uint64, n int) *Graph {
+	g := &Graph{N: n, Labels: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		g.Labels[i] = Label(seed, i)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(u, v int) {
+	g.Src = append(g.Src, int32(u))
+	g.Dst = append(g.Dst, int32(v))
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Src) }
+
+// Adj builds the out-adjacency lists over dense indices.
+func (g *Graph) Adj() [][]int32 {
+	adj := make([][]int32, g.N)
+	deg := make([]int32, g.N)
+	for _, u := range g.Src {
+		deg[u]++
+	}
+	for i := range adj {
+		adj[i] = make([]int32, 0, deg[i])
+	}
+	for e := range g.Src {
+		adj[g.Src[e]] = append(adj[g.Src[e]], g.Dst[e])
+	}
+	return adj
+}
+
+// Undirect returns a copy with every edge mirrored.
+func (g *Graph) Undirect() *Graph {
+	out := &Graph{N: g.N, Labels: g.Labels}
+	out.Src = make([]int32, 0, 2*len(g.Src))
+	out.Dst = make([]int32, 0, 2*len(g.Src))
+	for e := range g.Src {
+		out.addEdge(int(g.Src[e]), int(g.Dst[e]))
+		out.addEdge(int(g.Dst[e]), int(g.Src[e]))
+	}
+	return out
+}
+
+// RMAT generates a recursive-matrix power-law graph with 2^scale
+// nodes and edgeFactor·2^scale edges (the Graph500/SNAP shape).
+func RMAT(seed uint64, scale, edgeFactor int) *Graph {
+	n := 1 << scale
+	g := newGraph(seed, n)
+	r := rand.New(rand.NewSource(int64(seed) | 1))
+	const a, b, c = 0.57, 0.19, 0.19
+	m := edgeFactor * n
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left
+			case p < a+b:
+				v |= bit
+			case p < a+b+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.addEdge(u, v)
+	}
+	return g
+}
+
+// ER generates an Erdős–Rényi graph with n nodes and m edges.
+func ER(seed uint64, n, m int) *Graph {
+	g := newGraph(seed, n)
+	r := rand.New(rand.NewSource(int64(seed) | 1))
+	for e := 0; e < m; e++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.addEdge(u, v)
+	}
+	return g
+}
+
+// Bipartite generates a bipartite graph: left nodes [0,nl), right
+// nodes [nl, nl+nr), with m left-to-right edges.
+func Bipartite(seed uint64, nl, nr, m int) *Graph {
+	g := newGraph(seed, nl+nr)
+	r := rand.New(rand.NewSource(int64(seed) | 1))
+	for e := 0; e < m; e++ {
+		u := r.Intn(nl)
+		v := nl + r.Intn(nr)
+		g.addEdge(u, v)
+	}
+	return g
+}
+
+// Grid generates a w×h 4-neighborhood grid (the loopy-BP substrate).
+func Grid(seed uint64, w, h int) *Graph {
+	g := newGraph(seed, w*h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.addEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.addEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// Baskets generates transaction baskets with a Zipf-like item
+// popularity distribution (the freqmine substrate): nTx transactions
+// of up to maxLen items drawn from nItems items.
+type BasketSet struct {
+	ItemLabels []uint64
+	Tx         [][]int32 // item indices per transaction
+}
+
+// Baskets generates the transaction set.
+func Baskets(seed uint64, nItems, nTx, maxLen int) *BasketSet {
+	bs := &BasketSet{ItemLabels: make([]uint64, nItems)}
+	for i := range bs.ItemLabels {
+		bs.ItemLabels[i] = Label(seed^0xF00D, i)
+	}
+	r := rand.New(rand.NewSource(int64(seed) | 1))
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(nItems-1))
+	for t := 0; t < nTx; t++ {
+		l := 2 + r.Intn(maxLen-1)
+		seen := map[int32]bool{}
+		var tx []int32
+		for len(tx) < l {
+			it := int32(zipf.Uint64())
+			if !seen[it] {
+				seen[it] = true
+				tx = append(tx, it)
+			}
+		}
+		bs.Tx = append(bs.Tx, tx)
+	}
+	return bs
+}
+
+// PTAInput is a synthetic Andersen points-to constraint set shaped
+// like the paper's sqlite3 case study: the pointer domain is much
+// larger than the object domain, so sharing one enumeration across
+// outer keys (pointers) and inner elements (objects) wastes bits —
+// exactly the RQ4 regression.
+type PTAInput struct {
+	PtrLabels []uint64 // sparse pointer identities
+	ObjLabels []uint64 // sparse allocation-site identities
+	// AddrOf: p = &o  (pointer index, object index)
+	AddrP, AddrO []int32
+	// Copy: p ⊇ q (dst, src)
+	CopyD, CopyS []int32
+}
+
+// PTA generates the constraint set: nPtr pointers, nObj objects
+// (nObj ≪ nPtr), nAddr address-of seeds and nCopy copy edges.
+func PTA(seed uint64, nPtr, nObj, nAddr, nCopy int) *PTAInput {
+	in := &PTAInput{
+		PtrLabels: make([]uint64, nPtr),
+		ObjLabels: make([]uint64, nObj),
+	}
+	for i := range in.PtrLabels {
+		in.PtrLabels[i] = Label(seed^0xACE, i)
+	}
+	for i := range in.ObjLabels {
+		in.ObjLabels[i] = Label(seed^0xBEEF, i)
+	}
+	r := rand.New(rand.NewSource(int64(seed) | 1))
+	for i := 0; i < nAddr; i++ {
+		in.AddrP = append(in.AddrP, int32(r.Intn(nPtr)))
+		in.AddrO = append(in.AddrO, int32(r.Intn(nObj)))
+	}
+	for i := 0; i < nCopy; i++ {
+		d := r.Intn(nPtr)
+		s := r.Intn(nPtr)
+		if d == s {
+			s = (s + 1) % nPtr
+		}
+		in.CopyD = append(in.CopyD, int32(d))
+		in.CopyS = append(in.CopyS, int32(s))
+	}
+	return in
+}

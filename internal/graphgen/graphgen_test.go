@@ -1,0 +1,126 @@
+package graphgen
+
+import "testing"
+
+func TestRMATDeterministicAndSized(t *testing.T) {
+	g1 := RMAT(7, 8, 8)
+	g2 := RMAT(7, 8, 8)
+	if g1.N != 256 || g1.M() != 8*256 {
+		t.Fatalf("N=%d M=%d", g1.N, g1.M())
+	}
+	for i := range g1.Src {
+		if g1.Src[i] != g2.Src[i] || g1.Dst[i] != g2.Dst[i] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+	g3 := RMAT(8, 8, 8)
+	same := true
+	for i := range g1.Src {
+		if g1.Src[i] != g3.Src[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+	for e := range g1.Src {
+		if g1.Src[e] == g1.Dst[e] {
+			t.Fatal("self loop emitted")
+		}
+	}
+}
+
+func TestLabelsSparseAndDistinct(t *testing.T) {
+	g := ER(3, 1000, 2000)
+	seen := map[uint64]bool{}
+	small := 0
+	for _, l := range g.Labels {
+		if seen[l] {
+			t.Fatalf("duplicate label %d", l)
+		}
+		seen[l] = true
+		if l < 1<<40 {
+			small++
+		}
+	}
+	if small > 10 {
+		t.Fatalf("labels not sparse: %d below 2^40", small)
+	}
+}
+
+func TestAdjAndUndirect(t *testing.T) {
+	g := ER(9, 50, 200)
+	adj := g.Adj()
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	if total != g.M() {
+		t.Fatalf("adjacency edges %d != %d", total, g.M())
+	}
+	u := g.Undirect()
+	if u.M() != 2*g.M() {
+		t.Fatalf("undirect M=%d", u.M())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(1, 4, 3)
+	if g.N != 12 {
+		t.Fatalf("N=%d", g.N)
+	}
+	// 4x3 grid: horizontal 3*3=9, vertical 4*2=8.
+	if g.M() != 17 {
+		t.Fatalf("M=%d want 17", g.M())
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g := Bipartite(2, 10, 20, 100)
+	for e := range g.Src {
+		if g.Src[e] >= 10 || g.Dst[e] < 10 {
+			t.Fatal("edge not left-to-right")
+		}
+	}
+}
+
+func TestBasketsShape(t *testing.T) {
+	bs := Baskets(11, 100, 500, 8)
+	if len(bs.Tx) != 500 {
+		t.Fatalf("tx=%d", len(bs.Tx))
+	}
+	// Zipf skew: item 0 must be much more frequent than item 50.
+	freq := map[int32]int{}
+	for _, tx := range bs.Tx {
+		if len(tx) < 2 || len(tx) > 8 {
+			t.Fatalf("tx len %d out of range", len(tx))
+		}
+		seen := map[int32]bool{}
+		for _, it := range tx {
+			if seen[it] {
+				t.Fatal("duplicate item in basket")
+			}
+			seen[it] = true
+			freq[it]++
+		}
+	}
+	if freq[0] <= freq[50]*2 {
+		t.Fatalf("no popularity skew: f0=%d f50=%d", freq[0], freq[50])
+	}
+}
+
+func TestPTAShape(t *testing.T) {
+	in := PTA(5, 1000, 50, 200, 600)
+	if len(in.PtrLabels) != 1000 || len(in.ObjLabels) != 50 {
+		t.Fatal("domain sizes wrong")
+	}
+	if len(in.AddrP) != 200 || len(in.CopyD) != 600 {
+		t.Fatal("constraint counts wrong")
+	}
+	for i := range in.CopyD {
+		if in.CopyD[i] == in.CopyS[i] {
+			t.Fatal("self copy")
+		}
+	}
+}

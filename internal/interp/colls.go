@@ -1,0 +1,197 @@
+package interp
+
+import (
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+)
+
+// Coll is a runtime collection handle. SSA redefinitions of a
+// collection all alias one handle; the interpreter mutates it in
+// place, which is sound because MEMOIR's collection SSA gives each
+// state a single forward use chain.
+type Coll interface {
+	CollKind() ir.CollKind
+	Impl() collections.Impl
+	ElemType() ir.Type
+	Len() int
+	Bytes() int64
+	Clear()
+}
+
+// RSet is a runtime set.
+type RSet interface {
+	Coll
+	Has(Val) bool
+	Insert(Val) bool
+	Remove(Val) bool
+	Iterate(func(Val) bool)
+}
+
+// RMap is a runtime map.
+type RMap interface {
+	Coll
+	Get(Val) (Val, bool)
+	Put(Val, Val)
+	HasKey(Val) bool
+	Remove(Val) bool
+	Iterate(func(k, v Val) bool)
+}
+
+// RSeq is a runtime sequence.
+type RSeq interface {
+	Coll
+	Get(int) Val
+	Set(int, Val)
+	Append(Val)
+	InsertAt(int, Val)
+	RemoveAt(int)
+	Iterate(func(i int, v Val) bool)
+}
+
+// --- generic (sparse-keyed) set ---
+
+type rsetG struct {
+	s collections.Set[Val]
+	t *ir.CollType
+}
+
+func (r *rsetG) CollKind() ir.CollKind    { return ir.KSet }
+func (r *rsetG) Impl() collections.Impl   { return r.s.Kind() }
+func (r *rsetG) ElemType() ir.Type        { return r.t.Key }
+func (r *rsetG) Len() int                 { return r.s.Len() }
+func (r *rsetG) Bytes() int64             { return r.s.Bytes() }
+func (r *rsetG) Clear()                   { r.s.Clear() }
+func (r *rsetG) Has(v Val) bool           { return r.s.Has(v) }
+func (r *rsetG) Insert(v Val) bool        { return r.s.Insert(v) }
+func (r *rsetG) Remove(v Val) bool        { return r.s.Remove(v) }
+func (r *rsetG) Iterate(f func(Val) bool) { r.s.Iterate(f) }
+
+// --- dense (idx-keyed) set: BitSet or SparseBitSet ---
+
+type rsetDense struct {
+	s collections.Set[uint32]
+	t *ir.CollType
+}
+
+func (r *rsetDense) CollKind() ir.CollKind  { return ir.KSet }
+func (r *rsetDense) Impl() collections.Impl { return r.s.Kind() }
+func (r *rsetDense) ElemType() ir.Type      { return r.t.Key }
+func (r *rsetDense) Len() int               { return r.s.Len() }
+func (r *rsetDense) Bytes() int64           { return r.s.Bytes() }
+func (r *rsetDense) Clear()                 { r.s.Clear() }
+func (r *rsetDense) Has(v Val) bool         { return r.s.Has(uint32(v.I)) }
+func (r *rsetDense) Insert(v Val) bool      { return r.s.Insert(uint32(v.I)) }
+func (r *rsetDense) Remove(v Val) bool      { return r.s.Remove(uint32(v.I)) }
+func (r *rsetDense) Iterate(f func(Val) bool) {
+	r.s.Iterate(func(k uint32) bool { return f(IntV(uint64(k))) })
+}
+
+// --- generic (sparse-keyed) map ---
+
+type rmapG struct {
+	m collections.Map[Val, Val]
+	t *ir.CollType
+}
+
+func (r *rmapG) CollKind() ir.CollKind  { return ir.KMap }
+func (r *rmapG) Impl() collections.Impl { return r.m.Kind() }
+func (r *rmapG) ElemType() ir.Type      { return r.t.Elem }
+func (r *rmapG) Len() int               { return r.m.Len() }
+func (r *rmapG) Bytes() int64 {
+	total := r.m.Bytes()
+	// Nested collections owned by map values contribute their own
+	// footprints via the live registry; nothing extra here.
+	return total
+}
+func (r *rmapG) Clear()                        { r.m.Clear() }
+func (r *rmapG) Get(k Val) (Val, bool)         { return r.m.Get(k) }
+func (r *rmapG) Put(k, v Val)                  { r.m.Put(k, v) }
+func (r *rmapG) HasKey(k Val) bool             { return r.m.Has(k) }
+func (r *rmapG) Remove(k Val) bool             { return r.m.Remove(k) }
+func (r *rmapG) Iterate(f func(k, v Val) bool) { r.m.Iterate(f) }
+
+// --- dense (idx-keyed) map: BitMap ---
+
+type rmapDense struct {
+	m *collections.BitMap[Val]
+	t *ir.CollType
+}
+
+func (r *rmapDense) CollKind() ir.CollKind  { return ir.KMap }
+func (r *rmapDense) Impl() collections.Impl { return collections.ImplBitMap }
+func (r *rmapDense) ElemType() ir.Type      { return r.t.Elem }
+func (r *rmapDense) Len() int               { return r.m.Len() }
+func (r *rmapDense) Bytes() int64           { return r.m.Bytes() }
+func (r *rmapDense) Clear()                 { r.m.Clear() }
+func (r *rmapDense) Get(k Val) (Val, bool)  { return r.m.Get(uint32(k.I)) }
+func (r *rmapDense) Put(k, v Val)           { r.m.Put(uint32(k.I), v) }
+func (r *rmapDense) HasKey(k Val) bool      { return r.m.Has(uint32(k.I)) }
+func (r *rmapDense) Remove(k Val) bool      { return r.m.Remove(uint32(k.I)) }
+func (r *rmapDense) Iterate(f func(k, v Val) bool) {
+	r.m.Iterate(func(k uint32, v Val) bool { return f(IntV(uint64(k)), v) })
+}
+
+// --- sequence ---
+
+type rseq struct {
+	s *collections.Seq[Val]
+	t *ir.CollType
+}
+
+func (r *rseq) CollKind() ir.CollKind         { return ir.KSeq }
+func (r *rseq) Impl() collections.Impl        { return collections.ImplArray }
+func (r *rseq) ElemType() ir.Type             { return r.t.Elem }
+func (r *rseq) Len() int                      { return r.s.Len() }
+func (r *rseq) Bytes() int64                  { return r.s.Bytes() }
+func (r *rseq) Clear()                        { r.s.Clear() }
+func (r *rseq) Get(i int) Val                 { return r.s.Get(i) }
+func (r *rseq) Set(i int, v Val)              { r.s.Set(i, v) }
+func (r *rseq) Append(v Val)                  { r.s.Append(v) }
+func (r *rseq) InsertAt(i int, v Val)         { r.s.InsertAt(i, v) }
+func (r *rseq) RemoveAt(i int)                { r.s.RemoveAt(i) }
+func (r *rseq) Iterate(f func(int, Val) bool) { r.s.Iterate(f) }
+
+// NewColl materializes an empty collection of type ct, honoring its
+// selection annotation (unselected types fall back to the configured
+// defaults) and registering it for memory accounting.
+func (ip *Interp) NewColl(ct *ir.CollType) Coll {
+	var c Coll
+	switch ct.Kind {
+	case ir.KSeq:
+		c = &rseq{s: collections.NewSeq[Val](), t: ct}
+	case ir.KSet:
+		sel := ct.Sel
+		if sel == collections.ImplNone {
+			sel = ip.opts.DefaultSet
+		}
+		switch sel {
+		case collections.ImplBitSet:
+			c = &rsetDense{s: collections.NewBitSet(), t: ct}
+		case collections.ImplSparseBitSet:
+			c = &rsetDense{s: collections.NewSparseBitSet(), t: ct}
+		case collections.ImplFlatSet:
+			c = &rsetG{s: collections.NewFlatSet(cmpVal), t: ct}
+		case collections.ImplSwissSet:
+			c = &rsetG{s: collections.NewSwissSet(hashVal, eqVal), t: ct}
+		default:
+			c = &rsetG{s: collections.NewHashSet(hashVal, eqVal), t: ct}
+		}
+	case ir.KMap:
+		sel := ct.Sel
+		if sel == collections.ImplNone {
+			sel = ip.opts.DefaultMap
+		}
+		switch sel {
+		case collections.ImplBitMap:
+			c = &rmapDense{m: collections.NewBitMap[Val](), t: ct}
+		case collections.ImplSwissMap:
+			c = &rmapG{m: collections.NewSwissMap[Val, Val](hashVal, eqVal), t: ct}
+		default:
+			c = &rmapG{m: collections.NewHashMap[Val, Val](hashVal, eqVal), t: ct}
+		}
+	default:
+		panic("NewColl: unsupported kind " + ct.Kind.String())
+	}
+	ip.register(c)
+	return c
+}

@@ -1,0 +1,59 @@
+package interp
+
+import (
+	"memoir/internal/collections"
+)
+
+// Enum is the runtime enumeration of §III-B: Enc maps values to dense
+// identifiers, Dec is the inverse sequence. Identifiers are assigned
+// contiguously from 0 in first-add order; values are never removed, so
+// Dec is injective and append-only — the properties RTE's rewrite
+// rules rely on.
+type Enum struct {
+	enc *collections.HashMap[Val, uint32]
+	dec *collections.Seq[Val]
+}
+
+// absentID is the sentinel identifier returned by Enc for values not
+// in the enumeration; it is never issued by Add, so dense membership
+// tests against it are always false.
+const absentID uint32 = 0xffffffff
+
+// NewEnum returns an empty enumeration.
+func NewEnum() *Enum {
+	return &Enum{
+		enc: collections.NewHashMap[Val, uint32](hashVal, eqVal),
+		dec: collections.NewSeq[Val](),
+	}
+}
+
+// Len returns the number of enumerated values (the N of E = [0,N)).
+func (e *Enum) Len() int { return e.dec.Len() }
+
+// Enc translates a value to its identifier. The bool mirrors the
+// paper's UB contract: callers that cannot guarantee membership must
+// check it.
+func (e *Enum) Enc(v Val) (uint32, bool) {
+	return e.enc.Get(v)
+}
+
+// Dec translates an identifier back to its value; behaviour is
+// undefined (panics) for identifiers never issued.
+func (e *Enum) Dec(id uint32) Val {
+	return e.dec.Get(int(id))
+}
+
+// Add inserts v if absent, returning its identifier and whether it was
+// newly added.
+func (e *Enum) Add(v Val) (uint32, bool) {
+	if id, ok := e.enc.Get(v); ok {
+		return id, false
+	}
+	id := uint32(e.dec.Len())
+	e.enc.Put(v, id)
+	e.dec.Append(v)
+	return id, true
+}
+
+// Bytes models the footprint of both halves of the enumeration.
+func (e *Enum) Bytes() int64 { return e.enc.Bytes() + e.dec.Bytes() }

@@ -1,0 +1,175 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"memoir/internal/ir"
+)
+
+func runErr(t *testing.T, build func(b *ir.Builder)) error {
+	t.Helper()
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	build(b)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	ip := New(p, DefaultOptions())
+	_, err := ip.Run("main")
+	return err
+}
+
+func TestReadMissingKeyErrors(t *testing.T) {
+	err := runErr(t, func(b *ir.Builder) {
+		m := b.New(ir.MapOf(ir.TU64, ir.TU64), "m")
+		r := b.Read(ir.Op(m), ir.ConstInt(ir.TU64, 5), "r")
+		b.Ret(r)
+	})
+	if err == nil || !strings.Contains(err.Error(), "missing key") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSeqIndexOutOfRange(t *testing.T) {
+	err := runErr(t, func(b *ir.Builder) {
+		s := b.New(ir.SeqOf(ir.TU64), "s")
+		s1 := b.InsertSeq(ir.Op(s), nil, ir.ConstInt(ir.TU64, 9), "")
+		r := b.Read(ir.Op(s1), ir.ConstInt(ir.TU64, 3), "r")
+		b.Ret(r)
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	err := runErr(t, func(b *ir.Builder) {
+		zero := b.Bin(ir.BinSub, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 1), "z")
+		r := b.Bin(ir.BinDiv, ir.ConstInt(ir.TU64, 10), zero, "r")
+		b.Ret(r)
+	})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	dw := b.DoWhileBegin()
+	i := b.LoopPhi(dw, "i", ir.ConstInt(ir.TU64, 0))
+	i1 := b.Bin(ir.BinAdd, i, ir.ConstInt(ir.TU64, 1), "")
+	cond := b.Cmp(ir.CmpGe, i1, ir.ConstInt(ir.TU64, 0), "always")
+	b.SetLatch(i, i1)
+	b.DoWhileEnd(dw, cond)
+	b.Ret(ir.ConstInt(ir.TU64, 0))
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	opts := DefaultOptions()
+	opts.MaxSteps = 10000
+	ip := New(p, opts)
+	_, err := ip.Run("main")
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("infinite loop not cut off: %v", err)
+	}
+}
+
+func TestDecOutOfRangeErrors(t *testing.T) {
+	err := runErr(t, func(b *ir.Builder) {
+		e := b.NewEnum(ir.TU64, "e")
+		id := b.Cast(ir.ConstInt(ir.TU64, 7), ir.TIdx, "id")
+		v := b.Dec(e, id, "v")
+		b.Ret(v)
+	})
+	if err == nil || !strings.Contains(err.Error(), "dec of identifier") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringValues(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	s := b.New(ir.SetOf(ir.TStr), "s")
+	s1 := b.Insert(ir.Op(s), ir.ConstString("alpha"), "")
+	s2 := b.Insert(ir.Op(s1), ir.ConstString("beta"), "")
+	s3 := b.Insert(ir.Op(s2), ir.ConstString("alpha"), "")
+	eq := b.Cmp(ir.CmpEq, ir.ConstString("x"), ir.ConstString("x"), "eq")
+	lt := b.Cmp(ir.CmpLt, ir.ConstString("a"), ir.ConstString("b"), "lt")
+	n := b.Size(ir.Op(s3), "n")
+	both := b.Bin(ir.BinAnd, boolWiden(b, eq), boolWiden(b, lt), "")
+	out := b.Bin(ir.BinAdd, n, both, "")
+	b.Ret(out)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	ip := New(p, DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.I != 3 { // 2 distinct strings + 1 for both comparisons true
+		t.Fatalf("ret = %d, want 3", ret.I)
+	}
+}
+
+func boolWiden(b *ir.Builder, v *ir.Value) *ir.Value {
+	return b.Select(v, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 0), "")
+}
+
+func TestCastSemantics(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	f := b.Cast(ir.ConstInt(ir.TU64, 41), ir.TF64, "f")
+	f2 := b.Bin(ir.BinAdd, f, ir.ConstFloat(ir.TF64, 1.75), "")
+	back := b.Cast(f2, ir.TU64, "back") // truncates toward zero
+	narrow := b.Cast(ir.ConstInt(ir.TU64, 0x1FF), ir.TU8, "narrow")
+	out := b.Bin(ir.BinMul, back, ir.ConstInt(ir.TU64, 1000), "")
+	out2 := b.Bin(ir.BinAdd, out, narrow, "")
+	b.Ret(out2)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	ip := New(p, DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.I != 42*1000+0xFF {
+		t.Fatalf("ret = %d, want %d", ret.I, 42*1000+0xFF)
+	}
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	negTwo := ir.ConstInt(ir.TI64, uint64(^uint64(1))) // -2
+	three := ir.ConstInt(ir.TI64, 3)
+	q := b.Bin(ir.BinDiv, negTwo, three, "q") // -2/3 = 0 (truncated)
+	isNeg := b.Cmp(ir.CmpLt, negTwo, three, "isNeg")
+	out := b.Select(isNeg, b.Cast(q, ir.TU64, ""), ir.ConstInt(ir.TU64, 99), "")
+	b.Ret(out)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	ip := New(p, DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.I != 0 {
+		t.Fatalf("ret = %d, want 0 (signed -2/3 truncates)", ret.I)
+	}
+}
+
+func TestCallUnknownFunction(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	in := &ir.Instr{Op: ir.OpCall, Callee: "nope"}
+	r := &ir.Value{Name: "r", Type: ir.TU64, Kind: ir.VResult, Def: in}
+	in.Results = []*ir.Value{r}
+	b.Fn.Body.Append(in)
+	b.Ret(r)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	ip := New(p, DefaultOptions())
+	if _, err := ip.Run("main"); err == nil {
+		t.Fatal("call to unknown function did not error")
+	}
+}

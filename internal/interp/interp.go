@@ -1,0 +1,519 @@
+package interp
+
+import (
+	"fmt"
+	"time"
+
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+	"memoir/internal/profile"
+)
+
+// Options configures an execution.
+type Options struct {
+	// DefaultSet and DefaultMap choose the implementation for
+	// unselected collection types. The paper's baseline is
+	// Hash{Set,Map}; RQ5 switches the default to Swiss{Set,Map}.
+	DefaultSet collections.Impl
+	DefaultMap collections.Impl
+
+	// MaxSteps aborts runaway programs (0 = no limit).
+	MaxSteps uint64
+
+	// MemSampleEvery recomputes the live footprint every N growth
+	// operations; lower is more precise, higher is faster.
+	MemSampleEvery int
+
+	// RecordOutput retains emitted values in order (for debugging) in
+	// addition to the order-insensitive checksum.
+	RecordOutput bool
+
+	// CollectProfile records per-instruction execution counts for the
+	// profile-guided benefit heuristic (the §III-C extension).
+	CollectProfile bool
+}
+
+// DefaultOptions returns the baseline MEMOIR configuration.
+func DefaultOptions() Options {
+	return Options{
+		DefaultSet:     collections.ImplHashSet,
+		DefaultMap:     collections.ImplHashMap,
+		MemSampleEvery: 512,
+	}
+}
+
+// Interp executes a MEMOIR program.
+type Interp struct {
+	Prog  *ir.Program
+	Stats *Stats
+	opts  Options
+
+	// Enumeration globals created by ADE's interprocedural stage: one
+	// per enumeration equivalence class (§III-F).
+	globals map[string]*Enum
+
+	live    []interface{ Bytes() int64 }
+	growOps int
+
+	// Iteration-local allocations (a fresh collection per loop
+	// iteration that is never carried across iterations) occupy one
+	// registry slot that each new instance replaces — modeling the
+	// allocator reclaiming the dead instance, so peak memory is not
+	// the sum of every instance ever created.
+	iterLocal map[*ir.Instr]bool
+	localSlot map[*ir.Instr]int
+
+	// profCounts is non-nil when CollectProfile is set.
+	profCounts map[*ir.Instr]uint64
+
+	slotCache map[*ir.Func]int
+
+	// Output holds emitted values when RecordOutput is set.
+	Output []Val
+
+	// ROI marker state: a stats snapshot and timestamp taken at the
+	// roi instruction, so the harness can split initialization from
+	// the region of interest.
+	ROISnapshot *Stats
+	ROIStart    time.Time
+}
+
+// MarkROI snapshots the stats and wall clock; called by the roi op.
+func (ip *Interp) MarkROI() {
+	snap := *ip.Stats
+	ip.ROISnapshot = &snap
+	ip.ROIStart = time.Now()
+}
+
+// ROIStats returns the kernel-only stats (total minus the snapshot at
+// the roi marker); when no marker ran it returns the full stats.
+func (ip *Interp) ROIStats() *Stats {
+	if ip.ROISnapshot == nil {
+		return ip.Stats
+	}
+	out := &Stats{}
+	for i := range out.Counts {
+		for k := range out.Counts[i] {
+			out.Counts[i][k] = ip.Stats.Counts[i][k] - ip.ROISnapshot.Counts[i][k]
+		}
+	}
+	out.Sparse = ip.Stats.Sparse - ip.ROISnapshot.Sparse
+	out.Dense = ip.Stats.Dense - ip.ROISnapshot.Dense
+	out.Steps = ip.Stats.Steps - ip.ROISnapshot.Steps
+	out.PeakBytes = ip.Stats.PeakBytes
+	out.EmitCount = ip.Stats.EmitCount - ip.ROISnapshot.EmitCount
+	out.EmitSum = ip.Stats.EmitSum - ip.ROISnapshot.EmitSum
+	return out
+}
+
+// New returns an interpreter for prog.
+func New(prog *ir.Program, opts Options) *Interp {
+	if opts.MemSampleEvery <= 0 {
+		opts.MemSampleEvery = 512
+	}
+	if opts.DefaultSet == collections.ImplNone {
+		opts.DefaultSet = collections.ImplHashSet
+	}
+	if opts.DefaultMap == collections.ImplNone {
+		opts.DefaultMap = collections.ImplHashMap
+	}
+	ip := &Interp{
+		Prog:      prog,
+		Stats:     &Stats{},
+		opts:      opts,
+		globals:   map[string]*Enum{},
+		slotCache: map[*ir.Func]int{},
+		iterLocal: map[*ir.Instr]bool{},
+		localSlot: map[*ir.Instr]int{},
+	}
+	if opts.CollectProfile {
+		ip.profCounts = map[*ir.Instr]uint64{}
+	}
+	return ip
+}
+
+// Profile returns the execution counts collected when
+// Options.CollectProfile was set, in the stable keyed form the ADE
+// pass consumes.
+func (ip *Interp) Profile() profile.Profile {
+	return profile.Collect(ip.Prog, ip.profCounts)
+}
+
+// ResetStats installs a fresh Stats (used to separate initialization
+// from the region of interest); the live-set memory model carries
+// over so peaks remain global unless the caller resets them too.
+func (ip *Interp) ResetStats() *Stats {
+	old := ip.Stats
+	ip.Stats = &Stats{CurBytes: old.CurBytes, PeakBytes: old.CurBytes}
+	return old
+}
+
+// Global returns the enumeration global named name, creating it on
+// first use.
+func (ip *Interp) Global(name string) *Enum {
+	e, ok := ip.globals[name]
+	if !ok {
+		e = NewEnum()
+		ip.globals[name] = e
+		ip.register(e)
+	}
+	return e
+}
+
+func (ip *Interp) register(c interface{ Bytes() int64 }) {
+	ip.live = append(ip.live, c)
+	ip.grew()
+}
+
+func (ip *Interp) grew() {
+	ip.growOps++
+	if ip.growOps%ip.opts.MemSampleEvery == 0 {
+		ip.sampleMem()
+	}
+}
+
+func (ip *Interp) sampleMem() {
+	var total int64
+	for _, c := range ip.live {
+		total += c.Bytes()
+	}
+	ip.Stats.CurBytes = total
+	if total > ip.Stats.PeakBytes {
+		ip.Stats.PeakBytes = total
+	}
+}
+
+// FinalizeMem folds a final footprint sample into the stats.
+func (ip *Interp) FinalizeMem() { ip.sampleMem() }
+
+type execErr struct {
+	fn  string
+	msg string
+}
+
+func (e *execErr) Error() string { return "@" + e.fn + ": " + e.msg }
+
+func (ip *Interp) errf(fn *ir.Func, format string, args ...any) error {
+	return &execErr{fn: fn.Name, msg: fmt.Sprintf(format, args...)}
+}
+
+// Run executes the named function with the given arguments and returns
+// its result.
+func (ip *Interp) Run(name string, args ...Val) (Val, error) {
+	fn := ip.Prog.Func(name)
+	if fn == nil {
+		return Val{}, fmt.Errorf("interp: no function @%s", name)
+	}
+	return ip.call(fn, args)
+}
+
+func (ip *Interp) frameSize(fn *ir.Func) int {
+	n, ok := ip.slotCache[fn]
+	if !ok {
+		n = ir.FinalizeSlots(fn)
+		ip.slotCache[fn] = n
+		ip.classifyIterLocal(fn)
+	}
+	return n
+}
+
+// classifyIterLocal marks allocations whose instances die at the end
+// of each iteration of their innermost enclosing loop: no SSA state of
+// the collection flows through a header or exit phi of any enclosing
+// loop.
+func (ip *Interp) classifyIterLocal(fn *ir.Func) {
+	ui := ir.ComputeUses(fn)
+	var walk func(b *ir.Block, enclosing []ir.Node)
+	walk = func(b *ir.Block, enclosing []ir.Node) {
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ir.Instr:
+				if n.Op != ir.OpNew || len(enclosing) == 0 {
+					continue
+				}
+				forbidden := map[*ir.Instr]bool{}
+				for _, loop := range enclosing {
+					var hdr, exit []*ir.Instr
+					switch l := loop.(type) {
+					case *ir.ForEach:
+						hdr, exit = l.HeaderPhis, l.ExitPhis
+					case *ir.DoWhile:
+						hdr, exit = l.HeaderPhis, l.ExitPhis
+					}
+					for _, p := range hdr {
+						forbidden[p] = true
+					}
+					for _, p := range exit {
+						forbidden[p] = true
+					}
+				}
+				local := true
+				for _, v := range ui.Redefs(n) {
+					if v.Def != nil && forbidden[v.Def] {
+						local = false
+						break
+					}
+				}
+				if local {
+					ip.iterLocal[n] = true
+				}
+			case *ir.If:
+				walk(n.Then, enclosing)
+				walk(n.Else, enclosing)
+			case *ir.ForEach:
+				walk(n.Body, append(append([]ir.Node{}, enclosing...), n))
+			case *ir.DoWhile:
+				walk(n.Body, append(append([]ir.Node{}, enclosing...), n))
+			}
+		}
+	}
+	walk(fn.Body, nil)
+}
+
+// registerAt registers a collection allocated by instruction in,
+// replacing the previous instance for iteration-local allocations.
+func (ip *Interp) registerAt(in *ir.Instr, c Coll) {
+	if ip.iterLocal[in] {
+		if slot, ok := ip.localSlot[in]; ok {
+			ip.live[slot] = c
+			ip.grew()
+			return
+		}
+		ip.localSlot[in] = len(ip.live)
+	}
+	ip.register(c)
+}
+
+func (ip *Interp) call(fn *ir.Func, args []Val) (Val, error) {
+	if len(args) != len(fn.Params) {
+		return Val{}, ip.errf(fn, "called with %d args, want %d", len(args), len(fn.Params))
+	}
+	fr := make([]Val, ip.frameSize(fn))
+	for i, p := range fn.Params {
+		fr[p.Slot] = args[i]
+	}
+	c, ret, err := ip.execBlock(fn, fr, fn.Body)
+	if err != nil {
+		return Val{}, err
+	}
+	_ = c
+	return ret, nil
+}
+
+func constVal(v *ir.Value) Val {
+	if st, ok := v.Type.(*ir.ScalarType); ok {
+		switch st.Kind {
+		case ir.F32, ir.F64:
+			return FloatV(v.ConstFlt)
+		case ir.Str:
+			return StrV(v.ConstStr)
+		}
+	}
+	return IntV(v.ConstInt)
+}
+
+func (ip *Interp) eval(fr []Val, v *ir.Value) Val {
+	if v.Kind == ir.VConst {
+		return constVal(v)
+	}
+	return fr[v.Slot]
+}
+
+// resolve walks an operand's nesting path, returning the addressed
+// value. Intermediate map lookups are real dynamic accesses and are
+// accounted as reads on the outer container.
+func (ip *Interp) resolve(fn *ir.Func, fr []Val, o ir.Operand) (Val, error) {
+	cur := ip.eval(fr, o.Base)
+	for _, ix := range o.Path {
+		switch ix.Kind {
+		case ir.IdxField:
+			if cur.K != VTuple || int(ix.Num) >= len(cur.Tuple()) {
+				return Val{}, ip.errf(fn, "tuple access .%d on %v", ix.Num, cur)
+			}
+			cur = cur.Tuple()[ix.Num]
+		default:
+			if cur.K != VColl {
+				return Val{}, ip.errf(fn, "indexing non-collection %v", cur)
+			}
+			var key Val
+			switch ix.Kind {
+			case ir.IdxValue:
+				key = ip.eval(fr, ix.Val)
+			case ir.IdxConst:
+				key = IntV(ix.Num)
+			case ir.IdxEnd:
+				return Val{}, ip.errf(fn, "end index cannot be resolved as a value")
+			}
+			switch c := cur.Coll().(type) {
+			case RMap:
+				ip.Stats.Count(c.Impl(), OKRead, 1)
+				v, ok := c.Get(key)
+				if !ok {
+					return Val{}, ip.errf(fn, "nested read of missing key %v", key)
+				}
+				cur = v
+			case RSeq:
+				i := int(key.I)
+				if i < 0 || i >= c.Len() {
+					return Val{}, ip.errf(fn, "nested seq index %d out of range [0,%d)", i, c.Len())
+				}
+				ip.Stats.Count(c.Impl(), OKRead, 1)
+				cur = c.Get(i)
+			default:
+				return Val{}, ip.errf(fn, "indexing into a set")
+			}
+		}
+	}
+	return cur, nil
+}
+
+type ctrl uint8
+
+const (
+	ctrlNormal ctrl = iota
+	ctrlReturn
+)
+
+func (ip *Interp) execBlock(fn *ir.Func, fr []Val, b *ir.Block) (ctrl, Val, error) {
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			c, ret, err := ip.execInstr(fn, fr, n)
+			if err != nil || c == ctrlReturn {
+				return c, ret, err
+			}
+		case *ir.If:
+			cond := ip.eval(fr, n.Cond)
+			var body *ir.Block
+			branch := 1
+			if cond.Bool() {
+				body = n.Then
+				branch = 0
+			} else {
+				body = n.Else
+			}
+			c, ret, err := ip.execBlock(fn, fr, body)
+			if err != nil || c == ctrlReturn {
+				return c, ret, err
+			}
+			for _, p := range n.ExitPhis {
+				fr[p.Result().Slot] = ip.eval(fr, p.Args[branch].Base)
+			}
+		case *ir.ForEach:
+			if err := ip.execForEach(fn, fr, n); err != nil {
+				return ctrlNormal, Val{}, err
+			}
+		case *ir.DoWhile:
+			if err := ip.execDoWhile(fn, fr, n); err != nil {
+				return ctrlNormal, Val{}, err
+			}
+		}
+	}
+	return ctrlNormal, Val{}, nil
+}
+
+func (ip *Interp) initHeaderPhis(fr []Val, phis []*ir.Instr) {
+	for _, p := range phis {
+		fr[p.Result().Slot] = ip.eval(fr, p.Args[0].Base)
+	}
+}
+
+func (ip *Interp) latchHeaderPhis(fr []Val, phis []*ir.Instr) {
+	// Evaluate all latches before writing any, matching parallel phi
+	// semantics.
+	tmp := make([]Val, len(phis))
+	for i, p := range phis {
+		tmp[i] = ip.eval(fr, p.Args[1].Base)
+	}
+	for i, p := range phis {
+		fr[p.Result().Slot] = tmp[i]
+	}
+}
+
+func (ip *Interp) exitPhis(fr []Val, phis []*ir.Instr) {
+	for _, p := range phis {
+		fr[p.Result().Slot] = ip.eval(fr, p.Args[0].Base)
+	}
+}
+
+func (ip *Interp) execForEach(fn *ir.Func, fr []Val, n *ir.ForEach) error {
+	collV, err := ip.resolve(fn, fr, n.Coll)
+	if err != nil {
+		return err
+	}
+	if collV.K != VColl {
+		return ip.errf(fn, "for-each over non-collection %v", collV)
+	}
+	ip.initHeaderPhis(fr, n.HeaderPhis)
+	kSlot, vSlot := n.Key.Slot, n.Val.Slot
+
+	var iterErr error
+	ip.Stats.Steps++
+	// Bit-structured sets pay per word scanned, not per element — a
+	// dense enumerated set iterates at ~1 word per 64 elements, while
+	// a sparsely-populated one (the RQ4 hazard) scans many empty
+	// words per element.
+	switch c := collV.Coll().(type) {
+	case *rsetDense:
+		if bs, ok := c.s.(*collections.BitSet); ok {
+			ip.Stats.Count(collections.ImplBitSet, OKIterWord, uint64(len(bs.Words())))
+		}
+	case *rmapDense:
+		ip.Stats.Count(collections.ImplBitMap, OKIterWord, uint64(c.m.WordCount()))
+	}
+	step := func(k, v Val) bool {
+		ip.Stats.Count(collV.Coll().Impl(), OKIter, 1)
+		fr[kSlot], fr[vSlot] = k, v
+		c, _, err := ip.execBlock(fn, fr, n.Body)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if c == ctrlReturn {
+			iterErr = ip.errf(fn, "return inside for-each is unsupported")
+			return false
+		}
+		ip.latchHeaderPhis(fr, n.HeaderPhis)
+		return true
+	}
+	switch c := collV.Coll().(type) {
+	case RSeq:
+		c.Iterate(func(i int, v Val) bool { return step(IntV(uint64(i)), v) })
+	case RSet:
+		c.Iterate(func(v Val) bool { return step(v, v) })
+	case RMap:
+		c.Iterate(func(k, v Val) bool { return step(k, v) })
+	}
+	if iterErr != nil {
+		return iterErr
+	}
+	ip.exitPhis(fr, n.ExitPhis)
+	return nil
+}
+
+func (ip *Interp) execDoWhile(fn *ir.Func, fr []Val, n *ir.DoWhile) error {
+	ip.initHeaderPhis(fr, n.HeaderPhis)
+	for {
+		ip.Stats.Steps++
+		if ip.opts.MaxSteps > 0 && ip.Stats.Steps > ip.opts.MaxSteps {
+			return ip.errf(fn, "step budget exceeded")
+		}
+		c, _, err := ip.execBlock(fn, fr, n.Body)
+		if err != nil {
+			return err
+		}
+		if c == ctrlReturn {
+			return ip.errf(fn, "return inside do-while is unsupported")
+		}
+		cond := ip.eval(fr, n.Cond)
+		if !cond.Bool() {
+			break
+		}
+		ip.latchHeaderPhis(fr, n.HeaderPhis)
+	}
+	// At exit the header phis take their latch values one final time
+	// so exit phis referencing them see the final state.
+	ip.latchHeaderPhis(fr, n.HeaderPhis)
+	ip.exitPhis(fr, n.ExitPhis)
+	return nil
+}

@@ -1,0 +1,134 @@
+package interp
+
+import "memoir/internal/collections"
+
+// OpKind classifies dynamic collection work for the cost model,
+// Figure 4's operation breakdown, and Table II's sparse/dense counts.
+type OpKind uint8
+
+const (
+	OKRead OpKind = iota
+	OKWrite
+	OKInsert
+	OKRemove
+	OKHas
+	OKSize
+	OKClear
+	OKIter      // per element visited
+	OKIterWord  // per word scanned when iterating bit-structured sets
+	OKUnionWord // per word (dense) or per element (sparse) of union work
+	OKEnc       // enumeration encode
+	OKDec       // enumeration decode
+	OKAdd       // enumeration add
+	OKScalar    // scalar/control instruction
+	nOpKinds
+)
+
+var opKindNames = [...]string{
+	"read", "write", "insert", "remove", "has", "size", "clear",
+	"iterate", "iterword", "union", "enc", "dec", "add", "scalar",
+}
+
+func (k OpKind) String() string { return opKindNames[k] }
+
+// NImpls bounds the implementation axis of the count matrix.
+const NImpls = int(collections.ImplBitMap) + 2 // +1 for enum pseudo-impl
+
+// ImplEnum is the pseudo-implementation under which enumeration
+// translations are accounted.
+const ImplEnum = collections.Impl(NImpls - 1)
+
+// Stats accumulates the dynamic measurements of one execution.
+type Stats struct {
+	// Counts[impl][op] is the number of dynamic operations.
+	Counts [NImpls][nOpKinds]uint64
+
+	// Sparse and Dense accesses per Table II's classification: an
+	// access is sparse when the implementation must search (hash
+	// probe, binary search, enumeration encode/add) and dense when it
+	// indexes directly (bit tests, array reads, decode).
+	Sparse uint64
+	Dense  uint64
+
+	// Steps counts interpreted instructions.
+	Steps uint64
+
+	// Memory model.
+	PeakBytes int64
+	CurBytes  int64
+
+	// Observable output.
+	EmitCount uint64
+	EmitSum   uint64 // order-insensitive checksum
+}
+
+// sparseImpl classifies implementations whose keyed accesses search.
+func sparseImpl(i collections.Impl) bool {
+	switch i {
+	case collections.ImplHashSet, collections.ImplSwissSet, collections.ImplFlatSet,
+		collections.ImplHashMap, collections.ImplSwissMap:
+		return true
+	}
+	return false
+}
+
+// Count records n dynamic operations of kind k on implementation i,
+// classifying them as sparse or dense accesses.
+func (s *Stats) Count(i collections.Impl, k OpKind, n uint64) {
+	s.Counts[i][k] += n
+	switch k {
+	case OKRead, OKWrite, OKInsert, OKRemove, OKHas:
+		if sparseImpl(i) {
+			s.Sparse += n
+		} else {
+			s.Dense += n
+		}
+	case OKEnc, OKAdd:
+		s.Sparse += n
+	case OKDec:
+		s.Dense += n
+	}
+}
+
+// CollOps sums all keyed collection operations (the denominator of
+// Figure 4's breakdown). Word scans, size and scalar steps are not
+// accesses.
+func (s *Stats) CollOps() uint64 {
+	var total uint64
+	for i := 0; i < NImpls; i++ {
+		for _, k := range []OpKind{OKRead, OKWrite, OKInsert, OKRemove, OKHas, OKIter, OKUnionWord} {
+			total += s.Counts[i][k]
+		}
+	}
+	return total
+}
+
+// ByOpKind sums counts across implementations.
+func (s *Stats) ByOpKind() map[string]uint64 {
+	out := map[string]uint64{}
+	for i := 0; i < NImpls; i++ {
+		for k := 0; k < int(nOpKinds); k++ {
+			if c := s.Counts[i][k]; c > 0 {
+				out[OpKind(k).String()] += c
+			}
+		}
+	}
+	return out
+}
+
+// Add accumulates other into s (used to merge init and kernel phases).
+func (s *Stats) Add(other *Stats) {
+	for i := range s.Counts {
+		for k := range s.Counts[i] {
+			s.Counts[i][k] += other.Counts[i][k]
+		}
+	}
+	s.Sparse += other.Sparse
+	s.Dense += other.Dense
+	s.Steps += other.Steps
+	if other.PeakBytes > s.PeakBytes {
+		s.PeakBytes = other.PeakBytes
+	}
+	s.EmitCount += other.EmitCount
+	s.EmitSum += other.EmitSum
+}

@@ -1,0 +1,38 @@
+package interp
+
+import (
+	"testing"
+
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+)
+
+func TestTupleOps(t *testing.T) {
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	tu := b.Tuple("pair", ir.ConstInt(ir.TU64, 40), ir.ConstString("ans"))
+	x := b.Field(tu, 0, "x")
+	out := b.Bin(ir.BinAdd, x, ir.ConstInt(ir.TU64, 2), "")
+	b.Ret(out)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	ip := New(p, DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil || ret.I != 42 {
+		t.Fatalf("ret=%v err=%v", ret, err)
+	}
+	// Round-trip through the textual form.
+	text := ir.Print(p)
+	p2, err := parser.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	ip2 := New(p2, DefaultOptions())
+	ret2, err := ip2.Run("main")
+	if err != nil || ret2.I != 42 {
+		t.Fatalf("reparsed ret=%v err=%v", ret2, err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package interp executes MEMOIR programs. It is the execution
+// substrate standing in for the paper's LLVM code generation: a
+// tree-walking evaluator over the structured IR whose collection
+// operations dispatch to the implementations in internal/collections.
+//
+// The interpreter is instrumented for every measurement the paper's
+// evaluation needs:
+//
+//   - dynamic operation counts per (implementation, operation), the
+//     basis of Figure 4's breakdown and the per-architecture cost
+//     model behind Figure 6;
+//   - sparse vs dense access counts (Table II);
+//   - a peak-memory model fed by each collection's Bytes() (Figures
+//     5c, 8 and 10);
+//   - an order-insensitive output checksum used to prove that ADE
+//     preserves program behaviour.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+)
+
+// ValKind tags a runtime value.
+type ValKind uint8
+
+const (
+	VInt ValKind = iota // integers, bools, ptr, idx (bits in I)
+	VFloat
+	VStr
+	VColl  // collection handle in C
+	VEnum  // enumeration handle in E
+	VTuple // tuple in T
+)
+
+// Val is a runtime value, kept compact (48 bytes) because the
+// interpreter copies it constantly: floats live as bits in I, and
+// collection handles, enumerations and tuples share the ref slot.
+type Val struct {
+	K   ValKind
+	I   uint64
+	S   string
+	ref any
+}
+
+// IntV returns an integer value.
+func IntV(x uint64) Val { return Val{K: VInt, I: x} }
+
+// FloatV returns a float value.
+func FloatV(x float64) Val { return Val{K: VFloat, I: math.Float64bits(x)} }
+
+// StrV returns a string value.
+func StrV(s string) Val { return Val{K: VStr, S: s} }
+
+// CollV returns a collection handle value.
+func CollV(c Coll) Val { return Val{K: VColl, ref: c} }
+
+// EnumV returns an enumeration handle value.
+func EnumV(e *Enum) Val { return Val{K: VEnum, ref: e} }
+
+// TupleV returns a tuple value.
+func TupleV(vs []Val) Val { return Val{K: VTuple, ref: vs} }
+
+// Flt returns the float payload.
+func (v Val) Flt() float64 { return math.Float64frombits(v.I) }
+
+// Coll returns the collection handle (nil if not a collection).
+func (v Val) Coll() Coll {
+	c, _ := v.ref.(Coll)
+	return c
+}
+
+// Enum returns the enumeration handle (nil if not an enumeration).
+func (v Val) Enum() *Enum {
+	e, _ := v.ref.(*Enum)
+	return e
+}
+
+// Tuple returns the tuple fields (nil if not a tuple).
+func (v Val) Tuple() []Val {
+	t, _ := v.ref.([]Val)
+	return t
+}
+
+// Bool reports the value as a boolean.
+func (v Val) Bool() bool { return v.I != 0 }
+
+func boolV(b bool) Val {
+	if b {
+		return Val{K: VInt, I: 1}
+	}
+	return Val{K: VInt, I: 0}
+}
+
+// Bits returns a canonical 64-bit fingerprint for hashing and
+// checksums.
+func (v Val) Bits() uint64 {
+	switch v.K {
+	case VInt, VFloat:
+		return v.I // float bits already live in I
+	case VStr:
+		return collections.HashString(v.S)
+	default:
+		return 0
+	}
+}
+
+// hashVal and eqVal parameterize the generic hash containers over Val.
+func hashVal(v Val) uint64 {
+	switch v.K {
+	case VStr:
+		return collections.HashString(v.S)
+	default:
+		return collections.Mix64(v.Bits())
+	}
+}
+
+func eqVal(a, b Val) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case VInt:
+		return a.I == b.I
+	case VFloat:
+		return a.Flt() == b.Flt()
+	case VStr:
+		return a.S == b.S
+	}
+	return false
+}
+
+func cmpVal(a, b Val) int {
+	switch a.K {
+	case VFloat:
+		switch {
+		case a.Flt() < b.Flt():
+			return -1
+		case a.Flt() > b.Flt():
+			return 1
+		}
+		return 0
+	case VStr:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+}
+
+func (v Val) String() string {
+	switch v.K {
+	case VInt:
+		return fmt.Sprintf("%d", v.I)
+	case VFloat:
+		return fmt.Sprintf("%g", v.Flt())
+	case VStr:
+		return fmt.Sprintf("%q", v.S)
+	case VColl:
+		return fmt.Sprintf("coll<%v,%d>", v.Coll().Impl(), v.Coll().Len())
+	case VEnum:
+		return fmt.Sprintf("enum<%d>", v.Enum().Len())
+	case VTuple:
+		return fmt.Sprintf("tuple(%d)", len(v.Tuple()))
+	}
+	return "?"
+}
+
+// zeroVal materializes the zero value of an IR type; collection types
+// materialize a fresh empty collection (used by map inserts whose
+// value type is itself a collection, e.g. Map<ptr,Set<ptr>>).
+func (ip *Interp) zeroVal(t ir.Type) Val {
+	switch tt := t.(type) {
+	case *ir.ScalarType:
+		switch tt.Kind {
+		case ir.F32, ir.F64:
+			return FloatV(0)
+		case ir.Str:
+			return StrV("")
+		default:
+			return IntV(0)
+		}
+	case *ir.CollType:
+		return CollV(ip.NewColl(tt))
+	}
+	return Val{}
+}

@@ -1,0 +1,400 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Func with structured control flow. Blocks are
+// managed as a stack: control-flow helpers push the inner block,
+// matching End* calls pop it.
+type Builder struct {
+	Fn     *Func
+	blocks []*Block
+}
+
+// NewFunc starts building a function.
+func NewFunc(name string, ret Type) *Builder {
+	fn := &Func{Name: name, Ret: ret, Body: &Block{}}
+	return &Builder{Fn: fn, blocks: []*Block{fn.Body}}
+}
+
+// Param appends a parameter.
+func (b *Builder) Param(name string, t Type) *Value {
+	v := &Value{Name: name, Type: t, Kind: VParam, ParamIdx: len(b.Fn.Params)}
+	b.Fn.Params = append(b.Fn.Params, v)
+	return v
+}
+
+func (b *Builder) cur() *Block { return b.blocks[len(b.blocks)-1] }
+
+func (b *Builder) push(blk *Block) { b.blocks = append(b.blocks, blk) }
+
+func (b *Builder) pop() { b.blocks = b.blocks[:len(b.blocks)-1] }
+
+func (b *Builder) name(n string) string {
+	if n == "" {
+		return b.Fn.NewValueName("t")
+	}
+	return n
+}
+
+func (b *Builder) def(in *Instr, name string, t Type) *Value {
+	v := &Value{Name: b.name(name), Type: t, Kind: VResult, Def: in, ResIdx: len(in.Results)}
+	in.Results = append(in.Results, v)
+	return v
+}
+
+func (b *Builder) emit(in *Instr) *Instr {
+	b.cur().Append(in)
+	return in
+}
+
+// --- collection construction and queries ---
+
+// New allocates a collection of type t.
+func (b *Builder) New(t *CollType, name string) *Value {
+	return b.NewDir(t, name, nil)
+}
+
+// NewDir allocates a collection with an attached `#pragma ade`
+// directive.
+func (b *Builder) NewDir(t *CollType, name string, d *Directive) *Value {
+	in := &Instr{Op: OpNew, Alloc: t, Dir: d}
+	v := b.def(in, name, t)
+	b.emit(in)
+	return v
+}
+
+// Read reads the value at key k of collection c.
+func (b *Builder) Read(c Operand, k *Value, name string) *Value {
+	ct := AsColl(c.InnerType())
+	var rt Type
+	switch ct.Kind {
+	case KSeq, KMap:
+		rt = ct.Elem
+	default:
+		panic(fmt.Sprintf("read on %v", ct))
+	}
+	in := &Instr{Op: OpRead, Args: []Operand{c, Op(k)}}
+	v := b.def(in, name, rt)
+	b.emit(in)
+	return v
+}
+
+// Has tests membership of k in c.
+func (b *Builder) Has(c Operand, k *Value, name string) *Value {
+	in := &Instr{Op: OpHas, Args: []Operand{c, Op(k)}}
+	v := b.def(in, name, TBool)
+	b.emit(in)
+	return v
+}
+
+// Size returns the number of elements in c.
+func (b *Builder) Size(c Operand, name string) *Value {
+	in := &Instr{Op: OpSize, Args: []Operand{c}}
+	v := b.def(in, name, TU64)
+	b.emit(in)
+	return v
+}
+
+func (b *Builder) update(op Opcode, name string, args ...Operand) *Value {
+	in := &Instr{Op: op, Args: args}
+	v := b.def(in, name, args[0].Base.Type)
+	b.emit(in)
+	return v
+}
+
+// Write stores v at key k of c, returning the new collection state.
+// The key must already be present (for maps) or in range (for
+// sequences).
+func (b *Builder) Write(c Operand, k, v *Value, name string) *Value {
+	return b.update(OpWrite, name, c, Op(k), Op(v))
+}
+
+// Insert adds key k to the set or map c, returning the new state.
+// Map insertions bind the zero value.
+func (b *Builder) Insert(c Operand, k *Value, name string) *Value {
+	return b.update(OpInsert, name, c, Op(k))
+}
+
+// InsertSeq inserts v before position pos of sequence c; pos nil means
+// end (append).
+func (b *Builder) InsertSeq(c Operand, pos *Value, v *Value, name string) *Value {
+	posOp := Operand{Path: []Index{{Kind: IdxEnd}}}
+	if pos != nil {
+		posOp = Op(pos)
+	}
+	return b.update(OpInsert, name, c, posOp, Op(v))
+}
+
+// Remove deletes key k from c, returning the new state.
+func (b *Builder) Remove(c Operand, k *Value, name string) *Value {
+	return b.update(OpRemove, name, c, Op(k))
+}
+
+// Clear empties c, returning the new state.
+func (b *Builder) Clear(c Operand, name string) *Value {
+	return b.update(OpClear, name, c)
+}
+
+// Union merges set src into set dst, returning the new state of dst.
+func (b *Builder) Union(dst Operand, src Operand, name string) *Value {
+	return b.update(OpUnion, name, dst, src)
+}
+
+// --- enumeration intrinsics (§III-B) ---
+
+// NewEnum allocates a fresh enumeration over domain key.
+func (b *Builder) NewEnum(key Type, name string) *Value {
+	in := &Instr{Op: OpNewEnum}
+	v := b.def(in, name, EnumOf(key))
+	b.emit(in)
+	return v
+}
+
+// EnumGlobal loads the enumeration global of an interprocedural
+// equivalence class (§III-F).
+func (b *Builder) EnumGlobal(global string, key Type, name string) *Value {
+	in := &Instr{Op: OpEnumGlobal, Callee: global}
+	v := b.def(in, name, EnumOf(key))
+	b.emit(in)
+	return v
+}
+
+// Enc translates a value to its identifier; UB if absent.
+func (b *Builder) Enc(e, x *Value, name string) *Value {
+	in := &Instr{Op: OpEncode, Args: []Operand{Op(e), Op(x)}}
+	v := b.def(in, name, TIdx)
+	b.emit(in)
+	return v
+}
+
+// Dec translates an identifier back to its value; UB if out of range.
+func (b *Builder) Dec(e, id *Value, name string) *Value {
+	et := AsColl(e.Type)
+	in := &Instr{Op: OpDecode, Args: []Operand{Op(e), Op(id)}}
+	v := b.def(in, name, et.Key)
+	b.emit(in)
+	return v
+}
+
+// EnumAdd inserts a value into the enumeration, returning the updated
+// enumeration state and the identifier.
+func (b *Builder) EnumAdd(e, x *Value, nameEnum, nameID string) (*Value, *Value) {
+	in := &Instr{Op: OpEnumAdd, Args: []Operand{Op(e), Op(x)}}
+	ev := b.def(in, nameEnum, e.Type)
+	idv := b.def(in, nameID, TIdx)
+	b.emit(in)
+	return ev, idv
+}
+
+// --- scalars ---
+
+// Bin emits a binary arithmetic/logic op; the result takes x's type.
+func (b *Builder) Bin(kind BinKind, x, y *Value, name string) *Value {
+	in := &Instr{Op: OpBin, Bin: kind, Args: []Operand{Op(x), Op(y)}}
+	v := b.def(in, name, x.Type)
+	b.emit(in)
+	return v
+}
+
+// Cmp emits a comparison producing bool.
+func (b *Builder) Cmp(kind CmpKind, x, y *Value, name string) *Value {
+	in := &Instr{Op: OpCmp, Cmp: kind, Args: []Operand{Op(x), Op(y)}}
+	v := b.def(in, name, TBool)
+	b.emit(in)
+	return v
+}
+
+// Not emits logical negation.
+func (b *Builder) Not(x *Value, name string) *Value {
+	in := &Instr{Op: OpNot, Args: []Operand{Op(x)}}
+	v := b.def(in, name, TBool)
+	b.emit(in)
+	return v
+}
+
+// Select emits select(cond, a, b).
+func (b *Builder) Select(cond, x, y *Value, name string) *Value {
+	in := &Instr{Op: OpSelect, Args: []Operand{Op(cond), Op(x), Op(y)}}
+	v := b.def(in, name, x.Type)
+	b.emit(in)
+	return v
+}
+
+// Cast converts x to type t.
+func (b *Builder) Cast(x *Value, t Type, name string) *Value {
+	in := &Instr{Op: OpCast, CastTo: t, Args: []Operand{Op(x)}}
+	v := b.def(in, name, t)
+	b.emit(in)
+	return v
+}
+
+// Tuple constructs a tuple value from the given fields.
+func (b *Builder) Tuple(name string, fields ...*Value) *Value {
+	in := &Instr{Op: OpTuple}
+	types := make([]Type, len(fields))
+	for i, f := range fields {
+		in.Args = append(in.Args, Op(f))
+		types[i] = f.Type
+	}
+	v := b.def(in, name, TupleOf(types...))
+	b.emit(in)
+	return v
+}
+
+// Field extracts field n of a tuple.
+func (b *Builder) Field(t *Value, n int, name string) *Value {
+	ct := AsColl(t.Type)
+	in := &Instr{Op: OpField, FieldIdx: n, Args: []Operand{Op(t)}}
+	v := b.def(in, name, ct.Flds[n])
+	b.emit(in)
+	return v
+}
+
+// Emit appends a scalar to the program's observable output stream.
+func (b *Builder) Emit(v *Value) {
+	b.emit(&Instr{Op: OpEmit, Args: []Operand{Op(v)}})
+}
+
+// Call emits a direct call; ret TVoid yields no result value.
+func (b *Builder) Call(callee string, ret Type, name string, args ...Operand) *Value {
+	in := &Instr{Op: OpCall, Callee: callee, Args: args}
+	var v *Value
+	if !IsScalar(ret, Void) {
+		v = b.def(in, name, ret)
+	}
+	b.emit(in)
+	return v
+}
+
+// ROI emits the region-of-interest marker: the harness measures
+// initialization (before) and kernel (after) separately, matching the
+// paper's whole-program vs ROI split.
+func (b *Builder) ROI() {
+	b.emit(&Instr{Op: OpROI})
+}
+
+// Ret emits a return of v (nil for void).
+func (b *Builder) Ret(v *Value) {
+	in := &Instr{Op: OpRet}
+	if v != nil {
+		in.Args = []Operand{Op(v)}
+	}
+	b.emit(in)
+}
+
+// --- control flow ---
+
+// If builds an if-else; then and els populate the branches. Returns
+// the node for attaching exit phis with IfPhi.
+func (b *Builder) If(cond *Value, then, els func()) *If {
+	n := &If{Cond: cond, Then: &Block{}, Else: &Block{}}
+	b.emit2(n)
+	if then != nil {
+		b.push(n.Then)
+		then()
+		b.pop()
+	}
+	if els != nil {
+		b.push(n.Else)
+		els()
+		b.pop()
+	}
+	return n
+}
+
+func (b *Builder) emit2(n Node) { b.cur().Append(n) }
+
+// IfPhi appends an exit phi phi(tv, fv) to iff.
+func (b *Builder) IfPhi(iff *If, name string, tv, fv *Value) *Value {
+	in := &Instr{Op: OpPhi, PhiRole: PhiIfExit, Args: []Operand{Op(tv), Op(fv)}}
+	v := b.def(in, name, tv.Type)
+	iff.ExitPhis = append(iff.ExitPhis, in)
+	return v
+}
+
+// ForEachBegin opens a for-each loop over coll, binding fresh key and
+// value values; the builder's current block becomes the loop body
+// until ForEachEnd.
+func (b *Builder) ForEachBegin(coll Operand, keyName, valName string) *ForEach {
+	ct := AsColl(coll.InnerType())
+	var kt, vt Type
+	switch ct.Kind {
+	case KSeq:
+		kt, vt = TU64, ct.Elem
+	case KSet:
+		kt, vt = ct.Key, ct.Key
+	case KMap:
+		kt, vt = ct.Key, ct.Elem
+	default:
+		panic(fmt.Sprintf("for-each over %v", ct))
+	}
+	n := &ForEach{Coll: coll, Body: &Block{}}
+	n.Key = &Value{Name: b.name(keyName), Type: kt, Kind: VParam}
+	n.Val = &Value{Name: b.name(valName), Type: vt, Kind: VParam}
+	b.emit2(n)
+	b.push(n.Body)
+	return n
+}
+
+// ForEachEnd closes the loop body.
+func (b *Builder) ForEachEnd(*ForEach) { b.pop() }
+
+// LoopPhi adds a loop-carried header phi to the open loop n:
+// phi(init, latch) with the latch filled in later by SetLatch.
+func (b *Builder) LoopPhi(n Node, name string, init *Value) *Value {
+	in := &Instr{Op: OpPhi, PhiRole: PhiLoopHeader, Args: []Operand{Op(init)}}
+	v := b.def(in, name, init.Type)
+	switch n := n.(type) {
+	case *ForEach:
+		n.HeaderPhis = append(n.HeaderPhis, in)
+	case *DoWhile:
+		n.HeaderPhis = append(n.HeaderPhis, in)
+	default:
+		panic("LoopPhi on non-loop")
+	}
+	return v
+}
+
+// SetLatch binds the latch (back-edge) operand of a header phi.
+func (b *Builder) SetLatch(phiVal *Value, latch *Value) {
+	in := phiVal.Def
+	if in == nil || in.Op != OpPhi || in.PhiRole != PhiLoopHeader {
+		panic("SetLatch on non-header-phi")
+	}
+	if len(in.Args) == 1 {
+		in.Args = append(in.Args, Op(latch))
+	} else {
+		in.Args[1] = Op(latch)
+	}
+}
+
+// LoopExitPhi appends phi(final) after the loop, selecting the last
+// value of final (or its init when the loop body never ran).
+func (b *Builder) LoopExitPhi(n Node, name string, final *Value) *Value {
+	in := &Instr{Op: OpPhi, PhiRole: PhiLoopExit, Args: []Operand{Op(final)}}
+	v := b.def(in, name, final.Type)
+	switch n := n.(type) {
+	case *ForEach:
+		n.ExitPhis = append(n.ExitPhis, in)
+	case *DoWhile:
+		n.ExitPhis = append(n.ExitPhis, in)
+	default:
+		panic("LoopExitPhi on non-loop")
+	}
+	return v
+}
+
+// DoWhileBegin opens a do-while loop; close with DoWhileEnd.
+func (b *Builder) DoWhileBegin() *DoWhile {
+	n := &DoWhile{Body: &Block{}}
+	b.emit2(n)
+	b.push(n.Body)
+	return n
+}
+
+// DoWhileEnd closes the loop body and binds its continuation
+// condition (a value defined inside the body).
+func (b *Builder) DoWhileEnd(n *DoWhile, cond *Value) {
+	b.pop()
+	n.Cond = cond
+}

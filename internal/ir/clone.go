@@ -1,0 +1,118 @@
+package ir
+
+// CloneProgram deep-copies every function of p. Used to retain an
+// untransformed baseline next to an ADE-transformed program.
+func CloneProgram(p *Program) *Program {
+	out := NewProgram()
+	for _, name := range p.Order {
+		fn := CloneFunc(p.Funcs[name], name)
+		fn.Exported = p.Funcs[name].Exported
+		out.Add(fn)
+	}
+	return out
+}
+
+// CloneFunc deep-copies fn under a new name, remapping every value.
+// Used by the interprocedural stage of ADE, which clones externally
+// visible functions (and functions with mixed enumerated and
+// non-enumerated callers) before transforming them (§III-F).
+func CloneFunc(fn *Func, newName string) *Func {
+	c := &cloner{vmap: map[*Value]*Value{}}
+	out := &Func{Name: newName, Ret: fn.Ret, Exported: false, nextID: fn.nextID}
+	for _, p := range fn.Params {
+		np := &Value{Name: p.Name, Type: p.Type, Kind: VParam, ParamIdx: p.ParamIdx}
+		c.vmap[p] = np
+		out.Params = append(out.Params, np)
+	}
+	out.Body = c.block(fn.Body)
+	return out
+}
+
+type cloner struct {
+	vmap map[*Value]*Value
+}
+
+func (c *cloner) value(v *Value) *Value {
+	if v == nil {
+		return nil
+	}
+	if v.Kind == VConst {
+		return v // constants are immutable and shareable
+	}
+	if nv, ok := c.vmap[v]; ok {
+		return nv
+	}
+	// Forward reference (loop latch operands): create the shell now;
+	// result wiring is fixed when the defining instruction is cloned.
+	nv := &Value{Name: v.Name, Type: v.Type, Kind: v.Kind, ParamIdx: v.ParamIdx, ResIdx: v.ResIdx}
+	c.vmap[v] = nv
+	return nv
+}
+
+func (c *cloner) operand(o Operand) Operand {
+	no := Operand{Base: c.value(o.Base)}
+	for _, ix := range o.Path {
+		nix := ix
+		nix.Val = c.value(ix.Val)
+		no.Path = append(no.Path, nix)
+	}
+	return no
+}
+
+func (c *cloner) instr(in *Instr) *Instr {
+	ni := &Instr{
+		Op: in.Op, Bin: in.Bin, Cmp: in.Cmp, Alloc: in.Alloc,
+		CastTo: in.CastTo, Callee: in.Callee, Dir: in.Dir, PhiRole: in.PhiRole,
+	}
+	for _, a := range in.Args {
+		ni.Args = append(ni.Args, c.operand(a))
+	}
+	for _, r := range in.Results {
+		nr := c.value(r)
+		nr.Def = ni
+		nr.ResIdx = r.ResIdx
+		ni.Results = append(ni.Results, nr)
+	}
+	return ni
+}
+
+func (c *cloner) phis(ps []*Instr) []*Instr {
+	if ps == nil {
+		return nil
+	}
+	out := make([]*Instr, len(ps))
+	for i, p := range ps {
+		out[i] = c.instr(p)
+	}
+	return out
+}
+
+func (c *cloner) block(b *Block) *Block {
+	nb := &Block{}
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *Instr:
+			nb.Append(c.instr(n))
+		case *If:
+			ni := &If{Cond: c.value(n.Cond)}
+			ni.Then = c.block(n.Then)
+			ni.Else = c.block(n.Else)
+			ni.ExitPhis = c.phis(n.ExitPhis)
+			nb.Append(ni)
+		case *ForEach:
+			nf := &ForEach{Coll: c.operand(n.Coll), Key: c.value(n.Key), Val: c.value(n.Val)}
+			nf.HeaderPhis = c.phis(n.HeaderPhis)
+			nf.Body = c.block(n.Body)
+			nf.ExitPhis = c.phis(n.ExitPhis)
+			nb.Append(nf)
+		case *DoWhile:
+			nd := &DoWhile{}
+			nd.HeaderPhis = c.phis(n.HeaderPhis)
+			nd.Body = c.block(n.Body)
+			nd.Cond = c.value(n.Cond)
+			nd.ExitPhis = c.phis(n.ExitPhis)
+			nb.Append(nd)
+		}
+	}
+	return nb
+}

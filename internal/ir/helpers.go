@@ -1,0 +1,125 @@
+package ir
+
+// High-level loop builders. MEMOIR's SSA form threads loop-carried
+// state (collections and accumulators) through header phis; these
+// helpers manage the phi/latch bookkeeping so client code reads like
+// the paper's listings.
+
+// ForLoop is an open for-each loop with loop-carried values.
+type ForLoop struct {
+	b   *Builder
+	fe  *ForEach
+	Key *Value
+	Val *Value
+	// Cur holds the current (phi) value of each carried value, in the
+	// order passed to StartForEach.
+	Cur []*Value
+}
+
+// StartForEach opens `for [key, val] in coll` with the given
+// loop-carried initial values; read their current states from Cur and
+// close the loop with End.
+func StartForEach(b *Builder, coll Operand, carried ...*Value) *ForLoop {
+	fe := b.ForEachBegin(coll, "", "")
+	l := &ForLoop{b: b, fe: fe, Key: fe.Key, Val: fe.Val}
+	for _, init := range carried {
+		l.Cur = append(l.Cur, b.LoopPhi(fe, "", init))
+	}
+	return l
+}
+
+// End closes the loop, binding each carried value's latch, and returns
+// the exit values (one per carried value).
+func (l *ForLoop) End(latch ...*Value) []*Value {
+	if len(latch) != len(l.Cur) {
+		panic("ForLoop.End: latch arity mismatch")
+	}
+	for i, v := range latch {
+		l.b.SetLatch(l.Cur[i], v)
+	}
+	l.b.ForEachEnd(l.fe)
+	out := make([]*Value, len(l.Cur))
+	for i, v := range l.Cur {
+		out[i] = l.b.LoopExitPhi(l.fe, "", v)
+	}
+	return out
+}
+
+// WhileLoop is an open do-while loop with loop-carried values.
+type WhileLoop struct {
+	b   *Builder
+	dw  *DoWhile
+	Cur []*Value
+}
+
+// StartWhile opens a do-while loop with the given carried initial
+// values.
+func StartWhile(b *Builder, carried ...*Value) *WhileLoop {
+	dw := b.DoWhileBegin()
+	l := &WhileLoop{b: b, dw: dw}
+	for _, init := range carried {
+		l.Cur = append(l.Cur, b.LoopPhi(dw, "", init))
+	}
+	return l
+}
+
+// End closes the loop with continuation condition cond and the latch
+// values, returning the exit values.
+func (l *WhileLoop) End(cond *Value, latch ...*Value) []*Value {
+	if len(latch) != len(l.Cur) {
+		panic("WhileLoop.End: latch arity mismatch")
+	}
+	for i, v := range latch {
+		l.b.SetLatch(l.Cur[i], v)
+	}
+	l.b.DoWhileEnd(l.dw, cond)
+	out := make([]*Value, len(l.Cur))
+	for i, v := range l.Cur {
+		out[i] = l.b.LoopExitPhi(l.dw, "", v)
+	}
+	return out
+}
+
+// IfElse builds an if-else whose branches return parallel value lists;
+// the result is the list of exit-phi values merging them.
+func IfElse(b *Builder, cond *Value, then func() []*Value, els func() []*Value) []*Value {
+	var tv, ev []*Value
+	iff := b.If(cond, func() { tv = then() }, func() { ev = els() })
+	if len(tv) != len(ev) {
+		panic("IfElse: branch arity mismatch")
+	}
+	out := make([]*Value, len(tv))
+	for i := range tv {
+		out[i] = b.IfPhi(iff, "", tv[i], ev[i])
+	}
+	return out
+}
+
+// IfOnly builds an if without else; fall are the values used when the
+// condition is false (typically the pre-branch states).
+func IfOnly(b *Builder, cond *Value, fall []*Value, then func() []*Value) []*Value {
+	var tv []*Value
+	iff := b.If(cond, func() { tv = then() }, nil)
+	if len(tv) != len(fall) {
+		panic("IfOnly: arity mismatch")
+	}
+	out := make([]*Value, len(fall))
+	for i := range fall {
+		out[i] = b.IfPhi(iff, "", tv[i], fall[i])
+	}
+	return out
+}
+
+// CountedLoop runs body n times via a do-while, threading carried
+// values; body receives the iteration index and current values and
+// returns the latches. Returns the exit values.
+func CountedLoop(b *Builder, n *Value, carried []*Value, body func(i *Value, cur []*Value) []*Value) []*Value {
+	all := append([]*Value{ConstInt(TU64, 0)}, carried...)
+	l := StartWhile(b, all...)
+	i := l.Cur[0]
+	latch := body(i, l.Cur[1:])
+	i1 := b.Bin(BinAdd, i, ConstInt(TU64, 1), "")
+	cond := b.Cmp(CmpLt, i1, n, "")
+	outs := l.End(cond, append([]*Value{i1}, latch...)...)
+	return outs[1:]
+}

@@ -1,0 +1,245 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildHistogram reconstructs Listing 1 of the paper: compute the
+// histogram of a sequence.
+//
+//	fn void @count(%input: Seq<u64>):
+//	  %hist := new Map<u64,u32>()
+//	  for [%i, %val] in %input:
+//	    %hist0 := phi(%hist, %hist3)
+//	    %cond := has(%hist0, %val)
+//	    if %cond:
+//	      %freq := read(%hist0, %val)
+//	    else:
+//	      %hist1 := insert(%hist0, %val)
+//	    %freq0 := phi(%freq, 0)
+//	    %hist2 := phi(%hist0, %hist1)
+//	    %freq1 := add(%freq0, 1)
+//	    %hist3 := write(%hist2, %val, %freq1)
+//	  ret
+func buildHistogram() (*Program, *Func) {
+	b := NewFunc("count", TVoid)
+	input := b.Param("input", SeqOf(TU64))
+	hist := b.New(MapOf(TU64, TU32), "hist")
+	fe := b.ForEachBegin(Op(input), "i", "val")
+	hist0 := b.LoopPhi(fe, "hist0", hist)
+	cond := b.Has(Op(hist0), fe.Val, "cond")
+	var freq, hist1 *Value
+	iff := b.If(cond, func() {
+		freq = b.Read(Op(hist0), fe.Val, "freq")
+	}, func() {
+		hist1 = b.Insert(Op(hist0), fe.Val, "hist1")
+	})
+	freq0 := b.IfPhi(iff, "freq0", freq, ConstInt(TU32, 0))
+	hist2 := b.IfPhi(iff, "hist2", hist0, hist1)
+	freq1 := b.Bin(BinAdd, freq0, ConstInt(TU32, 1), "freq1")
+	hist3 := b.Write(Op(hist2), fe.Val, freq1, "hist3")
+	b.SetLatch(hist0, hist3)
+	b.ForEachEnd(fe)
+	b.Ret(nil)
+
+	p := NewProgram()
+	p.Add(b.Fn)
+	return p, b.Fn
+}
+
+func TestBuildAndVerifyHistogram(t *testing.T) {
+	p, _ := buildHistogram()
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify: %v\n%s", err, Print(p))
+	}
+}
+
+func TestPrintHistogram(t *testing.T) {
+	p, _ := buildHistogram()
+	text := Print(p)
+	for _, want := range []string{
+		"fn void @count(%input: Seq<u64>):",
+		"%hist := new Map<u64,u32>()",
+		"for [%i, %val] in %input:",
+		"%hist0 := phi(%hist, %hist3)",
+		"%cond := has(%hist0, %val)",
+		"if %cond:",
+		"%freq := read(%hist0, %val)",
+		"else:",
+		"%hist1 := insert(%hist0, %val)",
+		"%freq0 := phi(%freq, 0)",
+		"%freq1 := add(%freq0, 1)",
+		"%hist3 := write(%hist2, %val, %freq1)",
+		"ret",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("printed program missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestUsesAndRedefs(t *testing.T) {
+	p, fn := buildHistogram()
+	_ = p
+	ui := ComputeUses(fn)
+
+	allocs := Allocations(fn)
+	if len(allocs) != 1 {
+		t.Fatalf("allocations = %d, want 1", len(allocs))
+	}
+	redefs := ui.Redefs(allocs[0])
+	// hist, hist0 (header phi), hist1 (insert), hist2 (if-exit phi),
+	// hist3 (write).
+	if len(redefs) != 5 {
+		names := make([]string, len(redefs))
+		for i, v := range redefs {
+			names[i] = v.Name
+		}
+		t.Fatalf("redefs = %v, want 5", names)
+	}
+	byName := map[string]bool{}
+	for _, v := range redefs {
+		byName[v.Name] = true
+	}
+	for _, want := range []string{"hist", "hist0", "hist1", "hist2", "hist3"} {
+		if !byName[want] {
+			t.Fatalf("redefs missing %s", want)
+		}
+	}
+
+	// %val (the loop value binding) is used by has, read, insert, write.
+	var val *Value
+	WalkNodes(fn.Body, func(n Node) {
+		if fe, ok := n.(*ForEach); ok {
+			val = fe.Val
+		}
+	})
+	uses := ui.Uses(val)
+	if len(uses) != 4 {
+		t.Fatalf("uses of %%val = %d, want 4", len(uses))
+	}
+	if ui.LoopOf[val] == nil {
+		t.Fatal("LoopOf missing val binding")
+	}
+}
+
+func TestVerifyCatchesUndefinedUse(t *testing.T) {
+	b := NewFunc("bad", TVoid)
+	ghost := &Value{Name: "ghost", Type: TU64, Kind: VResult}
+	b.Bin(BinAdd, ghost, ConstInt(TU64, 1), "x")
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("verifier accepted use of undefined value")
+	}
+}
+
+func TestVerifyCatchesBranchScopeEscape(t *testing.T) {
+	b := NewFunc("bad", TVoid)
+	var inner *Value
+	b.If(ConstBool(true), func() {
+		inner = b.Bin(BinAdd, ConstInt(TU64, 1), ConstInt(TU64, 2), "inner")
+	}, nil)
+	// Using %inner outside the branch without a phi must fail.
+	b.Bin(BinAdd, inner, ConstInt(TU64, 1), "esc")
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("verifier accepted branch-scope escape")
+	}
+}
+
+func TestVerifyCatchesKeyTypeMismatch(t *testing.T) {
+	b := NewFunc("bad", TVoid)
+	m := b.New(MapOf(TU64, TU32), "m")
+	b.Insert(Op(m), ConstFloat(TF64, 1.5), "m1")
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("verifier accepted f64 key into Map<u64,_>")
+	}
+}
+
+func TestVerifyCallArity(t *testing.T) {
+	callee := NewFunc("callee", TU64)
+	x := callee.Param("x", TU64)
+	callee.Ret(x)
+
+	b := NewFunc("caller", TVoid)
+	b.Call("callee", TU64, "r", Op(ConstInt(TU64, 1)), Op(ConstInt(TU64, 2)))
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(callee.Fn)
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("verifier accepted wrong call arity")
+	}
+}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	p, fn := buildHistogram()
+	clone := CloneFunc(fn, "count2")
+	p.Add(clone)
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify after clone: %v", err)
+	}
+	// The clone must not share values with the original.
+	orig := map[*Value]bool{}
+	WalkInstrs(fn, func(in *Instr) {
+		for _, r := range in.Results {
+			orig[r] = true
+		}
+	})
+	WalkInstrs(clone, func(in *Instr) {
+		for _, r := range in.Results {
+			if orig[r] {
+				t.Fatalf("clone shares value %v with original", r)
+			}
+		}
+		for _, a := range in.Args {
+			if a.Base != nil && a.Base.Kind != VConst && orig[a.Base] {
+				t.Fatalf("clone references original value %v", a.Base)
+			}
+		}
+	})
+	// Printing both must yield the same body text.
+	var sb1, sb2 strings.Builder
+	PrintFunc(&sb1, fn)
+	PrintFunc(&sb2, clone)
+	b1 := sb1.String()[strings.Index(sb1.String(), ":"):]
+	b2 := sb2.String()[strings.Index(sb2.String(), ":"):]
+	if b1 != b2 {
+		t.Fatalf("clone body differs:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestTypesEqualIgnoresSelection(t *testing.T) {
+	a := MapOf(TU64, TU32)
+	b := MapOf(TU64, TU32)
+	b.Sel = 9 // some selection
+	if !TypesEqual(a, b) {
+		t.Fatal("selection must not affect type equality")
+	}
+	if TypesEqual(MapOf(TU64, TU32), MapOf(TU32, TU32)) {
+		t.Fatal("different key types compared equal")
+	}
+	if TypesEqual(SetOf(TU64), SeqOf(TU64)) {
+		t.Fatal("set equals seq")
+	}
+	if !TypesEqual(MapOf(TPtr, SetOf(TPtr)), MapOf(TPtr, SetOf(TPtr))) {
+		t.Fatal("nested types not equal")
+	}
+}
+
+func TestOperandInnerType(t *testing.T) {
+	pts := &Value{Name: "pts", Type: MapOf(TPtr, SetOf(TPtr)), Kind: VParam}
+	k := &Value{Name: "k", Type: TPtr, Kind: VParam}
+	inner := OpAt(pts, k).InnerType()
+	if !TypesEqual(inner, SetOf(TPtr)) {
+		t.Fatalf("InnerType = %v, want Set<ptr>", inner)
+	}
+}

@@ -1,0 +1,246 @@
+// Package ir implements the MEMOIR intermediate representation the
+// paper builds ADE on: an SSA-form IR with first-class data
+// collections (sequence, set, map, tuple) and structured control flow
+// (if-else, for-each, do-while), mirroring the syntax of the paper's
+// Figures 1 and 2.
+//
+// Collections are SSA values: update operations (write, insert,
+// remove, clear, union) return the new state of the collection, and
+// phi functions merge states at control-flow joins. Collection types
+// carry an optional selection annotation, e.g. Map{BitMap}<idx,u32>,
+// which the ADE pass and the collection-selection stage fill in.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"memoir/internal/collections"
+)
+
+// Type is a MEMOIR type: a scalar or a collection (Figure 2).
+type Type interface {
+	String() string
+	isType()
+}
+
+// ScalarKind enumerates the primitive types of Figure 2 plus idx, the
+// enumeration-identifier type ADE introduces, and str for interning
+// workloads.
+type ScalarKind uint8
+
+const (
+	Void ScalarKind = iota
+	Bool
+	U8
+	U16
+	U32
+	U64
+	I8
+	I16
+	I32
+	I64
+	F32
+	F64
+	Ptr // opaque pointer-sized value
+	Str
+	Idx // enumeration identifier, the dense domain [0, N)
+)
+
+var scalarNames = [...]string{
+	Void: "void", Bool: "bool",
+	U8: "u8", U16: "u16", U32: "u32", U64: "u64",
+	I8: "i8", I16: "i16", I32: "i32", I64: "i64",
+	F32: "f32", F64: "f64", Ptr: "ptr", Str: "str", Idx: "idx",
+}
+
+// ScalarType is a primitive type. Use the package-level singletons
+// (ir.TU64, ir.TIdx, ...) rather than constructing values.
+type ScalarType struct{ Kind ScalarKind }
+
+func (*ScalarType) isType() {}
+
+func (t *ScalarType) String() string { return scalarNames[t.Kind] }
+
+// Bits returns the storage width used for Table I style footprint
+// formulas.
+func (t *ScalarType) Bits() int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Bool, U8, I8:
+		return 8
+	case U16, I16:
+		return 16
+	case U32, I32, F32, Idx:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// Scalar singletons.
+var (
+	TVoid = &ScalarType{Void}
+	TBool = &ScalarType{Bool}
+	TU8   = &ScalarType{U8}
+	TU16  = &ScalarType{U16}
+	TU32  = &ScalarType{U32}
+	TU64  = &ScalarType{U64}
+	TI8   = &ScalarType{I8}
+	TI16  = &ScalarType{I16}
+	TI32  = &ScalarType{I32}
+	TI64  = &ScalarType{I64}
+	TF32  = &ScalarType{F32}
+	TF64  = &ScalarType{F64}
+	TPtr  = &ScalarType{Ptr}
+	TStr  = &ScalarType{Str}
+	TIdx  = &ScalarType{Idx}
+)
+
+var scalarByName = map[string]*ScalarType{}
+
+func init() {
+	for _, t := range []*ScalarType{TVoid, TBool, TU8, TU16, TU32, TU64, TI8, TI16, TI32, TI64, TF32, TF64, TPtr, TStr, TIdx} {
+		scalarByName[t.String()] = t
+	}
+}
+
+// ScalarByName resolves a scalar type name as written in the textual
+// format.
+func ScalarByName(name string) (*ScalarType, bool) {
+	t, ok := scalarByName[name]
+	return t, ok
+}
+
+// CollKind enumerates the collection families of Figure 2.
+type CollKind uint8
+
+const (
+	KSeq CollKind = iota
+	KSet
+	KMap
+	KTuple
+	KEnum // the Enum = (Enc, Dec) pair ADE introduces (§III-B)
+)
+
+func (k CollKind) String() string {
+	switch k {
+	case KSeq:
+		return "Seq"
+	case KSet:
+		return "Set"
+	case KMap:
+		return "Map"
+	case KTuple:
+		return "Tuple"
+	case KEnum:
+		return "Enum"
+	}
+	return "Coll(?)"
+}
+
+// CollType is a collection type with an optional implementation
+// selection (§III-A: Set{HashSet}<f32>; empty selection prints as
+// Set<f32>).
+type CollType struct {
+	Kind CollKind
+	Sel  collections.Impl // selection annotation; ImplNone = unselected
+	Key  Type             // Map key / Set element / Enum domain
+	Elem Type             // Map value / Seq element
+	Flds []Type           // Tuple fields
+}
+
+func (*CollType) isType() {}
+
+func (t *CollType) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Kind.String())
+	if t.Sel != collections.ImplNone {
+		fmt.Fprintf(&sb, "{%s}", t.Sel)
+	}
+	switch t.Kind {
+	case KSeq:
+		fmt.Fprintf(&sb, "<%s>", t.Elem)
+	case KSet:
+		fmt.Fprintf(&sb, "<%s>", t.Key)
+	case KMap:
+		fmt.Fprintf(&sb, "<%s,%s>", t.Key, t.Elem)
+	case KTuple:
+		names := make([]string, len(t.Flds))
+		for i, f := range t.Flds {
+			names[i] = f.String()
+		}
+		fmt.Fprintf(&sb, "<%s>", strings.Join(names, ","))
+	case KEnum:
+		fmt.Fprintf(&sb, "<%s>", t.Key)
+	}
+	return sb.String()
+}
+
+// Assoc reports whether the type is an associative collection (set or
+// map), the kind ADE targets.
+func (t *CollType) Assoc() bool { return t.Kind == KSet || t.Kind == KMap }
+
+// SeqOf returns a Seq<elem> type.
+func SeqOf(elem Type) *CollType { return &CollType{Kind: KSeq, Elem: elem} }
+
+// SetOf returns a Set<key> type.
+func SetOf(key Type) *CollType { return &CollType{Kind: KSet, Key: key} }
+
+// MapOf returns a Map<key,val> type.
+func MapOf(key, val Type) *CollType { return &CollType{Kind: KMap, Key: key, Elem: val} }
+
+// TupleOf returns a Tuple over the given field types.
+func TupleOf(fields ...Type) *CollType { return &CollType{Kind: KTuple, Flds: fields} }
+
+// EnumOf returns the type of an enumeration over domain key: a pair of
+// Enc = Map<key,idx> and Dec = Seq<key> (§III-B).
+func EnumOf(key Type) *CollType { return &CollType{Kind: KEnum, Key: key} }
+
+// TypesEqual reports structural equality, ignoring selection
+// annotations (two Set<f32> are the same type whether or not one has
+// been assigned a HashSet).
+func TypesEqual(a, b Type) bool {
+	switch at := a.(type) {
+	case *ScalarType:
+		bt, ok := b.(*ScalarType)
+		return ok && at.Kind == bt.Kind
+	case *CollType:
+		bt, ok := b.(*CollType)
+		if !ok || at.Kind != bt.Kind {
+			return false
+		}
+		if (at.Key == nil) != (bt.Key == nil) || (at.Elem == nil) != (bt.Elem == nil) {
+			return false
+		}
+		if at.Key != nil && !TypesEqual(at.Key, bt.Key) {
+			return false
+		}
+		if at.Elem != nil && !TypesEqual(at.Elem, bt.Elem) {
+			return false
+		}
+		if len(at.Flds) != len(bt.Flds) {
+			return false
+		}
+		for i := range at.Flds {
+			if !TypesEqual(at.Flds[i], bt.Flds[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsScalar reports whether t is a scalar of the given kind.
+func IsScalar(t Type, k ScalarKind) bool {
+	st, ok := t.(*ScalarType)
+	return ok && st.Kind == k
+}
+
+// AsColl returns t as a collection type, or nil.
+func AsColl(t Type) *CollType {
+	ct, _ := t.(*CollType)
+	return ct
+}

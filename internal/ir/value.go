@@ -1,0 +1,170 @@
+package ir
+
+import "fmt"
+
+// ValueKind distinguishes the three sources of SSA values.
+type ValueKind uint8
+
+const (
+	VParam ValueKind = iota
+	VConst
+	VResult
+)
+
+// Value is an SSA value: a function parameter, an inline constant, or
+// an instruction result. Values are compared by identity.
+type Value struct {
+	Name string // without the % sigil; empty for constants
+	Type Type
+	Kind ValueKind
+
+	// For VResult.
+	Def    *Instr
+	ResIdx int
+
+	// For VParam.
+	ParamIdx int
+
+	// For VConst.
+	ConstInt uint64  // integer/bool/ptr bits, or string index
+	ConstFlt float64 // float constants
+	ConstStr string  // string constants
+
+	// Slot is the frame index assigned by FinalizeSlots; 0 means
+	// unassigned (slot numbering starts at 1).
+	Slot int
+}
+
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	switch v.Kind {
+	case VConst:
+		switch t := v.Type.(type) {
+		case *ScalarType:
+			switch t.Kind {
+			case F32, F64:
+				return fmt.Sprintf("%g", v.ConstFlt)
+			case Str:
+				return fmt.Sprintf("%q", v.ConstStr)
+			case Bool:
+				if v.ConstInt != 0 {
+					return "true"
+				}
+				return "false"
+			default:
+				if t.Kind == I8 || t.Kind == I16 || t.Kind == I32 || t.Kind == I64 {
+					return fmt.Sprintf("%d", int64(v.ConstInt))
+				}
+				return fmt.Sprintf("%d", v.ConstInt)
+			}
+		}
+		return fmt.Sprintf("const(%v)", v.ConstInt)
+	default:
+		return "%" + v.Name
+	}
+}
+
+// ConstInt64 returns an integer constant value of type t.
+func ConstInt(t *ScalarType, x uint64) *Value {
+	return &Value{Kind: VConst, Type: t, ConstInt: x}
+}
+
+// ConstFloat returns a floating-point constant value of type t.
+func ConstFloat(t *ScalarType, x float64) *Value {
+	return &Value{Kind: VConst, Type: t, ConstFlt: x}
+}
+
+// ConstString returns a string constant.
+func ConstString(s string) *Value {
+	return &Value{Kind: VConst, Type: TStr, ConstStr: s}
+}
+
+// ConstBool returns a boolean constant.
+func ConstBool(b bool) *Value {
+	x := uint64(0)
+	if b {
+		x = 1
+	}
+	return &Value{Kind: VConst, Type: TBool, ConstInt: x}
+}
+
+// IndexKind enumerates the scalar forms usable in an operand path
+// (Figure 1: s ::= v | n | end).
+type IndexKind uint8
+
+const (
+	IdxValue IndexKind = iota
+	IdxConst
+	IdxEnd
+	IdxField // tuple field access x.n
+)
+
+// Index is one step of an operand path: x[s] or x.n.
+type Index struct {
+	Kind IndexKind
+	Val  *Value // IdxValue: the index value (also set after patching)
+	Num  uint64 // IdxConst / IdxField
+}
+
+func (ix Index) String() string {
+	switch ix.Kind {
+	case IdxValue:
+		return "[" + ix.Val.String() + "]"
+	case IdxConst:
+		return fmt.Sprintf("[%d]", ix.Num)
+	case IdxEnd:
+		return "[end]"
+	case IdxField:
+		return fmt.Sprintf(".%d", ix.Num)
+	}
+	return "[?]"
+}
+
+// Operand is a value with an optional nesting path (Figure 1:
+// x ::= v | x[s] | x.n). read(%m[%k], %v) accesses the collection
+// nested at key %k of %m.
+type Operand struct {
+	Base *Value
+	Path []Index
+}
+
+// Op returns an operand with no path.
+func Op(v *Value) Operand { return Operand{Base: v} }
+
+// OpAt returns an operand with a single value-indexed path step,
+// addressing the collection nested at key k.
+func OpAt(v, k *Value) Operand {
+	return Operand{Base: v, Path: []Index{{Kind: IdxValue, Val: k}}}
+}
+
+func (o Operand) String() string {
+	s := o.Base.String()
+	for _, ix := range o.Path {
+		s += ix.String()
+	}
+	return s
+}
+
+// InnerType returns the type addressed by the operand after applying
+// its path to the base type.
+func (o Operand) InnerType() Type {
+	t := o.Base.Type
+	for _, ix := range o.Path {
+		ct := AsColl(t)
+		if ct == nil {
+			return nil
+		}
+		switch ix.Kind {
+		case IdxField:
+			if int(ix.Num) >= len(ct.Flds) {
+				return nil
+			}
+			t = ct.Flds[ix.Num]
+		default:
+			t = ct.Elem
+		}
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package ir
+
+import "testing"
+
+func verifyOne(t *testing.T, build func(b *Builder)) error {
+	t.Helper()
+	b := NewFunc("f", TVoid)
+	build(b)
+	p := NewProgram()
+	p.Add(b.Fn)
+	return Verify(p)
+}
+
+func TestVerifyUnionTypeMismatch(t *testing.T) {
+	err := verifyOne(t, func(b *Builder) {
+		a := b.New(SetOf(TU64), "a")
+		c := b.New(SetOf(TF64), "c")
+		b.Union(Op(a), Op(c), "u")
+		b.Ret(nil)
+	})
+	if err == nil {
+		t.Fatal("union over mismatched element types accepted")
+	}
+}
+
+func TestVerifyUnionOnMaps(t *testing.T) {
+	err := verifyOne(t, func(b *Builder) {
+		a := b.New(MapOf(TU64, TU64), "a")
+		c := b.New(MapOf(TU64, TU64), "c")
+		b.Union(Op(a), Op(c), "u")
+		b.Ret(nil)
+	})
+	if err == nil {
+		t.Fatal("union over maps accepted")
+	}
+}
+
+func TestVerifyPhiTypeMismatch(t *testing.T) {
+	b := NewFunc("f", TVoid)
+	x := b.Bin(BinAdd, ConstInt(TU64, 1), ConstInt(TU64, 2), "x")
+	iff := b.If(ConstBool(true), func() {}, func() {})
+	// Hand-build a malformed phi: u64 and f64 operands.
+	in := &Instr{Op: OpPhi, PhiRole: PhiIfExit, Args: []Operand{Op(x), Op(ConstFloat(TF64, 1))}}
+	r := &Value{Name: "bad", Type: TU64, Kind: VResult, Def: in}
+	in.Results = []*Value{r}
+	iff.ExitPhis = append(iff.ExitPhis, in)
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("phi type mismatch accepted")
+	}
+}
+
+func TestVerifyNonBoolConditions(t *testing.T) {
+	err := verifyOne(t, func(b *Builder) {
+		x := b.Bin(BinAdd, ConstInt(TU64, 1), ConstInt(TU64, 2), "x")
+		b.If(x, func() {}, nil)
+		b.Ret(nil)
+	})
+	if err == nil {
+		t.Fatal("non-bool if condition accepted")
+	}
+	err = verifyOne(t, func(b *Builder) {
+		dw := b.DoWhileBegin()
+		x := b.Bin(BinAdd, ConstInt(TU64, 1), ConstInt(TU64, 2), "x")
+		b.DoWhileEnd(dw, x)
+		b.Ret(nil)
+	})
+	if err == nil {
+		t.Fatal("non-bool do-while condition accepted")
+	}
+}
+
+func TestVerifyReturnMismatch(t *testing.T) {
+	b := NewFunc("f", TU64)
+	b.Ret(ConstFloat(TF64, 1.5))
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("f64 return from u64 function accepted")
+	}
+
+	b2 := NewFunc("g", TVoid)
+	b2.Ret(ConstInt(TU64, 1))
+	p2 := NewProgram()
+	p2.Add(b2.Fn)
+	if err := Verify(p2); err == nil {
+		t.Fatal("value return from void function accepted")
+	}
+}
+
+func TestVerifyReadOnSet(t *testing.T) {
+	b := NewFunc("f", TVoid)
+	s := b.New(SetOf(TU64), "s")
+	in := &Instr{Op: OpRead, Args: []Operand{Op(s), Op(ConstInt(TU64, 1))}}
+	r := &Value{Name: "r", Type: TU64, Kind: VResult, Def: in}
+	in.Results = []*Value{r}
+	b.Fn.Body.Append(in)
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("read on a set accepted")
+	}
+}
+
+func TestVerifyLatchOutOfScope(t *testing.T) {
+	// A header phi whose latch references a value from a sibling
+	// branch that is out of scope at the latch point is still caught
+	// as not-available.
+	b := NewFunc("f", TVoid)
+	ghost := &Value{Name: "ghost", Type: TU64, Kind: VResult}
+	dw := b.DoWhileBegin()
+	i := b.LoopPhi(dw, "i", ConstInt(TU64, 0))
+	cond := b.Cmp(CmpLt, i, ConstInt(TU64, 3), "c")
+	b.SetLatch(i, ghost)
+	b.DoWhileEnd(dw, cond)
+	b.Ret(nil)
+	p := NewProgram()
+	p.Add(b.Fn)
+	if err := Verify(p); err == nil {
+		t.Fatal("latch referencing undefined value accepted")
+	}
+}
+
+func TestFinalizeSlots(t *testing.T) {
+	b := NewFunc("f", TU64)
+	x := b.Param("x", TU64)
+	y := b.Bin(BinAdd, x, ConstInt(TU64, 1), "y")
+	fe := b.ForEachBegin(Op(b.New(SeqOf(TU64), "s")), "k", "v")
+	b.ForEachEnd(fe)
+	b.Ret(y)
+	n := FinalizeSlots(b.Fn)
+	seen := map[int]bool{}
+	for _, v := range []*Value{x, y, fe.Key, fe.Val} {
+		if v.Slot == 0 {
+			t.Fatalf("%v unassigned", v)
+		}
+		if seen[v.Slot] {
+			t.Fatalf("slot %d reused", v.Slot)
+		}
+		seen[v.Slot] = true
+		if v.Slot >= n {
+			t.Fatalf("slot %d >= frame size %d", v.Slot, n)
+		}
+	}
+}

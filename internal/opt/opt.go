@@ -1,0 +1,277 @@
+// Package opt provides post-ADE cleanup passes over the MEMOIR IR:
+// constant folding and dead-code elimination. ADE inserts translations
+// on demand, so its own output is already lean; these passes clean up
+// hand-written or generated programs (and the redundancy the RTE
+// ablation deliberately leaves behind when an operand later folds
+// away).
+package opt
+
+import (
+	"math"
+
+	"memoir/internal/ir"
+)
+
+// Cleanup runs constant folding and dead-code elimination to a
+// fixpoint over every function and returns the number of instructions
+// removed or folded.
+func Cleanup(p *ir.Program) int {
+	total := 0
+	for _, name := range p.Order {
+		fn := p.Funcs[name]
+		for {
+			n := foldConstants(fn) + removeDead(fn)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+	}
+	return total
+}
+
+// pure reports whether removing the instruction (when its results are
+// unused) cannot change observable behavior. Enumeration @add is NOT
+// pure: it grows the enumeration, shifting later identifiers.
+func pure(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpRead, ir.OpHas, ir.OpSize, ir.OpBin, ir.OpCmp, ir.OpNot,
+		ir.OpSelect, ir.OpCast, ir.OpEncode, ir.OpDecode,
+		ir.OpNew, ir.OpNewEnum, ir.OpEnumGlobal, ir.OpPhi, ir.OpTuple, ir.OpField:
+		return true
+	}
+	return false
+}
+
+// removeDead deletes pure instructions whose results are all unused,
+// empty ifs, and loops with no effects; returns the number removed.
+func removeDead(fn *ir.Func) int {
+	ui := ir.ComputeUses(fn)
+	removed := 0
+	used := func(in *ir.Instr) bool {
+		for _, r := range in.Results {
+			if len(ui.Uses(r)) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	deadPhis := func(phis []*ir.Instr) []*ir.Instr {
+		var keep []*ir.Instr
+		for _, p := range phis {
+			if used(p) {
+				keep = append(keep, p)
+			} else {
+				removed++
+			}
+		}
+		return keep
+	}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		var out []ir.Node
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ir.Instr:
+				if pure(n) && !used(n) {
+					removed++
+					continue
+				}
+			case *ir.If:
+				walk(n.Then)
+				walk(n.Else)
+				n.ExitPhis = deadPhis(n.ExitPhis)
+				if len(n.Then.Nodes) == 0 && len(n.Else.Nodes) == 0 && len(n.ExitPhis) == 0 {
+					removed++
+					continue
+				}
+			case *ir.ForEach:
+				walk(n.Body)
+				n.ExitPhis = deadPhis(n.ExitPhis)
+				// Header phis whose only consumers are themselves and
+				// dead code could be pruned too; keep it simple and
+				// only drop fully effect-free loops.
+				if len(n.Body.Nodes) == 0 && len(n.HeaderPhis) == 0 && len(n.ExitPhis) == 0 {
+					removed++
+					continue
+				}
+			case *ir.DoWhile:
+				walk(n.Body)
+				n.ExitPhis = deadPhis(n.ExitPhis)
+			}
+			out = append(out, n)
+		}
+		b.Nodes = out
+	}
+	walk(fn.Body)
+	return removed
+}
+
+// foldConstants evaluates pure scalar instructions with all-constant
+// operands and rewrites their uses; returns the number folded.
+func foldConstants(fn *ir.Func) int {
+	ui := ir.ComputeUses(fn)
+	folded := 0
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		cv, ok := evalConst(in)
+		if !ok {
+			return
+		}
+		res := in.Result()
+		uses := ui.Uses(res)
+		if len(uses) == 0 {
+			return // dead; DCE handles it
+		}
+		for _, u := range uses {
+			switch {
+			case u.Instr != nil && u.IsBase():
+				u.Instr.Args[u.Arg].Base = cv
+			case u.Instr != nil:
+				u.Instr.Args[u.Arg].Path[u.Path].Val = cv
+			}
+			// Structural uses (conditions, loop collections) cannot be
+			// constants of interest here; conditions folding to consts
+			// would need branch folding, which we leave alone.
+		}
+		folded++
+	})
+	return folded
+}
+
+func constOperand(o ir.Operand) (*ir.Value, bool) {
+	if o.Base != nil && o.Base.Kind == ir.VConst && len(o.Path) == 0 {
+		return o.Base, true
+	}
+	return nil, false
+}
+
+// evalConst interprets one scalar instruction over constants.
+func evalConst(in *ir.Instr) (*ir.Value, bool) {
+	if len(in.Results) != 1 {
+		return nil, false
+	}
+	st, ok := in.Result().Type.(*ir.ScalarType)
+	if !ok {
+		return nil, false
+	}
+	switch in.Op {
+	case ir.OpBin:
+		a, okA := constOperand(in.Args[0])
+		bv, okB := constOperand(in.Args[1])
+		if !okA || !okB {
+			return nil, false
+		}
+		at, _ := a.Type.(*ir.ScalarType)
+		if at == nil {
+			return nil, false
+		}
+		if at.Kind == ir.F32 || at.Kind == ir.F64 {
+			x, y := a.ConstFlt, bv.ConstFlt
+			var r float64
+			switch in.Bin {
+			case ir.BinAdd:
+				r = x + y
+			case ir.BinSub:
+				r = x - y
+			case ir.BinMul:
+				r = x * y
+			case ir.BinDiv:
+				if y == 0 {
+					return nil, false
+				}
+				r = x / y
+			case ir.BinMin:
+				r = math.Min(x, y)
+			case ir.BinMax:
+				r = math.Max(x, y)
+			default:
+				return nil, false
+			}
+			return ir.ConstFloat(st, r), true
+		}
+		x, y := a.ConstInt, bv.ConstInt
+		var r uint64
+		switch in.Bin {
+		case ir.BinAdd:
+			r = x + y
+		case ir.BinSub:
+			r = x - y
+		case ir.BinMul:
+			r = x * y
+		case ir.BinDiv:
+			if y == 0 {
+				return nil, false
+			}
+			r = x / y
+		case ir.BinRem:
+			if y == 0 {
+				return nil, false
+			}
+			r = x % y
+		case ir.BinAnd:
+			r = x & y
+		case ir.BinOr:
+			r = x | y
+		case ir.BinXor:
+			r = x ^ y
+		case ir.BinShl:
+			r = x << (y & 63)
+		case ir.BinShr:
+			r = x >> (y & 63)
+		case ir.BinMin:
+			r = min(x, y)
+		case ir.BinMax:
+			r = max(x, y)
+		default:
+			return nil, false
+		}
+		return ir.ConstInt(st, r), true
+	case ir.OpCmp:
+		a, okA := constOperand(in.Args[0])
+		bv, okB := constOperand(in.Args[1])
+		if !okA || !okB {
+			return nil, false
+		}
+		at, _ := a.Type.(*ir.ScalarType)
+		if at == nil || at.Kind == ir.F32 || at.Kind == ir.F64 || at.Kind == ir.Str {
+			return nil, false
+		}
+		x, y := a.ConstInt, bv.ConstInt
+		var r bool
+		switch in.Cmp {
+		case ir.CmpEq:
+			r = x == y
+		case ir.CmpNe:
+			r = x != y
+		case ir.CmpLt:
+			r = x < y
+		case ir.CmpLe:
+			r = x <= y
+		case ir.CmpGt:
+			r = x > y
+		case ir.CmpGe:
+			r = x >= y
+		}
+		return ir.ConstBool(r), true
+	case ir.OpNot:
+		a, okA := constOperand(in.Args[0])
+		if !okA {
+			return nil, false
+		}
+		return ir.ConstBool(a.ConstInt == 0), true
+	case ir.OpSelect:
+		c, okC := constOperand(in.Args[0])
+		if !okC {
+			return nil, false
+		}
+		pick := in.Args[2]
+		if c.ConstInt != 0 {
+			pick = in.Args[1]
+		}
+		if v, ok := constOperand(pick); ok {
+			return v, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -1,0 +1,174 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p
+}
+
+func TestDCERemovesUnusedPureOps(t *testing.T) {
+	p := parse(t, `
+fn u64 @main(): exported
+  %dead1 := add(1, 2)
+  %dead2 := mul(%dead1, 3)
+  %s := new Set<u64>()
+  %live := new Set<u64>()
+  %l1 := insert(%live, 7)
+  %n := size(%l1)
+  ret %n
+`)
+	n := Cleanup(p)
+	if n < 3 { // dead1, dead2, s at minimum
+		t.Fatalf("removed %d, want >= 3", n)
+	}
+	text := ir.Print(p)
+	if strings.Contains(text, "dead1") || strings.Contains(text, "%s :=") {
+		t.Fatalf("dead code survived:\n%s", text)
+	}
+	ip := interp.New(p, interp.DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil || ret.I != 1 {
+		t.Fatalf("run after cleanup: %v %d", err, ret.I)
+	}
+}
+
+func TestDCEKeepsEffects(t *testing.T) {
+	p := parse(t, `
+fn u64 @main(): exported
+  %e := new Enum<u64>()
+  (%e1, %id) := call @add(%e, 42)
+  %s := new Set<u64>()
+  %s1 := insert(%s, 5)
+  emit(7)
+  ret 0
+`)
+	Cleanup(p)
+	text := ir.Print(p)
+	for _, want := range []string{"call @add", "insert", "emit(7)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("effectful op removed (%q):\n%s", want, text)
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := parse(t, `
+fn u64 @main(): exported
+  %a := add(40, 2)
+  %b := mul(%a, 10)
+  %c := lt(%b, 1000)
+  %d := select(%c, %b, 0)
+  emit(%d)
+  ret %d
+`)
+	n := Cleanup(p)
+	if n == 0 {
+		t.Fatal("nothing folded")
+	}
+	text := ir.Print(p)
+	if !strings.Contains(text, "emit(420)") {
+		t.Fatalf("chain not folded to 420:\n%s", text)
+	}
+	ip := interp.New(p, interp.DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil || ret.I != 420 {
+		t.Fatalf("run: %v %d", err, ret.I)
+	}
+}
+
+func TestFoldDoesNotTouchDivByZero(t *testing.T) {
+	p := parse(t, `
+fn u64 @main(): exported
+  %x := div(10, 0)
+  emit(%x)
+  ret %x
+`)
+	Cleanup(p)
+	if !strings.Contains(ir.Print(p), "div(10, 0)") {
+		t.Fatal("div-by-zero folded away")
+	}
+}
+
+func TestEmptyIfRemoved(t *testing.T) {
+	p := parse(t, `
+fn u64 @main(): exported
+  %c := lt(1, 2)
+  if %c:
+    %dead := add(1, 1)
+  ret 5
+`)
+	Cleanup(p)
+	text := ir.Print(p)
+	if strings.Contains(text, "if ") {
+		t.Fatalf("empty if survived:\n%s", text)
+	}
+	ip := interp.New(p, interp.DefaultOptions())
+	ret, err := ip.Run("main")
+	if err != nil || ret.I != 5 {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// Cleanup must preserve behavior on a nontrivial program with loops.
+func TestCleanupPreservesBehavior(t *testing.T) {
+	src := `
+fn u64 @main(): exported
+  %s := new Map<u64,u64>()
+  %waste := new Seq<u64>()
+  do:
+    %i := phi(0, %i1)
+    %s0 := phi(%s, %s2)
+    %unusedSum := add(%i, 100)
+    %k := mul(%i, 777)
+    %s1 := insert(%s0, %k)
+    %s2 := write(%s1, %k, %i)
+    %i1 := add(%i, 1)
+    %m := lt(%i1, 50)
+  while %m
+  %sF := phi(%s0)
+  for [%kk, %vv] in %sF:
+    %acc0 := phi(0, %acc1)
+    %acc1 := xor(%acc0, %vv)
+  %accF := phi(%acc0)
+  emit(%accF)
+  ret %accF
+`
+	ref := parse(t, src)
+	ipRef := interp.New(ref, interp.DefaultOptions())
+	want, err := ipRef.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := parse(t, src)
+	removed := Cleanup(p)
+	if removed == 0 {
+		t.Fatal("expected some cleanup (unusedSum, waste)")
+	}
+	if err := ir.Verify(p); err != nil {
+		t.Fatalf("verify after cleanup: %v\n%s", err, ir.Print(p))
+	}
+	ip := interp.New(p, interp.DefaultOptions())
+	got, err := ip.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I {
+		t.Fatalf("cleanup changed result: %d vs %d", got.I, want.I)
+	}
+}

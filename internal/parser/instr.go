@@ -1,0 +1,430 @@
+package parser
+
+import (
+	"fmt"
+
+	"memoir/internal/ir"
+)
+
+// parseInstr reads one instruction line (results already on the line).
+func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
+	// Optional results.
+	var resNames []string
+	save := c.i
+	switch {
+	case c.peek().kind == tValue:
+		n := c.next().text
+		if c.accept(":=") {
+			resNames = []string{n}
+		} else {
+			c.i = save
+		}
+	case c.at("("):
+		c.i++
+		a, err1 := c.expectKind(tValue)
+		if err1 == nil && c.accept(",") {
+			b, err2 := c.expectKind(tValue)
+			if err2 == nil && c.accept(")") && c.accept(":=") {
+				resNames = []string{a, b}
+			} else {
+				c.i = save
+			}
+		} else {
+			c.i = save
+		}
+	}
+
+	opTok := c.peek()
+	if opTok.kind != tIdent {
+		return nil, fmt.Errorf("line %d: expected instruction, got %q", c.line, opTok.text)
+	}
+	c.i++
+	op := opTok.text
+
+	in := &ir.Instr{}
+	var resType ir.Type // type of results[0]
+	var res2Type ir.Type
+
+	switch {
+	case op == "new":
+		t, err := p.parseType(c)
+		if err != nil {
+			return nil, err
+		}
+		ct := ir.AsColl(t)
+		if ct == nil {
+			return nil, fmt.Errorf("line %d: new of non-collection type", c.line)
+		}
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		if ct.Kind == ir.KEnum {
+			in.Op = ir.OpNewEnum
+		} else {
+			in.Op = ir.OpNew
+			in.Alloc = ct
+		}
+		in.Dir = p.pending
+		p.pending = nil
+		resType = ct
+
+	case op == "enumglobal":
+		domain := ir.Type(ir.TU64)
+		if c.accept("<") {
+			t, err := p.parseType(c)
+			if err != nil {
+				return nil, err
+			}
+			domain = t
+			if err := c.expect(">"); err != nil {
+				return nil, err
+			}
+		}
+		g, err := c.expectKind(tAt)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = ir.OpEnumGlobal
+		in.Callee = g
+		resType = ir.EnumOf(domain)
+
+	case op == "call":
+		callee, err := c.expectKind(tAt)
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = args
+		switch callee {
+		case "enc":
+			in.Op = ir.OpEncode
+			resType = ir.TIdx
+		case "dec":
+			in.Op = ir.OpDecode
+			if et := ir.AsColl(args[0].Base.Type); et != nil {
+				resType = et.Key
+			} else {
+				resType = ir.TU64
+			}
+		case "add":
+			in.Op = ir.OpEnumAdd
+			resType = args[0].Base.Type
+			res2Type = ir.TIdx
+		default:
+			in.Op = ir.OpCall
+			in.Callee = callee
+			rt, ok := p.sigs[callee]
+			if !ok {
+				return nil, fmt.Errorf("line %d: call to unknown @%s", c.line, callee)
+			}
+			if !ir.IsScalar(rt, ir.Void) {
+				resType = rt
+			}
+		}
+
+	case op == "ret":
+		in.Op = ir.OpRet
+		if c.peek().kind != tEOF {
+			o, err := p.parseOperand(c)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = []ir.Operand{o}
+		}
+
+	case op == "roi":
+		in.Op = ir.OpROI
+		c.accept("(")
+		c.accept(")")
+
+	case op == "emit":
+		in.Op = ir.OpEmit
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = args
+
+	case op == "phi":
+		in.Op = ir.OpPhi
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = args
+		for _, a := range args {
+			if t := operandType(a); t != nil {
+				resType = t
+				break
+			}
+		}
+		if resType == nil && len(args) > 0 && args[0].Base != nil {
+			resType = args[0].Base.Type // all-constant phi
+		}
+		if resType == nil {
+			return nil, fmt.Errorf("line %d: cannot type phi (no typed operand)", c.line)
+		}
+
+	case op == "cast":
+		if err := c.expect("<"); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(">"); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = ir.OpCast
+		in.CastTo = t
+		in.Args = args
+		resType = t
+
+	case op == "tuple":
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = ir.OpTuple
+		in.Args = args
+		types := make([]ir.Type, len(args))
+		for i, a := range args {
+			types[i] = a.InnerType()
+		}
+		resType = ir.TupleOf(types...)
+
+	case op == "field":
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		o, err := p.parseOperand(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(","); err != nil {
+			return nil, err
+		}
+		idxTok, err := c.expectKind(tInt)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, ch := range idxTok {
+			n = n*10 + int(ch-'0')
+		}
+		in.Op = ir.OpField
+		in.FieldIdx = n
+		in.Args = []ir.Operand{o}
+		ct := ir.AsColl(o.InnerType())
+		if ct == nil || ct.Kind != ir.KTuple || n >= len(ct.Flds) {
+			return nil, fmt.Errorf("line %d: bad field access", c.line)
+		}
+		resType = ct.Flds[n]
+
+	case op == "not":
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = ir.OpNot
+		in.Args = args
+		resType = ir.TBool
+
+	case op == "select":
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = ir.OpSelect
+		in.Args = args
+		resType = operandType(args[1])
+		if resType == nil {
+			resType = operandType(args[2])
+		}
+		if resType == nil {
+			resType = args[1].Base.Type // all-constant select
+		}
+
+	default:
+		if bk, ok := ir.BinByName(op); ok {
+			args, err := p.parseArgs(c)
+			if err != nil {
+				return nil, err
+			}
+			in.Op = ir.OpBin
+			in.Bin = bk
+			in.Args = args
+			resType = operandType(args[0])
+			if resType == nil {
+				resType = operandType(args[1])
+			}
+			if resType == nil {
+				resType = args[0].Base.Type // all-constant arithmetic
+			}
+			break
+		}
+		if ck, ok := ir.CmpByName(op); ok {
+			args, err := p.parseArgs(c)
+			if err != nil {
+				return nil, err
+			}
+			in.Op = ir.OpCmp
+			in.Cmp = ck
+			in.Args = args
+			resType = ir.TBool
+			break
+		}
+		collOp, ok := map[string]ir.Opcode{
+			"read": ir.OpRead, "has": ir.OpHas, "size": ir.OpSize,
+			"write": ir.OpWrite, "insert": ir.OpInsert, "remove": ir.OpRemove,
+			"clear": ir.OpClear, "union": ir.OpUnion,
+		}[op]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown instruction %q", c.line, op)
+		}
+		args, err := p.parseArgs(c)
+		if err != nil {
+			return nil, err
+		}
+		in.Op = collOp
+		in.Args = args
+		ct := ir.AsColl(args[0].InnerType())
+		if ct == nil {
+			return nil, fmt.Errorf("line %d: %s on non-collection (is %%%s defined before use?)", c.line, op, args[0].Base.Name)
+		}
+		switch collOp {
+		case ir.OpRead:
+			resType = ct.Elem
+		case ir.OpHas:
+			resType = ir.TBool
+		case ir.OpSize:
+			resType = ir.TU64
+		default:
+			// Updates return the new state of the base collection.
+			resType = args[0].Base.Type
+		}
+	}
+
+	p.coerceConsts(in)
+
+	switch len(resNames) {
+	case 0:
+	case 1:
+		if resType == nil {
+			return nil, fmt.Errorf("line %d: instruction produces no result", c.line)
+		}
+		p.defineResult(resNames[0], in, resType)
+	case 2:
+		if in.Op != ir.OpEnumAdd {
+			return nil, fmt.Errorf("line %d: only call @add returns two results", c.line)
+		}
+		p.defineResult(resNames[0], in, resType)
+		p.defineResult(resNames[1], in, res2Type)
+	}
+	return in, nil
+}
+
+func operandType(o ir.Operand) ir.Type {
+	if o.Base == nil {
+		return nil
+	}
+	if o.Base.Kind == ir.VConst {
+		return nil // default-typed constants defer to the other operand
+	}
+	return o.Base.Type
+}
+
+// coerceConsts retypes default-typed integer/float constants to match
+// the concrete types their positions require, so `add(%x, 1)` works
+// for any integer width.
+func (p *parser) coerceConsts(in *ir.Instr) {
+	retype := func(o *ir.Operand, t ir.Type) {
+		st, ok := t.(*ir.ScalarType)
+		if !ok || o.Base == nil || o.Base.Kind != ir.VConst {
+			return
+		}
+		cst, _ := o.Base.Type.(*ir.ScalarType)
+		if cst == nil || cst == st {
+			return
+		}
+		// Only coerce the parser's default-typed literals.
+		if cst.Kind != ir.U64 && cst.Kind != ir.I64 && cst.Kind != ir.F64 {
+			return
+		}
+		nv := *o.Base
+		nv.Type = st
+		// Keep the value in the representation its new type reads.
+		switch {
+		case st.Kind == ir.F32 || st.Kind == ir.F64:
+			if cst.Kind != ir.F64 {
+				nv.ConstFlt = float64(int64(nv.ConstInt))
+			}
+		default:
+			if cst.Kind == ir.F64 {
+				nv.ConstInt = uint64(int64(nv.ConstFlt))
+			}
+		}
+		o.Base = &nv
+	}
+	switch in.Op {
+	case ir.OpBin, ir.OpCmp:
+		t := operandType(in.Args[0])
+		if t == nil {
+			t = operandType(in.Args[1])
+		}
+		if t != nil {
+			retype(&in.Args[0], t)
+			retype(&in.Args[1], t)
+		}
+	case ir.OpSelect:
+		t := operandType(in.Args[1])
+		if t == nil {
+			t = operandType(in.Args[2])
+		}
+		if t != nil {
+			retype(&in.Args[1], t)
+			retype(&in.Args[2], t)
+		}
+	case ir.OpPhi:
+		var t ir.Type
+		for _, a := range in.Args {
+			if tt := operandType(a); tt != nil {
+				t = tt
+				break
+			}
+		}
+		if t != nil {
+			for i := range in.Args {
+				retype(&in.Args[i], t)
+			}
+		}
+	case ir.OpRead, ir.OpHas, ir.OpRemove, ir.OpInsert, ir.OpWrite:
+		ct := ir.AsColl(in.Args[0].InnerType())
+		if ct == nil {
+			return
+		}
+		if len(in.Args) > 1 && ct.Assoc() {
+			retype(&in.Args[1], ct.Key)
+		}
+		if in.Op == ir.OpWrite && len(in.Args) > 2 {
+			retype(&in.Args[2], ct.Elem)
+		}
+		if in.Op == ir.OpInsert && ct.Kind == ir.KSeq && len(in.Args) > 2 {
+			retype(&in.Args[2], ct.Elem)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package parser
+
+import (
+	"fmt"
+
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+)
+
+// parseFunc reads one `fn T @name(params):` plus its body.
+func (p *parser) parseFunc() error {
+	l := p.next()
+	c := &cursor{toks: l.toks, line: l.num}
+	if err := c.expect("fn"); err != nil {
+		return err
+	}
+	ret, err := p.parseType(c)
+	if err != nil {
+		return err
+	}
+	name, err := c.expectKind(tAt)
+	if err != nil {
+		return err
+	}
+	fn := &ir.Func{Name: name, Ret: ret, Body: &ir.Block{}}
+	p.fn = fn
+	p.vals = map[string]*ir.Value{}
+	p.defined = map[string]bool{}
+	if err := c.expect("("); err != nil {
+		return err
+	}
+	for !c.at(")") {
+		pname, err := c.expectKind(tValue)
+		if err != nil {
+			return err
+		}
+		if err := c.expect(":"); err != nil {
+			return err
+		}
+		pt, err := p.parseType(c)
+		if err != nil {
+			return err
+		}
+		v := &ir.Value{Name: pname, Type: pt, Kind: ir.VParam, ParamIdx: len(fn.Params)}
+		fn.Params = append(fn.Params, v)
+		p.define(pname, v)
+		if !c.accept(",") {
+			break
+		}
+	}
+	if err := c.expect(")"); err != nil {
+		return err
+	}
+	if err := c.expect(":"); err != nil {
+		return err
+	}
+	if c.accept("exported") {
+		fn.Exported = true
+	}
+	blk, err := p.parseBlock(1)
+	if err != nil {
+		return err
+	}
+	fn.Body = blk
+	for name := range p.vals {
+		if !p.defined[name] {
+			return fmt.Errorf("@%s: value %%%s used but never defined", fn.Name, name)
+		}
+	}
+	p.prog.Add(fn)
+	return nil
+}
+
+// parseBlock consumes statements at the given indent level.
+func (p *parser) parseBlock(indent int) (*ir.Block, error) {
+	blk := &ir.Block{}
+	for {
+		l := p.peek()
+		if l == nil || l.indent < indent {
+			return blk, nil
+		}
+		if l.indent > indent {
+			return nil, p.errf(l, "unexpected indentation")
+		}
+		c := &cursor{toks: l.toks, line: l.num}
+		t := c.peek()
+		switch {
+		case t.kind == tPragma:
+			p.next()
+			c.next()
+			d, err := p.parsePragma(c)
+			if err != nil {
+				return nil, err
+			}
+			p.pending = d
+		case t.kind == tIdent && t.text == "if":
+			n, err := p.parseIf(indent)
+			if err != nil {
+				return nil, err
+			}
+			blk.Append(n)
+			if err := p.attachExitPhis(indent, &n.ExitPhis, ir.PhiIfExit); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "for":
+			n, err := p.parseForEach(indent)
+			if err != nil {
+				return nil, err
+			}
+			blk.Append(n)
+			if err := p.attachExitPhis(indent, &n.ExitPhis, ir.PhiLoopExit); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "do":
+			n, err := p.parseDoWhile(indent)
+			if err != nil {
+				return nil, err
+			}
+			blk.Append(n)
+			if err := p.attachExitPhis(indent, &n.ExitPhis, ir.PhiLoopExit); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && (t.text == "else" || t.text == "while"):
+			// Terminates this block; handled by the caller.
+			return blk, nil
+		default:
+			p.next()
+			in, err := p.parseInstr(c)
+			if err != nil {
+				return nil, err
+			}
+			if in.Op == ir.OpPhi {
+				return nil, p.errf(l, "phi outside a structural position")
+			}
+			blk.Append(in)
+		}
+	}
+}
+
+// attachExitPhis pulls trailing phi lines at the same indent into the
+// construct's exit-phi list.
+func (p *parser) attachExitPhis(indent int, dst *[]*ir.Instr, role ir.PhiRole) error {
+	for {
+		l := p.peek()
+		if l == nil || l.indent != indent || !isPhiLine(l) {
+			return nil
+		}
+		p.next()
+		c := &cursor{toks: l.toks, line: l.num}
+		in, err := p.parseInstr(c)
+		if err != nil {
+			return err
+		}
+		in.PhiRole = role
+		*dst = append(*dst, in)
+	}
+}
+
+func isPhiLine(l *line) bool {
+	// %x := phi(...) — or (%a,%b) := never applies to phis.
+	for i, t := range l.toks {
+		if t.kind == tPunct && t.text == ":=" {
+			return i+1 < len(l.toks) && l.toks[i+1].kind == tIdent && l.toks[i+1].text == "phi"
+		}
+	}
+	return false
+}
+
+// stripHeaderPhis removes leading phi instructions from a freshly
+// parsed loop body and re-roles them.
+func stripHeaderPhis(b *ir.Block) []*ir.Instr {
+	var hdr []*ir.Instr
+	for len(b.Nodes) > 0 {
+		in, ok := b.Nodes[0].(*ir.Instr)
+		if !ok || in.Op != ir.OpPhi {
+			break
+		}
+		in.PhiRole = ir.PhiLoopHeader
+		hdr = append(hdr, in)
+		b.Nodes = b.Nodes[1:]
+	}
+	return hdr
+}
+
+func (p *parser) parseIf(indent int) (*ir.If, error) {
+	l := p.next()
+	c := &cursor{toks: l.toks, line: l.num}
+	c.next() // if
+	cond, err := p.parseOperand(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expect(":"); err != nil {
+		return nil, err
+	}
+	n := &ir.If{Cond: cond.Base, Else: &ir.Block{}}
+	n.Then, err = p.parseBlockAllowingPhis(indent + 1)
+	if err != nil {
+		return nil, err
+	}
+	if el := p.peek(); el != nil && el.indent == indent && len(el.toks) > 0 &&
+		el.toks[0].kind == tIdent && el.toks[0].text == "else" {
+		p.next()
+		n.Else, err = p.parseBlockAllowingPhis(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// parseBlockAllowingPhis is parseBlock for branch/loop bodies, where
+// leading phis (loop headers) are legal and handled by the caller.
+func (p *parser) parseBlockAllowingPhis(indent int) (*ir.Block, error) {
+	blk := &ir.Block{}
+	// Leading phi lines.
+	for {
+		l := p.peek()
+		if l == nil || l.indent != indent || !isPhiLine(l) {
+			break
+		}
+		p.next()
+		c := &cursor{toks: l.toks, line: l.num}
+		in, err := p.parseInstr(c)
+		if err != nil {
+			return nil, err
+		}
+		blk.Append(in)
+	}
+	rest, err := p.parseBlock(indent)
+	if err != nil {
+		return nil, err
+	}
+	blk.Nodes = append(blk.Nodes, rest.Nodes...)
+	return blk, nil
+}
+
+func (p *parser) parseForEach(indent int) (*ir.ForEach, error) {
+	l := p.next()
+	c := &cursor{toks: l.toks, line: l.num}
+	c.next() // for
+	if err := c.expect("["); err != nil {
+		return nil, err
+	}
+	kName, err := c.expectKind(tValue)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expect(","); err != nil {
+		return nil, err
+	}
+	vName, err := c.expectKind(tValue)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := c.expect("in"); err != nil {
+		return nil, err
+	}
+	coll, err := p.parseOperand(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expect(":"); err != nil {
+		return nil, err
+	}
+	ct := ir.AsColl(coll.InnerType())
+	if ct == nil {
+		return nil, p.errf(l, "for-each over non-collection")
+	}
+	var kt, vt ir.Type
+	switch ct.Kind {
+	case ir.KSeq:
+		kt, vt = ir.TU64, ct.Elem
+	case ir.KSet:
+		kt, vt = ct.Key, ct.Key
+	case ir.KMap:
+		kt, vt = ct.Key, ct.Elem
+	default:
+		return nil, p.errf(l, "for-each over %v", ct)
+	}
+	n := &ir.ForEach{Coll: coll}
+	n.Key = &ir.Value{Name: kName, Type: kt, Kind: ir.VParam}
+	n.Val = &ir.Value{Name: vName, Type: vt, Kind: ir.VParam}
+	p.define(kName, n.Key)
+	p.define(vName, n.Val)
+	body, err := p.parseBlockAllowingPhis(indent + 1)
+	if err != nil {
+		return nil, err
+	}
+	n.HeaderPhis = stripHeaderPhis(body)
+	n.Body = body
+	return n, nil
+}
+
+func (p *parser) parseDoWhile(indent int) (*ir.DoWhile, error) {
+	l := p.next()
+	c := &cursor{toks: l.toks, line: l.num}
+	c.next() // do
+	if err := c.expect(":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockAllowingPhis(indent + 1)
+	if err != nil {
+		return nil, err
+	}
+	n := &ir.DoWhile{HeaderPhis: stripHeaderPhis(body), Body: body}
+	wl := p.peek()
+	if wl == nil || wl.indent != indent || wl.toks[0].text != "while" {
+		return nil, p.errf(l, "do block without a matching while")
+	}
+	p.next()
+	wc := &cursor{toks: wl.toks, line: wl.num}
+	wc.next() // while
+	cond, err := p.parseOperand(wc)
+	if err != nil {
+		return nil, err
+	}
+	n.Cond = cond.Base
+	return n, nil
+}
+
+// parsePragma reads `ade <directives...>` after the #pragma token.
+func (p *parser) parsePragma(c *cursor) (*ir.Directive, error) {
+	if err := c.expect("ade"); err != nil {
+		return nil, err
+	}
+	return p.parseDirectives(c)
+}
+
+func (p *parser) parseDirectives(c *cursor) (*ir.Directive, error) {
+	d := &ir.Directive{}
+	for {
+		t := c.peek()
+		if t.kind != tIdent {
+			return d, nil
+		}
+		switch t.text {
+		case "enumerate":
+			c.i++
+			d.Enumerate = true
+		case "noenumerate":
+			c.i++
+			d.NoEnumerate = true
+		case "noshare":
+			c.i++
+			if c.accept("(") {
+				n, err := c.expectKind(tValue)
+				if err != nil {
+					// allow bare identifiers too
+					n2, err2 := c.expectKind(tIdent)
+					if err2 != nil {
+						return nil, err
+					}
+					n = n2
+				}
+				d.NoShareWith = append(d.NoShareWith, n)
+				if err := c.expect(")"); err != nil {
+					return nil, err
+				}
+			} else {
+				d.NoShare = true
+			}
+		case "share":
+			c.i++
+			if err := c.expect("group"); err != nil {
+				return nil, err
+			}
+			if err := c.expect("("); err != nil {
+				return nil, err
+			}
+			g, err := c.expectKind(tString)
+			if err != nil {
+				return nil, err
+			}
+			d.ShareGroup = g
+			if err := c.expect(")"); err != nil {
+				return nil, err
+			}
+		case "select":
+			c.i++
+			if err := c.expect("("); err != nil {
+				return nil, err
+			}
+			n, err := c.expectKind(tIdent)
+			if err != nil {
+				return nil, err
+			}
+			impl, ok := collections.ParseImpl(n)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown implementation %q", c.line, n)
+			}
+			d.Select = impl
+			if err := c.expect(")"); err != nil {
+				return nil, err
+			}
+		case "inner":
+			c.i++
+			if err := c.expect("("); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseDirectives(c)
+			if err != nil {
+				return nil, err
+			}
+			d.Inner = inner
+			if err := c.expect(")"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", c.line, t.text)
+		}
+	}
+}

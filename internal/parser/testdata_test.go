@@ -1,0 +1,57 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// The checked-in sample programs must parse, verify, transform, and
+// produce ADE-invariant output.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.mir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(ade bool) (uint64, uint64) {
+				prog, err := Parse(string(src))
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				if err := ir.Verify(prog); err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				if ade {
+					if _, err := core.Apply(prog, core.DefaultOptions()); err != nil {
+						t.Fatalf("ADE: %v", err)
+					}
+					if err := ir.Verify(prog); err != nil {
+						t.Fatalf("verify after ADE: %v", err)
+					}
+				}
+				ip := interp.New(prog, interp.DefaultOptions())
+				ret, err := ip.Run("main")
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return ret.I, ip.Stats.EmitSum
+			}
+			r1, s1 := run(false)
+			r2, s2 := run(true)
+			if r1 != r2 || s1 != s2 {
+				t.Fatalf("ADE changed output: %d vs %d", r1, r2)
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package profile carries dynamic execution counts from the
+// interpreter back into the ADE benefit heuristic — the extension the
+// paper sketches in §III-C ("This heuristic could be extended with
+// profile information"). Counts are keyed by (function, instruction
+// ordinal in walk order) so a profile collected on one parse of a
+// program applies to any other parse or clone of it.
+package profile
+
+import "memoir/internal/ir"
+
+// Key identifies an instruction stably across parses: the enclosing
+// function's name and the instruction's ordinal in ir.WalkInstrs
+// order.
+type Key struct {
+	Fn      string
+	Ordinal int
+}
+
+// Profile maps instructions to their dynamic execution counts.
+type Profile map[Key]uint64
+
+// Ordinals returns each instruction's walk-order ordinal within fn.
+func Ordinals(fn *ir.Func) map[*ir.Instr]int {
+	out := map[*ir.Instr]int{}
+	i := 0
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		out[in] = i
+		i++
+	})
+	return out
+}
+
+// Collect converts raw per-instruction counts into a stable profile.
+func Collect(prog *ir.Program, counts map[*ir.Instr]uint64) Profile {
+	p := Profile{}
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		ord := Ordinals(fn)
+		for in, o := range ord {
+			if c := counts[in]; c > 0 {
+				p[Key{Fn: name, Ordinal: o}] = c
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,62 @@
+package profile
+
+import (
+	"testing"
+
+	"memoir/internal/ir"
+)
+
+func TestOrdinalsStableAcrossParses(t *testing.T) {
+	build := func() *ir.Func {
+		b := ir.NewFunc("f", ir.TU64)
+		x := b.Bin(ir.BinAdd, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 2), "x")
+		fe := b.ForEachBegin(ir.Op(b.New(ir.SeqOf(ir.TU64), "s")), "k", "v")
+		acc := b.LoopPhi(fe, "acc", x)
+		a1 := b.Bin(ir.BinAdd, acc, fe.Val, "a1")
+		b.SetLatch(acc, a1)
+		b.ForEachEnd(fe)
+		out := b.LoopExitPhi(fe, "out", acc)
+		b.Ret(out)
+		return b.Fn
+	}
+	f1, f2 := build(), build()
+	o1, o2 := Ordinals(f1), Ordinals(f2)
+	if len(o1) != len(o2) || len(o1) == 0 {
+		t.Fatalf("ordinal counts differ: %d vs %d", len(o1), len(o2))
+	}
+	// Matching instructions (by walk order) must get matching
+	// ordinals: invert and compare op sequences.
+	seq := func(fn *ir.Func, ords map[*ir.Instr]int) []ir.Opcode {
+		out := make([]ir.Opcode, len(ords))
+		for in, o := range ords {
+			out[o] = in.Op
+		}
+		return out
+	}
+	s1, s2 := seq(f1, o1), seq(f2, o2)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("ordinal %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestCollectFiltersZeroCounts(t *testing.T) {
+	b := ir.NewFunc("f", ir.TU64)
+	x := b.Bin(ir.BinAdd, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 2), "x")
+	y := b.Bin(ir.BinMul, x, ir.ConstInt(ir.TU64, 3), "y")
+	b.Ret(y)
+	p := ir.NewProgram()
+	p.Add(b.Fn)
+
+	counts := map[*ir.Instr]uint64{x.Def: 5}
+	prof := Collect(p, counts)
+	if len(prof) != 1 {
+		t.Fatalf("profile entries = %d, want 1", len(prof))
+	}
+	for k, v := range prof {
+		if k.Fn != "f" || v != 5 {
+			t.Fatalf("entry %+v = %d", k, v)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package stats provides the small statistics the evaluation harness
+// needs: medians over repeated trials and geometric means over
+// benchmark suites (the paper reports "median of 10 runs" and a GEO
+// bar per plot).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the paper's per-benchmark
+// aggregation). Panics on empty input.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GeoMean returns the geometric mean of xs (the GEO bar). Panics on
+// empty input; non-positive entries are clamped to a tiny positive
+// value to keep the mean defined.
+func GeoMean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min and Max over a slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

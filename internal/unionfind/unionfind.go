@@ -1,0 +1,69 @@
+// Package unionfind provides a disjoint-set forest with union by rank
+// and path compression. It backs Algorithm 5's equivalence-class
+// unification in the ADE pass and serves as a reference substrate for
+// the MST and CC benchmarks.
+package unionfind
+
+// UF is a disjoint-set forest over integer elements [0, n).
+type UF struct {
+	parent []int
+	rank   []uint8
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int, n), rank: make([]uint8, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Grow extends the forest to cover at least n elements.
+func (u *UF) Grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, len(u.parent))
+		u.rank = append(u.rank, 0)
+		u.sets++
+	}
+}
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns the number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Find returns the representative of x's set, compressing the path.
+func (u *UF) Find(x int) int {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b, reporting whether they were
+// previously disjoint.
+func (u *UF) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UF) Same(a, b int) bool { return u.Find(a) == u.Find(b) }

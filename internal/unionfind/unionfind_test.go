@@ -1,0 +1,76 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicUnions(t *testing.T) {
+	u := New(10)
+	if u.Sets() != 10 {
+		t.Fatalf("Sets=%d", u.Sets())
+	}
+	if !u.Union(1, 2) || !u.Union(2, 3) {
+		t.Fatal("fresh unions reported joined")
+	}
+	if u.Union(1, 3) {
+		t.Fatal("redundant union reported disjoint")
+	}
+	if !u.Same(1, 3) || u.Same(1, 4) {
+		t.Fatal("Same wrong")
+	}
+	if u.Sets() != 8 {
+		t.Fatalf("Sets=%d, want 8", u.Sets())
+	}
+}
+
+func TestGrow(t *testing.T) {
+	u := New(2)
+	u.Grow(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d", u.Len(), u.Sets())
+	}
+	u.Union(0, 4)
+	if !u.Same(0, 4) {
+		t.Fatal("union after grow failed")
+	}
+}
+
+// Model test: union-find agrees with naive component labeling.
+func TestAgainstNaiveModel(t *testing.T) {
+	const n = 200
+	r := rand.New(rand.NewSource(5))
+	u := New(n)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range label {
+			if label[i] == from {
+				label[i] = to
+			}
+		}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		u.Union(a, b)
+		if label[a] != label[b] {
+			relabel(label[a], label[b])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < i+5 && j < n; j++ {
+			if u.Same(i, j) != (label[i] == label[j]) {
+				t.Fatalf("disagreement at (%d,%d)", i, j)
+			}
+		}
+	}
+	sets := map[int]bool{}
+	for i := range label {
+		sets[label[i]] = true
+	}
+	if u.Sets() != len(sets) {
+		t.Fatalf("Sets=%d want %d", u.Sets(), len(sets))
+	}
+}

@@ -1,0 +1,113 @@
+package memoir
+
+import (
+	"strings"
+	"testing"
+)
+
+const histSrc = `
+fn u64 @main(): exported
+  %input := new Seq<u64>()
+  do:
+    %i := phi(0, %i1)
+    %in0 := phi(%input, %in1)
+    %v := rem(%i, 7)
+    %sparse := mul(%v, 982451653)
+    %in1 := insert(%in0, end, %sparse)
+    %i1 := add(%i, 1)
+    %more := lt(%i1, 500)
+  while %more
+  %inF := phi(%in0)
+  %hist := new Map<u64,u32>()
+  for [%i2, %val] in %inF:
+    %hist0 := phi(%hist, %hist3)
+    %cond := has(%hist0, %val)
+    if %cond:
+      %freq := read(%hist0, %val)
+    else:
+      %hist1 := insert(%hist0, %val)
+    %freq0 := phi(%freq, 0)
+    %hist2 := phi(%hist0, %hist1)
+    %freq1 := add(%freq0, 1)
+    %hist3 := write(%hist2, %val, %freq1)
+  %histF := phi(%hist0)
+  for [%k, %f] in %histF:
+    %got := read(%histF, %k)
+    %g64 := cast<u64>(%got)
+    %kv := add(%k, %g64)
+    emit(%kv)
+  %n := size(%histF)
+  ret %n
+`
+
+func TestCompileAndRun(t *testing.T) {
+	base, err := Compile(histSrc, WithoutADE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ade, err := Compile(histSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ade.Report == "" {
+		t.Fatal("ADE produced no report")
+	}
+	if !strings.Contains(ade.Text(), "Map{BitMap}<idx,u32>") {
+		t.Fatalf("ADE did not rewrite the map type:\n%s", ade.Text())
+	}
+	rb, err := base.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ade.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Value != 7 || ra.Value != rb.Value {
+		t.Fatalf("values: base=%d ade=%d", rb.Value, ra.Value)
+	}
+	if rb.Checksum != ra.Checksum || rb.Outputs != ra.Outputs {
+		t.Fatal("ADE changed observable output")
+	}
+	if ra.Sparse >= rb.Sparse || ra.Dense <= rb.Dense {
+		t.Fatalf("access mix did not shift: sparse %d->%d dense %d->%d",
+			rb.Sparse, ra.Sparse, rb.Dense, ra.Dense)
+	}
+}
+
+func TestCompileOptions(t *testing.T) {
+	for _, opt := range []Option{WithoutRTE(), WithoutPropagation(), WithoutSharing(), WithSparseSets(), WithSwissDefaults()} {
+		p, err := Compile(histSrc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompileRejectsBadProgram(t *testing.T) {
+	if _, err := Compile("fn void @f():\n  %x := add(%ghost, 1)\n  ret\n"); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if _, err := Parse("fn broken"); err == nil {
+		t.Fatal("truncated program accepted")
+	}
+}
+
+func TestSparseSetsOption(t *testing.T) {
+	p, err := Compile(histSrc, WithSparseSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := Compile(histSrc, WithoutADE())
+	rb, _ := base.Run("main")
+	if r.Checksum != rb.Checksum {
+		t.Fatal("sparse-set configuration changed output")
+	}
+}
