@@ -8,6 +8,14 @@
 //	adebench -rq4
 //
 // Figures: 4, 5, 6, 7a, 7b, 7c, 8, 9, 10. Tables: 2, 3.
+//
+// The op-count regression gate (CI):
+//
+//	adebench -scale test -counts testdata/baseline_counts.json   # (re)generate baseline
+//	adebench -scale test -gate testdata/baseline_counts.json     # fail on >5% regressions
+//
+// The gate compares deterministic interpreter op counts, not wall
+// clock, so it is stable on shared CI runners.
 package main
 
 import (
@@ -31,6 +39,9 @@ func main() {
 		scale  = flag.String("scale", "small", "workload scale: test, small, full")
 		trials = flag.Int("trials", 3, "timing trials per configuration (median reported)")
 		outDir = flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt (artifact style)")
+		counts = flag.String("counts", "", "write the op-count baseline to this file and exit")
+		gate   = flag.String("gate", "", "compare current op counts against this baseline, failing on regressions")
+		tol    = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
 	)
 	flag.Parse()
 
@@ -46,6 +57,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if *counts != "" {
+		c, err := experiments.CollectCounts(sc)
+		if err == nil {
+			err = experiments.WriteCounts(c, *counts)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote op-count baseline for %d benchmarks to %s\n", len(c.Counts), *counts)
+		return
+	}
+	if *gate != "" {
+		if err := experiments.Gate(sc, *gate, *tol, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := experiments.Config{Scale: sc, Trials: *trials, Out: os.Stdout}
 
 	type job struct {

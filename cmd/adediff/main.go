@@ -1,0 +1,110 @@
+// Command adediff is the differential-testing and regression harness:
+// it proves ADE semantics-preserving by running the benchmark suite
+// (and, with -seed, randomly generated IR programs) under a
+// configuration matrix and asserting byte-identical canonical outputs
+// against the untransformed hash baseline.
+//
+// Usage:
+//
+//	adediff -scale test                  # full suite, full matrix
+//	adediff -scale test -shard 1/4       # CI smoke slice
+//	adediff -bench BFS,PTA -configs ade,ade-sparse
+//	adediff -seed 1 -count 50            # random-program mode
+//	adediff -list                        # print the matrix and exit
+//
+// The JSON report lands in -out (default difftest-report.json); the
+// exit status is 1 when any cell diverged or errored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"memoir/internal/difftest"
+)
+
+func main() {
+	var (
+		scale   = flag.String("scale", "test", "workload scale: test, small, full")
+		shard   = flag.String("shard", "", "run shard i/n of the work list (0-based)")
+		benchs  = flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
+		configs = flag.String("configs", "", "comma-separated config names (default: the full matrix)")
+		seed    = flag.Int64("seed", 0, "random-program mode: first generator seed (0 = benchmark mode)")
+		count   = flag.Int("count", 25, "random-program mode: number of seeds")
+		out     = flag.String("out", "difftest-report.json", "JSON report path (empty = don't write)")
+		list    = flag.Bool("list", false, "print the configuration matrix and exit")
+		verbose = flag.Bool("v", false, "log each cell as it runs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range difftest.Matrix() {
+			kind := "baseline"
+			if c.ADE != nil {
+				kind = "ade"
+			}
+			fmt.Printf("%-18s %s\n", c.Name, kind)
+		}
+		return
+	}
+
+	sh, err := difftest.ParseShard(*shard)
+	if err != nil {
+		fatal(err)
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	var rpt *difftest.Report
+	if *seed != 0 {
+		rpt, err = difftest.RunRandom(difftest.RandomOptions{
+			Seed: *seed, Count: *count, Shard: sh,
+			Configs: splitList(*configs), Verbose: progress,
+		})
+	} else {
+		sc, perr := difftest.ParseScale(*scale)
+		if perr != nil {
+			fatal(perr)
+		}
+		rpt, err = difftest.Run(difftest.RunOptions{
+			Scale: sc, Shard: sh,
+			Benchmarks: splitList(*benchs), Configs: splitList(*configs),
+			Verbose: progress,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := rpt.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+	}
+	rpt.Summary(os.Stdout)
+	if !rpt.OK() {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adediff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,48 @@
+package core
+
+import "memoir/internal/collections"
+
+// NamedOptions pairs an ADE configuration with a stable name, for
+// harnesses that sweep the configuration space (adediff, CI).
+type NamedOptions struct {
+	Name string
+	Opts Options
+}
+
+// OptionsMatrix returns the ADE configuration matrix the differential
+// harness sweeps: the paper's artifact-appendix configurations (full,
+// ablations, sparse selection) crossed with the remaining dense and
+// sparse implementation selections for enumerated collections. Every
+// entry must be semantics-preserving; adediff asserts that.
+func OptionsMatrix() []NamedOptions {
+	with := func(mut func(*Options)) Options {
+		o := DefaultOptions()
+		if mut != nil {
+			mut(&o)
+		}
+		return o
+	}
+	return []NamedOptions{
+		{"ade", with(nil)},
+		{"ade-noredundant", with(func(o *Options) { o.RTE = false })},
+		{"ade-nopropagation", with(func(o *Options) { o.Propagation = false })},
+		// Disabling sharing also disables propagation, matching the
+		// paper's ade-nosharing ablation.
+		{"ade-nosharing", with(func(o *Options) { o.Sharing = false; o.Propagation = false })},
+		{"ade-minimal", with(func(o *Options) { o.RTE = false; o.Sharing = false; o.Propagation = false })},
+		{"ade-sparse", with(func(o *Options) { o.SetImpl = collections.ImplSparseBitSet })},
+		{"ade-flat", with(func(o *Options) { o.SetImpl = collections.ImplFlatSet })},
+		{"ade-swiss", with(func(o *Options) {
+			o.SetImpl = collections.ImplSwissSet
+			o.MapImpl = collections.ImplSwissMap
+		})},
+		// Enumerated collections kept on hashing implementations: the
+		// translations must still be output-invisible even when the
+		// dense payoff is absent.
+		{"ade-hash", with(func(o *Options) {
+			o.SetImpl = collections.ImplHashSet
+			o.MapImpl = collections.ImplHashMap
+		})},
+		{"ade-force", with(func(o *Options) { o.ForceAll = true })},
+	}
+}

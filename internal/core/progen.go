@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memoir/internal/ir"
+)
+
+// This file is the random-program generator behind the differential
+// tests: well-formed programs over maps, sets and sequences with
+// sparse key domains, built so that every ADE configuration must
+// preserve the observable output. The generator respects the runtime
+// contracts (write/read only after insert, no mutation of the
+// iterated collection, loops bounded by input collections) and keeps
+// all emitted accumulations commutative so iteration-order
+// differences cannot leak into the checksum.
+//
+// It is exported (GenerateProgram / FuzzInput) so that the adediff
+// harness's -seed mode and the Go fuzz target diff exactly the same
+// program family as the in-repo fuzz tests.
+
+type progGen struct {
+	r    *rand.Rand
+	b    *ir.Builder
+	prog *ir.Program
+
+	input *ir.Value // Seq<u64> parameter
+	// live collection states (latest SSA value per allocation).
+	maps []*ir.Value // Map<u64,u64>, all keys also written
+	sets []*ir.Value // Set<u64>
+	// nested holds a Map<u64,Set<u64>> populated for every input
+	// element (so path accesses always hit), or nil.
+	nested *ir.Value
+	// scalar pool.
+	scalars []*ir.Value
+	acc     *ir.Value // running checksum
+}
+
+func (g *progGen) pick(vs []*ir.Value) *ir.Value {
+	return vs[g.r.Intn(len(vs))]
+}
+
+// key derives a fresh key expression from a scalar.
+func (g *progGen) key(src *ir.Value) *ir.Value {
+	switch g.r.Intn(3) {
+	case 0:
+		return g.b.Bin(ir.BinMul, src, ir.ConstInt(ir.TU64, uint64(g.r.Intn(1000)+3)), "")
+	case 1:
+		return g.b.Bin(ir.BinXor, src, ir.ConstInt(ir.TU64, g.r.Uint64()|1), "")
+	default:
+		return g.b.Bin(ir.BinAdd, src, ir.ConstInt(ir.TU64, uint64(g.r.Intn(100000))), "")
+	}
+}
+
+// mix folds a value into the checksum inside a loop. Accumulation must
+// stay order-insensitive, and mixing xor and add into one accumulator
+// chain is NOT (xor and add do not associate with each other), so
+// every in-loop fold uses addition of a hashed contribution.
+func (g *progGen) mix(acc, v *ir.Value) *ir.Value {
+	h := g.b.Bin(ir.BinMul, v, ir.ConstInt(ir.TU64, 0x9E3779B97F4A7C15), "")
+	return g.b.Bin(ir.BinAdd, acc, h, "")
+}
+
+// populate: iterate the input seq, inserting derived keys (and values)
+// into a random map or set.
+func (g *progGen) populate() {
+	useMap := len(g.maps) > 0 && g.r.Intn(2) == 0
+	if !useMap && len(g.sets) == 0 {
+		return
+	}
+	if useMap {
+		idx := g.r.Intn(len(g.maps))
+		l := ir.StartForEach(g.b, ir.Op(g.input), g.maps[idx])
+		k := g.key(l.Val)
+		m1 := g.b.Insert(ir.Op(l.Cur[0]), k, "")
+		val := g.pickScalarIn([]*ir.Value{l.Key, l.Val, k})
+		m2 := g.b.Write(ir.Op(m1), k, val, "")
+		g.maps[idx] = l.End(m2)[0]
+		return
+	}
+	idx := g.r.Intn(len(g.sets))
+	l := ir.StartForEach(g.b, ir.Op(g.input), g.sets[idx])
+	k := g.key(l.Val)
+	s1 := g.b.Insert(ir.Op(l.Cur[0]), k, "")
+	g.sets[idx] = l.End(s1)[0]
+}
+
+func (g *progGen) pickScalarIn(extra []*ir.Value) *ir.Value {
+	pool := append(append([]*ir.Value{}, g.scalars...), extra...)
+	return pool[g.r.Intn(len(pool))]
+}
+
+// transfer: iterate map A, moving keys (and possibly values) into
+// another collection — the sharing/propagation trigger.
+func (g *progGen) transfer() {
+	if len(g.maps) == 0 {
+		return
+	}
+	srcIdx := g.r.Intn(len(g.maps))
+	src := g.maps[srcIdx]
+	toMap := g.r.Intn(2) == 0 && len(g.maps) > 1
+	if toMap {
+		dstIdx := g.r.Intn(len(g.maps))
+		if dstIdx == srcIdx {
+			dstIdx = (dstIdx + 1) % len(g.maps)
+		}
+		l := ir.StartForEach(g.b, ir.Op(src), g.maps[dstIdx])
+		carryKey := g.r.Intn(2) == 0
+		var k *ir.Value
+		if carryKey {
+			k = l.Key
+		} else {
+			k = l.Val // propagated values as keys
+		}
+		d1 := g.b.Insert(ir.Op(l.Cur[0]), k, "")
+		d2 := g.b.Write(ir.Op(d1), k, l.Val, "")
+		g.maps[dstIdx] = l.End(d2)[0]
+		return
+	}
+	if len(g.sets) == 0 {
+		return
+	}
+	dstIdx := g.r.Intn(len(g.sets))
+	l := ir.StartForEach(g.b, ir.Op(src), g.sets[dstIdx])
+	k := l.Key
+	if g.r.Intn(2) == 0 {
+		k = l.Val
+	}
+	g.sets[dstIdx] = l.End(g.b.Insert(ir.Op(l.Cur[0]), k, ""))[0]
+}
+
+// probe: iterate one collection, testing membership in another and
+// folding reads into the checksum.
+func (g *progGen) probe() {
+	if len(g.maps) == 0 {
+		return
+	}
+	src := g.maps[g.r.Intn(len(g.maps))]
+	l := ir.StartForEach(g.b, ir.Op(src), g.acc)
+	acc := l.Cur[0]
+	// Re-read own key (the classic trim).
+	if g.r.Intn(2) == 0 {
+		got := g.b.Read(ir.Op(src), l.Key, "")
+		acc = g.mix(acc, got)
+	}
+	// Membership in a random other collection.
+	if len(g.sets) > 0 && g.r.Intn(2) == 0 {
+		other := g.sets[g.r.Intn(len(g.sets))]
+		hs := g.b.Has(ir.Op(other), l.Key, "")
+		one := g.b.Select(hs, ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 0), "")
+		acc = g.b.Bin(ir.BinAdd, acc, one, "")
+	}
+	// Guarded read in another map.
+	if len(g.maps) > 1 && g.r.Intn(2) == 0 {
+		other := g.maps[g.r.Intn(len(g.maps))]
+		hs := g.b.Has(ir.Op(other), l.Val, "")
+		merged := ir.IfElse(g.b, hs, func() []*ir.Value {
+			got := g.b.Read(ir.Op(other), l.Val, "")
+			return []*ir.Value{g.mix(acc, got)}
+		}, func() []*ir.Value {
+			return []*ir.Value{acc}
+		})
+		acc = merged[0]
+	}
+	// Compare key and value (the equality rewrite).
+	if g.r.Intn(2) == 0 {
+		eq := g.b.Cmp(ir.CmpEq, l.Key, l.Val, "")
+		one := g.b.Select(eq, ir.ConstInt(ir.TU64, 7), ir.ConstInt(ir.TU64, 0), "")
+		acc = g.b.Bin(ir.BinAdd, acc, one, "")
+	}
+	g.acc = l.End(acc)[0]
+}
+
+// prune: iterate one collection, removing derived keys from another.
+func (g *progGen) prune() {
+	if len(g.sets) == 0 || len(g.maps) == 0 {
+		return
+	}
+	src := g.maps[g.r.Intn(len(g.maps))]
+	dstIdx := g.r.Intn(len(g.sets))
+	l := ir.StartForEach(g.b, ir.Op(src), g.sets[dstIdx])
+	s1 := g.b.Remove(ir.Op(l.Cur[0]), l.Val, "")
+	g.sets[dstIdx] = l.End(s1)[0]
+}
+
+// nestedOps: union chains over the inner sets of the nested map (the
+// PTA shape) plus a membership probe, folding sizes into the
+// checksum.
+func (g *progGen) nestedOps() {
+	if g.nested == nil {
+		return
+	}
+	l := ir.StartForEach(g.b, ir.Op(g.input), g.nested, g.acc)
+	half := g.b.Bin(ir.BinDiv, l.Key, ir.ConstInt(ir.TU64, 2), "")
+	src := g.b.Read(ir.Op(g.input), half, "")
+	n1 := g.b.Union(ir.OpAt(l.Cur[0], l.Val), ir.OpAt(l.Cur[0], src), "")
+	sz := g.b.Size(ir.OpAt(n1, l.Val), "")
+	acc := g.b.Bin(ir.BinAdd, l.Cur[1], sz, "")
+	outs := l.End(n1, acc)
+	g.nested, g.acc = outs[0], outs[1]
+}
+
+// helperCall: route a map through a (non-exported) helper that probes
+// it — exercising Algorithm 5's argument/parameter unification on
+// every generated program that takes this step.
+func (g *progGen) helperCall() {
+	if len(g.maps) == 0 || g.prog.Func("helper") != nil {
+		return
+	}
+	h := ir.NewFunc("helper", ir.TU64)
+	hm := h.Param("m", ir.MapOf(ir.TU64, ir.TU64))
+	l := ir.StartForEach(h, ir.Op(hm), ir.ConstInt(ir.TU64, 0))
+	got := h.Read(ir.Op(hm), l.Key, "")
+	mixv := h.Bin(ir.BinMul, got, ir.ConstInt(ir.TU64, 0x9E3779B97F4A7C15), "")
+	a1 := h.Bin(ir.BinAdd, l.Cur[0], mixv, "")
+	accF := l.End(a1)[0]
+	h.Ret(accF)
+	g.prog.Add(h.Fn)
+
+	m := g.maps[g.r.Intn(len(g.maps))]
+	r := g.b.Call("helper", ir.TU64, "", ir.Op(m))
+	g.acc = g.b.Bin(ir.BinAdd, g.acc, r, "")
+}
+
+// unionSets: union two distinct sets.
+func (g *progGen) unionSets() {
+	if len(g.sets) < 2 {
+		return
+	}
+	a := g.r.Intn(len(g.sets))
+	b := g.r.Intn(len(g.sets))
+	if a == b {
+		b = (b + 1) % len(g.sets)
+	}
+	g.sets[a] = g.b.Union(ir.Op(g.sets[a]), ir.Op(g.sets[b]), "")
+}
+
+// summarize: fold sizes and set contents into the checksum.
+func (g *progGen) summarize() {
+	for _, m := range g.maps {
+		g.acc = g.b.Bin(ir.BinAdd, g.acc, g.b.Size(ir.Op(m), ""), "")
+	}
+	for _, s := range g.sets {
+		l := ir.StartForEach(g.b, ir.Op(s), g.acc)
+		g.acc = l.End(g.mix(l.Cur[0], l.Val))[0]
+		g.acc = g.b.Bin(ir.BinAdd, g.acc, g.b.Size(ir.Op(s), ""), "")
+	}
+}
+
+var dbgEmitEach bool
+
+// GenerateProgram builds a random well-formed program from seed. The
+// program takes a single Seq<u64> parameter (see FuzzInput) and emits
+// an order-insensitive checksum, so any two semantics-preserving
+// compilations of it must produce identical observable output.
+func GenerateProgram(seed int64) *ir.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := ir.NewFunc("main", ir.TU64)
+	b.Fn.Exported = true
+	p := ir.NewProgram()
+	g := &progGen{r: r, b: b, prog: p}
+	g.input = b.Param("input", ir.SeqOf(ir.TU64))
+	g.scalars = []*ir.Value{ir.ConstInt(ir.TU64, 1), ir.ConstInt(ir.TU64, 12345)}
+	g.acc = ir.ConstInt(ir.TU64, 0)
+
+	nMaps := 1 + r.Intn(3)
+	nSets := r.Intn(3)
+	for i := 0; i < nMaps; i++ {
+		g.maps = append(g.maps, b.New(ir.MapOf(ir.TU64, ir.TU64), fmt.Sprintf("m%d", i)))
+	}
+	for i := 0; i < nSets; i++ {
+		g.sets = append(g.sets, b.New(ir.SetOf(ir.TU64), fmt.Sprintf("s%d", i)))
+	}
+	if r.Intn(2) == 0 {
+		// A nested map populated for every input element, so later
+		// path accesses always hit (the PTA shape).
+		nm := b.New(ir.MapOf(ir.TU64, ir.SetOf(ir.TU64)), "nm")
+		l := ir.StartForEach(b, ir.Op(g.input), nm)
+		n1 := b.Insert(ir.Op(l.Cur[0]), l.Val, "")
+		seeded := b.Bin(ir.BinXor, l.Val, ir.ConstInt(ir.TU64, 0xABCD), "")
+		n2 := b.Insert(ir.OpAt(n1, l.Val), seeded, "")
+		g.nested = l.End(n2)[0]
+	}
+
+	// Always start with at least one populate so later stages have
+	// content.
+	g.populate()
+	steps := 3 + r.Intn(8)
+	for i := 0; i < steps; i++ {
+		switch r.Intn(8) {
+		case 0:
+			g.populate()
+		case 1:
+			g.transfer()
+		case 2:
+			g.probe()
+		case 3:
+			g.prune()
+		case 4:
+			g.unionSets()
+		case 5:
+			g.probe()
+		case 6:
+			g.nestedOps()
+		case 7:
+			g.helperCall()
+		}
+		if dbgEmitEach {
+			b.Emit(g.acc)
+		}
+	}
+	g.summarize()
+	b.Emit(g.acc)
+	b.Ret(g.acc)
+
+	p.Add(b.Fn)
+	return p
+}
+
+// FuzzInput derives the sparse-ish input key sequence fed to a
+// generated program's @main. Both the fuzz tests and the adediff -seed
+// mode use it, so a divergence reported by one reproduces in the
+// other.
+func FuzzInput(seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed ^ 0x5555))
+	out := make([]uint64, 60)
+	for i := range out {
+		out[i] = r.Uint64() >> 20 // sparse-ish domain
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+// Package difftest is the differential-testing and regression harness
+// guarding ADE's central claim: the transformation is
+// semantics-preserving. It runs every benchmark in internal/bench
+// through the interpreter under a configuration matrix — ADE off
+// (reference) vs. ADE on, crossed with collection-selection choices,
+// sharing on/off and RTE on/off — and asserts byte-identical canonical
+// outputs, running ir.Verify after every program-producing stage. A
+// -seed-driven random-program mode diffs the generator family behind
+// internal/core's fuzz tests. Results land in a machine-readable JSON
+// report (difftest-report.json) that CI uploads as an artifact.
+//
+// The work list shards deterministically (-shard i/n) so CI can run a
+// bounded smoke slice on every push and a deep sweep nightly.
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"memoir/internal/bench"
+	"memoir/internal/collections"
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// Config is one column of the differential matrix.
+type Config struct {
+	// Name is the stable identifier used in reports and -configs
+	// filters.
+	Name string
+	// ADE is nil for pure-baseline columns (no transformation).
+	ADE *core.Options
+	// DefaultSet and DefaultMap choose the interpreter's
+	// implementation for unselected collections; ImplNone keeps the
+	// baseline Hash{Set,Map}.
+	DefaultSet, DefaultMap collections.Impl
+	// Mutate, when non-nil, is applied to the program after the ADE
+	// pass. It exists for fault-injection tests that prove the differ
+	// detects divergences; production matrices leave it nil.
+	Mutate func(*ir.Program)
+}
+
+// Matrix returns the standard differential matrix: the hash baseline
+// (the reference semantics), the alternate baseline implementation
+// defaults, and every ADE configuration from core.OptionsMatrix.
+func Matrix() []Config {
+	out := []Config{
+		{Name: "baseline-hash"},
+		{Name: "baseline-swiss", DefaultSet: collections.ImplSwissSet, DefaultMap: collections.ImplSwissMap},
+		{Name: "baseline-flat", DefaultSet: collections.ImplFlatSet},
+	}
+	for _, no := range core.OptionsMatrix() {
+		opts := no.Opts
+		out = append(out, Config{Name: no.Name, ADE: &opts})
+	}
+	return out
+}
+
+// ConfigNames lists the matrix column names in order.
+func ConfigNames(cfgs []Config) []string {
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// RunOptions configures one harness run.
+type RunOptions struct {
+	Scale bench.Scale
+	// Shard selects the slice of the benchmark work list this run
+	// covers. The zero value means everything.
+	Shard Shard
+	// Benchmarks filters by abbreviation; empty means the whole suite.
+	Benchmarks []string
+	// Configs filters matrix columns by name; empty means all. The
+	// reference is always executed regardless of the filter.
+	Configs []string
+	// Matrix overrides the configuration matrix (tests); nil means
+	// Matrix().
+	Matrix []Config
+	// Verbose, when non-nil, receives one progress line per executed
+	// cell.
+	Verbose io.Writer
+}
+
+// outcome is one execution's canonical observable output plus the
+// stats the report records.
+type outcome struct {
+	ret       uint64
+	emitSum   uint64
+	emitCount uint64
+	canon     []uint64 // emitted values, canonicalized (sorted bit patterns)
+	stats     *interp.Stats
+}
+
+// interpOpts builds the interpreter options for a matrix column.
+func interpOpts(c Config) interp.Options {
+	o := interp.DefaultOptions()
+	if c.DefaultSet != collections.ImplNone {
+		o.DefaultSet = c.DefaultSet
+	}
+	if c.DefaultMap != collections.ImplNone {
+		o.DefaultMap = c.DefaultMap
+	}
+	// The differ compares outputs, not the memory model; keep the
+	// live-set scan out of the loop.
+	o.MemSampleEvery = 1 << 30
+	o.RecordOutput = true
+	return o
+}
+
+// execute runs prog on s's input and canonicalizes the output.
+func execute(s *bench.Spec, prog *ir.Program, iopts interp.Options, sc bench.Scale) (*outcome, error) {
+	ip := interp.New(prog, iopts)
+	args := s.Input(ip, sc)
+	ret, err := ip.Run("main", args...)
+	if err != nil {
+		return nil, err
+	}
+	canon := make([]uint64, len(ip.Output))
+	for i, v := range ip.Output {
+		canon[i] = v.Bits()
+	}
+	sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+	return &outcome{
+		ret: ret.I, emitSum: ip.Stats.EmitSum, emitCount: ip.Stats.EmitCount,
+		canon: canon, stats: ip.Stats,
+	}, nil
+}
+
+// equalOutput reports whether two outcomes are byte-identical under
+// the canonical ordering.
+func equalOutput(a, b *outcome) bool {
+	if a.ret != b.ret || a.emitSum != b.emitSum || a.emitCount != b.emitCount {
+		return false
+	}
+	if len(a.canon) != len(b.canon) {
+		return false
+	}
+	for i := range a.canon {
+		if a.canon[i] != b.canon[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildProgram constructs, transforms, verifies and (optionally)
+// mutates the program for one matrix cell. ir.Verify runs after every
+// stage that produces a program: the build, the ADE pass, and the
+// fault injection.
+func buildProgram(s *bench.Spec, c Config) (*ir.Program, *core.Report, error) {
+	prog := s.Build("")
+	if err := ir.Verify(prog); err != nil {
+		return nil, nil, fmt.Errorf("build verify: %w", err)
+	}
+	var rep *core.Report
+	if c.ADE != nil {
+		var err error
+		rep, err = core.Apply(prog, *c.ADE)
+		if err != nil {
+			return nil, rep, fmt.Errorf("ade: %w", err)
+		}
+		if err := ir.Verify(prog); err != nil {
+			return nil, rep, fmt.Errorf("post-ade verify: %w", err)
+		}
+	}
+	if c.Mutate != nil {
+		c.Mutate(prog)
+		if err := ir.Verify(prog); err != nil {
+			return nil, rep, fmt.Errorf("post-mutate verify: %w", err)
+		}
+	}
+	return prog, rep, nil
+}
+
+// entryFor fills a report entry from an outcome.
+func entryFor(cfg string, o *outcome, rep *core.Report) Entry {
+	e := Entry{
+		Config:    cfg,
+		Ret:       o.ret,
+		EmitSum:   o.emitSum,
+		EmitCount: o.emitCount,
+		Steps:     o.stats.Steps,
+		CollOps:   o.stats.CollOps(),
+		Sparse:    o.stats.Sparse,
+		Dense:     o.stats.Dense,
+		Enc:       o.stats.Counts[interp.ImplEnum][interp.OKEnc],
+		Dec:       o.stats.Counts[interp.ImplEnum][interp.OKDec],
+		Add:       o.stats.Counts[interp.ImplEnum][interp.OKAdd],
+	}
+	if rep != nil {
+		e.EnumClasses = len(rep.Classes)
+	}
+	return e
+}
+
+// selectConfigs applies the -configs filter.
+func selectConfigs(matrix []Config, names []string) ([]Config, error) {
+	if len(names) == 0 {
+		return matrix, nil
+	}
+	byName := map[string]Config{}
+	for _, c := range matrix {
+		byName[c.Name] = c
+	}
+	var out []Config
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (have %v)", n, ConfigNames(matrix))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// selectBenchmarks applies the -bench filter and the shard.
+func selectBenchmarks(o RunOptions) ([]*bench.Spec, error) {
+	var specs []*bench.Spec
+	if len(o.Benchmarks) == 0 {
+		specs = bench.All()
+	} else {
+		for _, abbr := range o.Benchmarks {
+			s := bench.Get(abbr)
+			if s == nil {
+				return nil, fmt.Errorf("unknown benchmark %q", abbr)
+			}
+			specs = append(specs, s)
+		}
+	}
+	var out []*bench.Spec
+	for _, i := range Partition(len(specs), o.Shard) {
+		out = append(out, specs[i])
+	}
+	return out, nil
+}
+
+// Run executes the benchmark differential matrix and returns the
+// report. A non-nil error means the harness itself failed; divergences
+// and per-cell execution errors are recorded in the report instead.
+func Run(o RunOptions) (*Report, error) {
+	matrix := o.Matrix
+	if matrix == nil {
+		matrix = Matrix()
+	}
+	cfgs, err := selectConfigs(matrix, o.Configs)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := selectBenchmarks(o)
+	if err != nil {
+		return nil, err
+	}
+	rpt := NewReport(o.Scale, o.Shard, ConfigNames(cfgs))
+	for _, s := range specs {
+		br := BenchReport{Abbr: s.Abbr}
+		// The reference semantics: untransformed program on the
+		// baseline hash implementations.
+		ref, err := execute(s, s.Build(""), interpOpts(Config{}), o.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: reference run: %w", s.Abbr, err)
+		}
+		if ref.emitCount == 0 {
+			return nil, fmt.Errorf("%s: benchmark emits no output; equivalence untestable", s.Abbr)
+		}
+		for _, c := range cfgs {
+			e, div := runCell(s, c, ref, o.Scale)
+			br.Entries = append(br.Entries, e)
+			if div != nil {
+				rpt.Divergences = append(rpt.Divergences, *div)
+			}
+			if o.Verbose != nil {
+				status := "ok"
+				if e.Diverged {
+					status = "DIVERGED"
+				} else if e.Error != "" {
+					status = "error: " + e.Error
+				}
+				fmt.Fprintf(o.Verbose, "%-5s %-18s %s\n", s.Abbr, c.Name, status)
+			}
+		}
+		rpt.Benchmarks = append(rpt.Benchmarks, br)
+	}
+	rpt.Finish()
+	return rpt, nil
+}
+
+// runCell runs one (benchmark, config) cell against the reference.
+func runCell(s *bench.Spec, c Config, ref *outcome, sc bench.Scale) (Entry, *Divergence) {
+	prog, rep, err := buildProgram(s, c)
+	if err != nil {
+		return Entry{Config: c.Name, Error: err.Error()}, nil
+	}
+	got, err := execute(s, prog, interpOpts(c), sc)
+	if err != nil {
+		return Entry{Config: c.Name, Error: err.Error()}, nil
+	}
+	e := entryFor(c.Name, got, rep)
+	if !equalOutput(ref, got) {
+		e.Diverged = true
+		return e, &Divergence{
+			Bench: s.Abbr, Config: c.Name,
+			WantRet: ref.ret, GotRet: got.ret,
+			WantEmitSum: ref.emitSum, GotEmitSum: got.emitSum,
+			WantEmitCount: ref.emitCount, GotEmitCount: got.emitCount,
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,132 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// RandomOptions configures the -seed random-program mode.
+type RandomOptions struct {
+	// Seed is the first generator seed; Count consecutive seeds run.
+	Seed  int64
+	Count int
+	// Shard slices the seed list the same way Run slices benchmarks.
+	Shard Shard
+	// Configs filters matrix columns by name; empty means all.
+	Configs []string
+	// Matrix overrides the configuration matrix (tests); nil means
+	// Matrix().
+	Matrix []Config
+	// Verbose, when non-nil, receives one progress line per seed.
+	Verbose io.Writer
+}
+
+// runGenerated executes a generated program on the family's canonical
+// input and canonicalizes the output.
+func runGenerated(p *ir.Program, seed int64, iopts interp.Options) (*outcome, error) {
+	ip := interp.New(p, iopts)
+	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
+	for _, k := range core.FuzzInput(seed) {
+		c.Append(interp.IntV(k))
+	}
+	ret, err := ip.Run("main", interp.CollV(c.(interp.Coll)))
+	if err != nil {
+		return nil, err
+	}
+	canon := make([]uint64, len(ip.Output))
+	for i, v := range ip.Output {
+		canon[i] = v.Bits()
+	}
+	sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+	return &outcome{
+		ret: ret.I, emitSum: ip.Stats.EmitSum, emitCount: ip.Stats.EmitCount,
+		canon: canon, stats: ip.Stats,
+	}, nil
+}
+
+// RunRandom diffs randomly generated IR programs (the generator family
+// behind internal/core's fuzz tests) across the configuration matrix.
+func RunRandom(o RandomOptions) (*Report, error) {
+	if o.Count <= 0 {
+		o.Count = 1
+	}
+	matrix := o.Matrix
+	if matrix == nil {
+		matrix = Matrix()
+	}
+	cfgs, err := selectConfigs(matrix, o.Configs)
+	if err != nil {
+		return nil, err
+	}
+	rpt := NewReport(0, o.Shard, ConfigNames(cfgs))
+	rpt.Scale = "random"
+	rr := &RandomReport{Seed: o.Seed, Count: o.Count}
+	for _, j := range Partition(o.Count, o.Shard) {
+		seed := o.Seed + int64(j)
+		base := core.GenerateProgram(seed)
+		if err := ir.Verify(base); err != nil {
+			return nil, fmt.Errorf("seed %d: generated program invalid: %w", seed, err)
+		}
+		ref, err := runGenerated(base, seed, interpOpts(Config{}))
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: reference run: %w", seed, err)
+		}
+		for _, c := range cfgs {
+			e, div := runRandomCell(seed, c, ref)
+			rr.Entries = append(rr.Entries, e)
+			if div != nil {
+				rpt.Divergences = append(rpt.Divergences, *div)
+			}
+		}
+		if o.Verbose != nil {
+			fmt.Fprintf(o.Verbose, "seed %d: %d configs diffed\n", seed, len(cfgs))
+		}
+	}
+	rpt.Random = rr
+	rpt.Finish()
+	return rpt, nil
+}
+
+// runRandomCell diffs one (seed, config) cell against the reference.
+func runRandomCell(seed int64, c Config, ref *outcome) (RandomEntry, *Divergence) {
+	prog := core.GenerateProgram(seed)
+	if c.ADE != nil {
+		if _, err := core.Apply(prog, *c.ADE); err != nil {
+			return RandomEntry{Seed: seed, Config: c.Name, Error: err.Error()}, nil
+		}
+		if err := ir.Verify(prog); err != nil {
+			return RandomEntry{Seed: seed, Config: c.Name, Error: "post-ade verify: " + err.Error()}, nil
+		}
+	}
+	if c.Mutate != nil {
+		c.Mutate(prog)
+		if err := ir.Verify(prog); err != nil {
+			return RandomEntry{Seed: seed, Config: c.Name, Error: "post-mutate verify: " + err.Error()}, nil
+		}
+	}
+	got, err := runGenerated(prog, seed, interpOpts(c))
+	if err != nil {
+		return RandomEntry{Seed: seed, Config: c.Name, Error: err.Error()}, nil
+	}
+	e := RandomEntry{
+		Seed: seed, Config: c.Name, Ret: got.ret, EmitSum: got.emitSum,
+		Enc: got.stats.Counts[interp.ImplEnum][interp.OKEnc],
+		Dec: got.stats.Counts[interp.ImplEnum][interp.OKDec],
+		Add: got.stats.Counts[interp.ImplEnum][interp.OKAdd],
+	}
+	if !equalOutput(ref, got) {
+		e.Diverged = true
+		return e, &Divergence{
+			Seed: seed, Config: c.Name,
+			WantRet: ref.ret, GotRet: got.ret,
+			WantEmitSum: ref.emitSum, GotEmitSum: got.emitSum,
+			WantEmitCount: ref.emitCount, GotEmitCount: got.emitCount,
+		}
+	}
+	return e, nil
+}

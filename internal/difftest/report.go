@@ -1,0 +1,228 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"memoir/internal/bench"
+)
+
+// Schema identifies the report format; bump when fields change
+// incompatibly so downstream tooling can refuse stale baselines.
+const Schema = "adediff/v1"
+
+// Report is the machine-readable result of one harness run
+// (difftest-report.json).
+type Report struct {
+	Schema  string   `json:"schema"`
+	Scale   string   `json:"scale"`
+	Shard   string   `json:"shard"`
+	Configs []string `json:"configs"`
+
+	Benchmarks []BenchReport `json:"benchmarks,omitempty"`
+	Random     *RandomReport `json:"random,omitempty"`
+
+	Divergences []Divergence `json:"divergences,omitempty"`
+
+	// Summary counters, filled by Finish.
+	Cells      int `json:"cells"`
+	Diverged   int `json:"diverged"`
+	ErrorCells int `json:"errorCells"`
+}
+
+// BenchReport groups one benchmark's per-config entries.
+type BenchReport struct {
+	Abbr    string  `json:"bench"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one (benchmark, config) cell: the canonical output summary
+// plus the deterministic interpreter op counts and the enumeration
+// translation-call counts from internal/interp's stats.
+type Entry struct {
+	Config    string `json:"config"`
+	Ret       uint64 `json:"ret"`
+	EmitSum   uint64 `json:"emitSum"`
+	EmitCount uint64 `json:"emitCount"`
+
+	Steps   uint64 `json:"steps"`
+	CollOps uint64 `json:"collOps"`
+	Sparse  uint64 `json:"sparse"`
+	Dense   uint64 `json:"dense"`
+
+	// Translation calls (@enc/@dec/@add) executed dynamically.
+	Enc uint64 `json:"enc"`
+	Dec uint64 `json:"dec"`
+	Add uint64 `json:"add"`
+
+	// EnumClasses is the number of enumeration equivalence classes the
+	// ADE pass formed (0 for baselines).
+	EnumClasses int `json:"enumClasses"`
+
+	Diverged bool   `json:"diverged,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Divergence records one output mismatch against the reference.
+type Divergence struct {
+	Bench  string `json:"bench,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Config string `json:"config"`
+
+	WantRet       uint64 `json:"wantRet"`
+	GotRet        uint64 `json:"gotRet"`
+	WantEmitSum   uint64 `json:"wantEmitSum"`
+	GotEmitSum    uint64 `json:"gotEmitSum"`
+	WantEmitCount uint64 `json:"wantEmitCount"`
+	GotEmitCount  uint64 `json:"gotEmitCount"`
+}
+
+// RandomReport summarizes the -seed random-program mode.
+type RandomReport struct {
+	Seed    int64         `json:"seed"`
+	Count   int           `json:"count"`
+	Entries []RandomEntry `json:"entries"`
+}
+
+// RandomEntry is one (seed, config) cell of the random mode.
+type RandomEntry struct {
+	Seed     int64  `json:"seed"`
+	Config   string `json:"config"`
+	Ret      uint64 `json:"ret"`
+	EmitSum  uint64 `json:"emitSum"`
+	Enc      uint64 `json:"enc"`
+	Dec      uint64 `json:"dec"`
+	Add      uint64 `json:"add"`
+	Diverged bool   `json:"diverged,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// NewReport returns an empty report for the given run shape.
+func NewReport(sc bench.Scale, shard Shard, configs []string) *Report {
+	return &Report{
+		Schema:  Schema,
+		Scale:   ScaleName(sc),
+		Shard:   shard.String(),
+		Configs: configs,
+	}
+}
+
+// ScaleName names a workload scale the way the CLIs spell it.
+func ScaleName(sc bench.Scale) string {
+	switch sc {
+	case bench.ScaleTest:
+		return "test"
+	case bench.ScaleSmall:
+		return "small"
+	case bench.ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(sc))
+}
+
+// ParseScale is the inverse of ScaleName.
+func ParseScale(name string) (bench.Scale, error) {
+	switch name {
+	case "test":
+		return bench.ScaleTest, nil
+	case "small":
+		return bench.ScaleSmall, nil
+	case "full":
+		return bench.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want test, small or full)", name)
+}
+
+// Finish fills the summary counters from the recorded cells.
+func (r *Report) Finish() {
+	r.Cells, r.Diverged, r.ErrorCells = 0, 0, 0
+	count := func(diverged bool, errMsg string) {
+		r.Cells++
+		if diverged {
+			r.Diverged++
+		}
+		if errMsg != "" {
+			r.ErrorCells++
+		}
+	}
+	for _, b := range r.Benchmarks {
+		for _, e := range b.Entries {
+			count(e.Diverged, e.Error)
+		}
+	}
+	if r.Random != nil {
+		for _, e := range r.Random.Entries {
+			count(e.Diverged, e.Error)
+		}
+	}
+}
+
+// OK reports whether the run found no divergences and no cell errors.
+func (r *Report) OK() bool { return r.Diverged == 0 && r.ErrorCells == 0 }
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (difftest-report.json).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DecodeReport reads a report written by Encode and checks the schema.
+func DecodeReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("report schema %q, want %q", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Summary writes a human-readable digest of the run.
+func (r *Report) Summary(w io.Writer) {
+	fmt.Fprintf(w, "adediff: scale=%s shard=%s configs=%d cells=%d diverged=%d errors=%d\n",
+		r.Scale, r.Shard, len(r.Configs), r.Cells, r.Diverged, r.ErrorCells)
+	for _, d := range r.Divergences {
+		where := d.Bench
+		if where == "" {
+			where = fmt.Sprintf("seed %d", d.Seed)
+		}
+		fmt.Fprintf(w, "  DIVERGED %s under %s: ret %d vs %d, emits (%d,%d) vs (%d,%d)\n",
+			where, d.Config, d.GotRet, d.WantRet,
+			d.GotEmitCount, d.GotEmitSum, d.WantEmitCount, d.WantEmitSum)
+	}
+	errs := 0
+	report := func(where, cfg, msg string) {
+		if msg == "" {
+			return
+		}
+		errs++
+		fmt.Fprintf(w, "  ERROR %s under %s: %s\n", where, cfg, msg)
+	}
+	for _, b := range r.Benchmarks {
+		for _, e := range b.Entries {
+			report(b.Abbr, e.Config, e.Error)
+		}
+	}
+	if r.Random != nil {
+		for _, e := range r.Random.Entries {
+			report(fmt.Sprintf("seed %d", e.Seed), e.Config, e.Error)
+		}
+	}
+}

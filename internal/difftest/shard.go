@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard identifies one slice of the work list: shard Index of Count.
+// The zero value (normalized by Norm) covers everything.
+type Shard struct {
+	Index, Count int
+}
+
+// Norm maps the zero value to the full 0/1 shard.
+func (s Shard) Norm() Shard {
+	if s.Count <= 0 {
+		return Shard{0, 1}
+	}
+	return s
+}
+
+func (s Shard) String() string {
+	s = s.Norm()
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses "i/n" (0-based index). The empty string means the
+// full work list.
+func ParseShard(spec string) (Shard, error) {
+	if spec == "" {
+		return Shard{0, 1}, nil
+	}
+	idx, cnt, ok := strings.Cut(spec, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("shard %q: want i/n", spec)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: %v", spec, err)
+	}
+	n, err := strconv.Atoi(cnt)
+	if err != nil {
+		return Shard{}, fmt.Errorf("shard %q: %v", spec, err)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return Shard{}, fmt.Errorf("shard %q: need 0 <= i < n", spec)
+	}
+	return Shard{i, n}, nil
+}
+
+// Partition returns the indices of an n-element work list that belong
+// to shard s, in ascending order. Work unit j goes to shard j mod
+// Count, so the union of all shards is exactly [0,n) and shards are
+// pairwise disjoint.
+func Partition(n int, s Shard) []int {
+	s = s.Norm()
+	var out []int
+	for j := s.Index; j < n; j += s.Count {
+		out = append(out, j)
+	}
+	return out
+}
