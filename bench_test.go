@@ -97,6 +97,53 @@ func BenchmarkFig10SwissMemory(b *testing.B) { runExperiment(b, experiments.Fig1
 // (the §III-C extension implemented as future work).
 func BenchmarkPGOExtension(b *testing.B) { runExperiment(b, experiments.PGO) }
 
+// BenchmarkEngineVMvsInterp runs the full benchmark suite on both
+// execution engines and reports the per-iteration ROI wall time plus
+// the geomean VM-over-interpreter ROI speedup as a metric. The op
+// counts of the two engines are asserted identical on every run, so
+// the speedup is pure dispatch efficiency, not a workload difference.
+func BenchmarkEngineVMvsInterp(b *testing.B) {
+	for _, s := range bench.All() {
+		s := s
+		wall := map[bench.Engine]float64{}
+		var steps map[bench.Engine]uint64
+		for _, eng := range bench.Engines() {
+			eng := eng
+			b.Run(s.Abbr+"/"+eng.String(), func(b *testing.B) {
+				prog := s.Build("")
+				if _, err := core.Apply(prog, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+				best := math.Inf(1)
+				var st uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := bench.ExecuteOn(s, prog, interp.DefaultOptions(), bench.ScaleTest, eng)
+					if err != nil {
+						b.Fatal(err)
+					}
+					best = math.Min(best, res.WallROI.Seconds())
+					st = res.ROIStats.Steps
+				}
+				b.StopTimer()
+				if steps == nil {
+					steps = map[bench.Engine]uint64{}
+				}
+				wall[eng], steps[eng] = best, st
+				b.ReportMetric(best*1e9, "roi-ns/run")
+			})
+		}
+		sI, okI := steps[bench.EngineInterp]
+		sV, okV := steps[bench.EngineVM]
+		if okI && okV && sI != sV {
+			b.Fatalf("%s: engines disagree on ROI steps: interp=%d vm=%d", s.Abbr, sI, sV)
+		}
+		if wall[bench.EngineVM] > 0 {
+			b.Logf("%s: vm speedup %.2fx", s.Abbr, wall[bench.EngineInterp]/wall[bench.EngineVM])
+		}
+	}
+}
+
 // BenchmarkADECompile measures the compiler pass itself over the whole
 // benchmark suite (not a paper figure; useful when hacking on the
 // pass).

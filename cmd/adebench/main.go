@@ -42,6 +42,7 @@ func main() {
 		counts = flag.String("counts", "", "write the op-count baseline to this file and exit")
 		gate   = flag.String("gate", "", "compare current op counts against this baseline, failing on regressions")
 		tol    = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
+		engine = flag.String("engine", "interp", "execution engine for -counts/-gate: interp or vm (counts are engine-invariant)")
 	)
 	flag.Parse()
 
@@ -57,8 +58,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	eng, err := bench.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *counts != "" {
-		c, err := experiments.CollectCounts(sc)
+		c, err := experiments.CollectCounts(sc, eng)
 		if err == nil {
 			err = experiments.WriteCounts(c, *counts)
 		}
@@ -70,7 +76,7 @@ func main() {
 		return
 	}
 	if *gate != "" {
-		if err := experiments.Gate(sc, *gate, *tol, os.Stdout); err != nil {
+		if err := experiments.Gate(sc, *gate, *tol, eng, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"memoir/internal/bytecode"
 	"memoir/internal/collections"
 	"memoir/internal/core"
 	"memoir/internal/ir"
@@ -32,6 +33,7 @@ func main() {
 		report    = flag.Bool("report", false, "print the enumeration report to stderr")
 		checkOnly = flag.Bool("check", false, "parse and verify only; do not transform")
 		cleanup   = flag.Bool("O", false, "run constant folding and dead-code elimination after ADE")
+		dump      = flag.Bool("dump-bytecode", false, "print the register bytecode for the (transformed) program instead of MEMOIR text")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,6 +78,14 @@ func main() {
 			fatal(fmt.Errorf("verify after cleanup: %w", err))
 		}
 		fmt.Fprintf(os.Stderr, "cleanup: %d instructions folded or removed\n", n)
+	}
+	if *dump {
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			fatal(fmt.Errorf("bytecode: %w", err))
+		}
+		fmt.Print(bytecode.Disasm(bc))
+		return
 	}
 	fmt.Print(ir.Print(prog))
 }

@@ -46,7 +46,7 @@ func main() {
 			if c.ADE != nil {
 				kind = "ade"
 			}
-			fmt.Printf("%-18s %s\n", c.Name, kind)
+			fmt.Printf("%-22s %-8s engine=%s\n", c.Name, kind, c.Engine)
 		}
 		return
 	}

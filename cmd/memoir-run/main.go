@@ -1,13 +1,15 @@
 // Command memoir-run parses a textual MEMOIR program, optionally
 // applies ADE, executes its @main function on the instrumented
-// interpreter, and reports the result, output checksum and dynamic
-// statistics.
+// interpreter or the bytecode register VM, and reports the result,
+// output checksum and dynamic statistics.
 //
 // Usage:
 //
 //	memoir-run program.mir
 //	memoir-run -ade -stats program.mir
 //	memoir-run -ade -args 10,20 program.mir   # scalar u64 args
+//	memoir-run -engine vm program.mir         # bytecode VM engine
+//	memoir-run -dump-bytecode program.mir     # print bytecode, don't run
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"memoir/internal/bench"
+	"memoir/internal/bytecode"
 	"memoir/internal/core"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
@@ -26,15 +30,21 @@ import (
 
 func main() {
 	var (
-		ade   = flag.Bool("ade", false, "apply Automatic Data Enumeration before running")
-		stats = flag.Bool("stats", false, "print dynamic operation statistics")
-		args  = flag.String("args", "", "comma-separated u64 arguments for @main")
-		entry = flag.String("entry", "main", "entry function")
+		ade    = flag.Bool("ade", false, "apply Automatic Data Enumeration before running")
+		stats  = flag.Bool("stats", false, "print dynamic operation statistics")
+		args   = flag.String("args", "", "comma-separated u64 arguments for @main")
+		entry  = flag.String("entry", "main", "entry function")
+		engine = flag.String("engine", "interp", "execution engine: interp or vm (identical measurements)")
+		dump   = flag.Bool("dump-bytecode", false, "print the compiled bytecode and exit without running")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: memoir-run [flags] program.mir")
 		os.Exit(2)
+	}
+	eng, err := bench.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -57,7 +67,18 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, rep)
 	}
-	ip := interp.New(prog, interp.DefaultOptions())
+	if *dump {
+		bc, err := bytecode.Compile(prog)
+		if err != nil {
+			fatal(fmt.Errorf("bytecode: %w", err))
+		}
+		fmt.Print(bytecode.Disasm(bc))
+		return
+	}
+	m, err := bench.NewMachine(prog, interp.DefaultOptions(), eng)
+	if err != nil {
+		fatal(err)
+	}
 	var vals []interp.Val
 	if *args != "" {
 		for _, a := range strings.Split(*args, ",") {
@@ -69,21 +90,23 @@ func main() {
 		}
 	}
 	start := time.Now()
-	ret, err := ip.Run(*entry, vals...)
+	ret, err := m.Run(*entry, vals...)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
-	ip.FinalizeMem()
+	m.FinalizeMem()
+	st := m.Stats()
 	fmt.Printf("result: %s\n", ret)
-	fmt.Printf("output: count=%d checksum=%d\n", ip.Stats.EmitCount, ip.Stats.EmitSum)
+	fmt.Printf("output: count=%d checksum=%d\n", st.EmitCount, st.EmitSum)
 	if *stats {
+		fmt.Printf("engine: %s\n", eng)
 		fmt.Printf("wall: %v\n", elapsed)
 		fmt.Printf("steps: %d  sparse: %d  dense: %d  peak: %d bytes\n",
-			ip.Stats.Steps, ip.Stats.Sparse, ip.Stats.Dense, ip.Stats.PeakBytes)
+			st.Steps, st.Sparse, st.Dense, st.PeakBytes)
 		fmt.Printf("modeled: intel=%.0fns aarch64=%.0fns\n",
-			ip.Stats.ModeledNanos(interp.ArchIntelX64), ip.Stats.ModeledNanos(interp.ArchAArch64))
-		for op, n := range ip.Stats.ByOpKind() {
+			st.ModeledNanos(interp.ArchIntelX64), st.ModeledNanos(interp.ArchAArch64))
+		for op, n := range st.ByOpKind() {
 			fmt.Printf("  %-9s %d\n", op, n)
 		}
 	}

@@ -42,8 +42,10 @@ type Spec struct {
 	// Build constructs the program. The variant string selects the
 	// RQ4 directive variants on PTA ("" is the default program).
 	Build func(variant string) *ir.Program
-	// Input constructs @main's arguments.
-	Input func(ip *interp.Interp, sc Scale) []interp.Val
+	// Input constructs @main's arguments. The allocator is the engine
+	// that will run the program, so input collections are registered
+	// with that engine's memory model.
+	Input func(ip Allocator, sc Scale) []interp.Val
 	// Variants lists the supported non-default build variants.
 	Variants []string
 }
@@ -87,27 +89,41 @@ type Result struct {
 }
 
 // Execute runs an already-built (and possibly ADE-transformed) program
-// on the benchmark's input at the given scale.
+// on the benchmark's input at the given scale, using the interpreter
+// engine.
 func Execute(s *Spec, prog *ir.Program, opts interp.Options, sc Scale) (*Result, error) {
-	ip := interp.New(prog, opts)
-	args := s.Input(ip, sc)
+	return ExecuteOn(s, prog, opts, sc, EngineInterp)
+}
+
+// ExecuteOn runs an already-built (and possibly ADE-transformed)
+// program on the benchmark's input at the given scale, on the chosen
+// execution engine. The measurement surface is engine-independent:
+// both engines produce identical deterministic Stats for the same
+// program and input.
+func ExecuteOn(s *Spec, prog *ir.Program, opts interp.Options, sc Scale, eng Engine) (*Result, error) {
+	m, err := NewMachine(prog, opts, eng)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Abbr, err)
+	}
+	args := s.Input(m, sc)
 	// Settle the heap so one configuration's garbage doesn't tax the
 	// next configuration's timing.
 	runtime.GC()
 	start := time.Now()
-	ret, err := ip.Run("main", args...)
+	ret, err := m.Run("main", args...)
 	whole := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Abbr, err)
 	}
-	ip.FinalizeMem()
+	m.FinalizeMem()
+	stats := m.Stats()
 	res := &Result{
-		Ret: ret.I, EmitSum: ip.Stats.EmitSum, EmitCount: ip.Stats.EmitCount,
-		WallWhole: whole, Stats: ip.Stats, ROIStats: ip.ROIStats(),
-		Peak: ip.Stats.PeakBytes,
+		Ret: ret.I, EmitSum: stats.EmitSum, EmitCount: stats.EmitCount,
+		WallWhole: whole, Stats: stats, ROIStats: m.ROIStats(),
+		Peak: stats.PeakBytes,
 	}
-	if ip.ROISnapshot != nil {
-		res.WallROI = time.Since(ip.ROIStart)
+	if roiStart, ok := m.ROITime(); ok {
+		res.WallROI = time.Since(roiStart)
 		res.WallInit = whole - res.WallROI
 	} else {
 		res.WallROI = whole
@@ -133,7 +149,7 @@ func CollectProfile(s *Spec, prog *ir.Program, sc Scale) (profile.Profile, error
 // --- shared input builders ---
 
 // seqOfLabels materializes a Seq<u64> input collection.
-func seqOfLabels(ip *interp.Interp, labels []uint64) interp.Val {
+func seqOfLabels(ip Allocator, labels []uint64) interp.Val {
 	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
 	for _, l := range labels {
 		c.Append(interp.IntV(l))
@@ -142,7 +158,7 @@ func seqOfLabels(ip *interp.Interp, labels []uint64) interp.Val {
 }
 
 // seqOfIndexed materializes a Seq<u64> of labels selected by index.
-func seqOfIndexed(ip *interp.Interp, labels []uint64, idx []int32) interp.Val {
+func seqOfIndexed(ip Allocator, labels []uint64, idx []int32) interp.Val {
 	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
 	for _, i := range idx {
 		c.Append(interp.IntV(labels[i]))

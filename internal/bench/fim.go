@@ -126,7 +126,7 @@ func init() {
 			p.Add(b.Fn)
 			return p
 		},
-		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+		Input: func(ip Allocator, sc Scale) []interp.Val {
 			var bs *graphgen.BasketSet
 			switch sc {
 			case ScaleTest:

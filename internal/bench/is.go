@@ -52,7 +52,7 @@ func init() {
 			p.Add(b.Fn)
 			return p
 		},
-		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+		Input: func(ip Allocator, sc Scale) []interp.Val {
 			var g *graphgen.Graph
 			switch sc {
 			case ScaleTest:

@@ -85,7 +85,7 @@ func init() {
 			p.Add(b.Fn)
 			return p
 		},
-		Input: func(ip *interp.Interp, sc Scale) []interp.Val {
+		Input: func(ip Allocator, sc Scale) []interp.Val {
 			var nl, nr, m int
 			switch sc {
 			case ScaleTest:

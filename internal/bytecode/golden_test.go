@@ -1,0 +1,53 @@
+package bytecode_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memoir/internal/bytecode"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDisasmGolden pins the bytecode lowering of the paper's running
+// example (testdata/histogram.mir): the disassembly must match the
+// checked-in golden file byte for byte, so any change to the ISA, the
+// register allocation or the lowering order is a reviewed diff.
+// Regenerate with: go test ./internal/bytecode -run Golden -update
+func TestDisasmGolden(t *testing.T) {
+	mir := filepath.Join("..", "..", "testdata", "histogram.mir")
+	golden := filepath.Join("..", "..", "testdata", "histogram.bc.golden")
+	src, err := os.ReadFile(mir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bytecode.Disasm(bc)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("bytecode for %s drifted from golden file (regenerate with -update if intended)\n--- got ---\n%s", mir, got)
+	}
+}

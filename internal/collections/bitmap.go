@@ -56,6 +56,13 @@ func (m *BitMap[V]) Put(k uint32, v V) {
 // Has reports whether k is present.
 func (m *BitMap[V]) Has(k uint32) bool { return m.present.Has(k) }
 
+// Words exposes the presence bitmap's backing words so callers can
+// inline the Iterate scan; the words must not be mutated.
+func (m *BitMap[V]) Words() []uint64 { return m.present.Words() }
+
+// At returns the value stored under k, which must be present.
+func (m *BitMap[V]) At(k uint32) V { return m.vals[k] }
+
 // Remove deletes k, reporting whether it was present.
 func (m *BitMap[V]) Remove(k uint32) bool {
 	if !m.present.Remove(k) {

@@ -1,13 +1,22 @@
 // Package difftest is the differential-testing and regression harness
 // guarding ADE's central claim: the transformation is
 // semantics-preserving. It runs every benchmark in internal/bench
-// through the interpreter under a configuration matrix — ADE off
-// (reference) vs. ADE on, crossed with collection-selection choices,
-// sharing on/off and RTE on/off — and asserts byte-identical canonical
-// outputs, running ir.Verify after every program-producing stage. A
-// -seed-driven random-program mode diffs the generator family behind
-// internal/core's fuzz tests. Results land in a machine-readable JSON
-// report (difftest-report.json) that CI uploads as an artifact.
+// under a configuration matrix — ADE off (reference) vs. ADE on,
+// crossed with collection-selection choices, sharing on/off and RTE
+// on/off — and asserts byte-identical canonical outputs, running
+// ir.Verify after every program-producing stage. A -seed-driven
+// random-program mode diffs the generator family behind internal/core's
+// fuzz tests. Results land in a machine-readable JSON report
+// (difftest-report.json) that CI uploads as an artifact.
+//
+// The matrix also carries an execution-engine axis: every column runs
+// once on the tree-walking interpreter and once on the bytecode
+// register VM (the "@vm" twin). A VM cell's output is compared against
+// the interpreter reference byte for byte, and additionally its full
+// deterministic measurement surface (steps, per-implementation op
+// counts, sparse/dense classification, translation calls) must equal
+// its interpreter twin's exactly — any drift is reported as an
+// "op-counts" divergence.
 //
 // The work list shards deterministically (-shard i/n) so CI can run a
 // bounded smoke slice on every push and a deep sweep nightly.
@@ -17,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"memoir/internal/bench"
 	"memoir/internal/collections"
@@ -28,13 +38,15 @@ import (
 // Config is one column of the differential matrix.
 type Config struct {
 	// Name is the stable identifier used in reports and -configs
-	// filters.
+	// filters. Engine-twin columns carry an "@vm" suffix.
 	Name string
+	// Engine selects the execution engine for this column. The zero
+	// value is the interpreter.
+	Engine bench.Engine
 	// ADE is nil for pure-baseline columns (no transformation).
 	ADE *core.Options
-	// DefaultSet and DefaultMap choose the interpreter's
-	// implementation for unselected collections; ImplNone keeps the
-	// baseline Hash{Set,Map}.
+	// DefaultSet and DefaultMap choose the engine's implementation for
+	// unselected collections; ImplNone keeps the baseline Hash{Set,Map}.
 	DefaultSet, DefaultMap collections.Impl
 	// Mutate, when non-nil, is applied to the program after the ADE
 	// pass. It exists for fault-injection tests that prove the differ
@@ -42,18 +54,35 @@ type Config struct {
 	Mutate func(*ir.Program)
 }
 
+// EngineSuffix marks a matrix column that runs on the bytecode VM; a
+// column named "X@vm" is the engine twin of column "X" and must
+// reproduce its op counts exactly.
+const EngineSuffix = "@vm"
+
+// BaseName strips the engine-twin suffix from a column name.
+func BaseName(name string) string { return strings.TrimSuffix(name, EngineSuffix) }
+
 // Matrix returns the standard differential matrix: the hash baseline
 // (the reference semantics), the alternate baseline implementation
-// defaults, and every ADE configuration from core.OptionsMatrix.
+// defaults, and every ADE configuration from core.OptionsMatrix — each
+// immediately followed by its bytecode-VM engine twin.
 func Matrix() []Config {
-	out := []Config{
+	base := []Config{
 		{Name: "baseline-hash"},
 		{Name: "baseline-swiss", DefaultSet: collections.ImplSwissSet, DefaultMap: collections.ImplSwissMap},
 		{Name: "baseline-flat", DefaultSet: collections.ImplFlatSet},
 	}
 	for _, no := range core.OptionsMatrix() {
 		opts := no.Opts
-		out = append(out, Config{Name: no.Name, ADE: &opts})
+		base = append(base, Config{Name: no.Name, ADE: &opts})
+	}
+	out := make([]Config, 0, 2*len(base))
+	for _, c := range base {
+		out = append(out, c)
+		twin := c
+		twin.Name += EngineSuffix
+		twin.Engine = bench.EngineVM
+		out = append(out, twin)
 	}
 	return out
 }
@@ -96,7 +125,7 @@ type outcome struct {
 	stats     *interp.Stats
 }
 
-// interpOpts builds the interpreter options for a matrix column.
+// interpOpts builds the engine options for a matrix column.
 func interpOpts(c Config) interp.Options {
 	o := interp.DefaultOptions()
 	if c.DefaultSet != collections.ImplNone {
@@ -112,23 +141,61 @@ func interpOpts(c Config) interp.Options {
 	return o
 }
 
-// execute runs prog on s's input and canonicalizes the output.
-func execute(s *bench.Spec, prog *ir.Program, iopts interp.Options, sc bench.Scale) (*outcome, error) {
-	ip := interp.New(prog, iopts)
-	args := s.Input(ip, sc)
-	ret, err := ip.Run("main", args...)
+// execute runs prog on s's input on the chosen engine and
+// canonicalizes the output.
+func execute(s *bench.Spec, prog *ir.Program, iopts interp.Options, sc bench.Scale, eng bench.Engine) (*outcome, error) {
+	m, err := bench.NewMachine(prog, iopts, eng)
 	if err != nil {
 		return nil, err
 	}
-	canon := make([]uint64, len(ip.Output))
-	for i, v := range ip.Output {
+	args := s.Input(m, sc)
+	ret, err := m.Run("main", args...)
+	if err != nil {
+		return nil, err
+	}
+	out := m.RecordedOutput()
+	canon := make([]uint64, len(out))
+	for i, v := range out {
 		canon[i] = v.Bits()
 	}
 	sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+	st := m.Stats()
 	return &outcome{
-		ret: ret.I, emitSum: ip.Stats.EmitSum, emitCount: ip.Stats.EmitCount,
-		canon: canon, stats: ip.Stats,
+		ret: ret.I, emitSum: st.EmitSum, emitCount: st.EmitCount,
+		canon: canon, stats: st,
 	}, nil
+}
+
+// statsDelta describes how two deterministic measurement surfaces
+// differ; "" means exactly equal. Engine twins must never differ.
+func statsDelta(want, got *interp.Stats) string {
+	if *want == *got {
+		return ""
+	}
+	var parts []string
+	scalar := func(name string, w, g uint64) {
+		if w != g {
+			parts = append(parts, fmt.Sprintf("%s %d vs %d", name, g, w))
+		}
+	}
+	scalar("steps", want.Steps, got.Steps)
+	scalar("sparse", want.Sparse, got.Sparse)
+	scalar("dense", want.Dense, got.Dense)
+	for impl := 0; impl < interp.NImpls; impl++ {
+		for k := range want.Counts[impl] {
+			if want.Counts[impl][k] != got.Counts[impl][k] {
+				parts = append(parts, fmt.Sprintf("counts[%d][%v] %d vs %d",
+					impl, interp.OpKind(k), got.Counts[impl][k], want.Counts[impl][k]))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "memory model drift")
+	}
+	if len(parts) > 6 {
+		parts = append(parts[:6], "…")
+	}
+	return strings.Join(parts, "; ")
 }
 
 // equalOutput reports whether two outcomes are byte-identical under
@@ -178,9 +245,10 @@ func buildProgram(s *bench.Spec, c Config) (*ir.Program, *core.Report, error) {
 }
 
 // entryFor fills a report entry from an outcome.
-func entryFor(cfg string, o *outcome, rep *core.Report) Entry {
+func entryFor(c Config, o *outcome, rep *core.Report) Entry {
 	e := Entry{
-		Config:    cfg,
+		Config:    c.Name,
+		Engine:    c.Engine.String(),
 		Ret:       o.ret,
 		EmitSum:   o.emitSum,
 		EmitCount: o.emitCount,
@@ -259,16 +327,25 @@ func Run(o RunOptions) (*Report, error) {
 	for _, s := range specs {
 		br := BenchReport{Abbr: s.Abbr}
 		// The reference semantics: untransformed program on the
-		// baseline hash implementations.
-		ref, err := execute(s, s.Build(""), interpOpts(Config{}), o.Scale)
+		// baseline hash implementations, on the interpreter.
+		ref, err := execute(s, s.Build(""), interpOpts(Config{}), o.Scale, bench.EngineInterp)
 		if err != nil {
 			return nil, fmt.Errorf("%s: reference run: %w", s.Abbr, err)
 		}
 		if ref.emitCount == 0 {
 			return nil, fmt.Errorf("%s: benchmark emits no output; equivalence untestable", s.Abbr)
 		}
+		// Interpreter outcomes by column name, for the engine-twin
+		// op-count comparison.
+		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, div := runCell(s, c, ref, o.Scale)
+			e, got, div := runCell(s, c, ref, o.Scale)
+			if div == nil {
+				if d := twinDivergence(got, twins, c, s.Abbr, 0); d != nil {
+					e.Diverged = true
+					div = d
+				}
+			}
 			br.Entries = append(br.Entries, e)
 			if div != nil {
 				rpt.Divergences = append(rpt.Divergences, *div)
@@ -280,7 +357,7 @@ func Run(o RunOptions) (*Report, error) {
 				} else if e.Error != "" {
 					status = "error: " + e.Error
 				}
-				fmt.Fprintf(o.Verbose, "%-5s %-18s %s\n", s.Abbr, c.Name, status)
+				fmt.Fprintf(o.Verbose, "%-5s %-22s %s\n", s.Abbr, c.Name, status)
 			}
 		}
 		rpt.Benchmarks = append(rpt.Benchmarks, br)
@@ -289,25 +366,55 @@ func Run(o RunOptions) (*Report, error) {
 	return rpt, nil
 }
 
+// twinDivergence implements the engine axis' count-parity assertion:
+// interpreter outcomes are remembered by column name, and a "@vm"
+// column with an interpreter twin in this run must reproduce the
+// twin's full deterministic measurement surface exactly. A non-nil
+// return is the divergence; the caller marks the cell.
+func twinDivergence(got *outcome, twins map[string]*outcome, c Config, abbr string, seed int64) *Divergence {
+	if got == nil {
+		return nil
+	}
+	if c.Engine == bench.EngineInterp {
+		twins[c.Name] = got
+		return nil
+	}
+	want, ok := twins[BaseName(c.Name)]
+	if !ok {
+		return nil // twin filtered out of this run
+	}
+	delta := statsDelta(want.stats, got.stats)
+	if delta == "" {
+		return nil
+	}
+	return &Divergence{
+		Bench: abbr, Seed: seed, Config: c.Name,
+		Kind: "op-counts", Detail: delta,
+		WantRet: want.ret, GotRet: got.ret,
+		WantEmitSum: want.emitSum, GotEmitSum: got.emitSum,
+		WantEmitCount: want.emitCount, GotEmitCount: got.emitCount,
+	}
+}
+
 // runCell runs one (benchmark, config) cell against the reference.
-func runCell(s *bench.Spec, c Config, ref *outcome, sc bench.Scale) (Entry, *Divergence) {
+func runCell(s *bench.Spec, c Config, ref *outcome, sc bench.Scale) (Entry, *outcome, *Divergence) {
 	prog, rep, err := buildProgram(s, c)
 	if err != nil {
-		return Entry{Config: c.Name, Error: err.Error()}, nil
+		return Entry{Config: c.Name, Engine: c.Engine.String(), Error: err.Error()}, nil, nil
 	}
-	got, err := execute(s, prog, interpOpts(c), sc)
+	got, err := execute(s, prog, interpOpts(c), sc, c.Engine)
 	if err != nil {
-		return Entry{Config: c.Name, Error: err.Error()}, nil
+		return Entry{Config: c.Name, Engine: c.Engine.String(), Error: err.Error()}, nil, nil
 	}
-	e := entryFor(c.Name, got, rep)
+	e := entryFor(c, got, rep)
 	if !equalOutput(ref, got) {
 		e.Diverged = true
-		return e, &Divergence{
+		return e, got, &Divergence{
 			Bench: s.Abbr, Config: c.Name,
 			WantRet: ref.ret, GotRet: got.ret,
 			WantEmitSum: ref.emitSum, GotEmitSum: got.emitSum,
 			WantEmitCount: ref.emitCount, GotEmitCount: got.emitCount,
 		}
 	}
-	return e, nil
+	return e, got, nil
 }

@@ -16,7 +16,7 @@ func TestMatrixShape(t *testing.T) {
 		t.Fatalf("matrix must lead with the hash baseline, got %+v", m[0])
 	}
 	seen := map[string]bool{}
-	ade := 0
+	ade, vm := 0, 0
 	for _, c := range m {
 		if seen[c.Name] {
 			t.Fatalf("duplicate config name %q", c.Name)
@@ -25,9 +25,19 @@ func TestMatrixShape(t *testing.T) {
 		if c.ADE != nil {
 			ade++
 		}
+		if c.Engine == bench.EngineVM {
+			vm++
+			base := BaseName(c.Name)
+			if base == c.Name || !seen[base] {
+				t.Fatalf("vm column %q has no interpreter twin", c.Name)
+			}
+		}
 	}
-	if ade < 8 {
-		t.Fatalf("matrix has %d ADE configurations, want >= 8", ade)
+	if ade < 16 {
+		t.Fatalf("matrix has %d ADE configurations, want >= 16 (both engines)", ade)
+	}
+	if vm*2 != len(m) {
+		t.Fatalf("matrix has %d vm columns of %d; every column needs an engine twin", vm, len(m))
 	}
 }
 
@@ -140,6 +150,67 @@ func TestBenchmarkDiff(t *testing.T) {
 	}
 	if ade == nil || ade.EnumClasses == 0 || ade.Enc+ade.Add == 0 {
 		t.Fatalf("ade cell shows no enumeration activity: %+v", ade)
+	}
+}
+
+// TestEngineTwinClean runs interpreter/VM twin columns on one
+// benchmark: the VM cells must match the reference output and their
+// twins' op counts exactly.
+func TestEngineTwinClean(t *testing.T) {
+	rpt, err := Run(RunOptions{
+		Scale:      bench.ScaleTest,
+		Benchmarks: []string{"BFS"},
+		Configs:    []string{"baseline-hash", "baseline-hash@vm", "ade", "ade@vm", "ade-sparse", "ade-sparse@vm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpt.OK() || rpt.Cells != 6 {
+		var buf bytes.Buffer
+		rpt.Summary(&buf)
+		t.Fatalf("expected 6 clean cells:\n%s", buf.String())
+	}
+	byName := map[string]Entry{}
+	for _, e := range rpt.Benchmarks[0].Entries {
+		byName[e.Config] = e
+	}
+	for _, base := range []string{"baseline-hash", "ade", "ade-sparse"} {
+		i, v := byName[base], byName[base+EngineSuffix]
+		if i.Engine != "interp" || v.Engine != "vm" {
+			t.Fatalf("engine fields wrong: %+v %+v", i, v)
+		}
+		v.Engine, v.Config = i.Engine, i.Config
+		if i != v {
+			t.Fatalf("%s: engine twins disagree:\n  interp: %+v\n  vm:     %+v", base, i, v)
+		}
+	}
+}
+
+// TestEngineCountDivergence proves the op-count comparator actually
+// fires: an engine-twin pair running *different programs* (baseline
+// vs. ADE-transformed) has identical output but different counts, and
+// must be flagged as an "op-counts" divergence.
+func TestEngineCountDivergence(t *testing.T) {
+	opts := core.DefaultOptions()
+	rpt, err := Run(RunOptions{
+		Scale:      bench.ScaleTest,
+		Benchmarks: []string{"BFS"},
+		Matrix: []Config{
+			{Name: "skew"},
+			{Name: "skew@vm", Engine: bench.EngineVM, ADE: &opts},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.OK() || rpt.Diverged != 1 || len(rpt.Divergences) != 1 {
+		var buf bytes.Buffer
+		rpt.Summary(&buf)
+		t.Fatalf("want exactly one op-count divergence:\n%s", buf.String())
+	}
+	d := rpt.Divergences[0]
+	if d.Kind != "op-counts" || d.Config != "skew@vm" || d.Detail == "" {
+		t.Fatalf("divergence misclassified: %+v", d)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"memoir/internal/bench"
 	"memoir/internal/core"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
@@ -27,25 +28,30 @@ type RandomOptions struct {
 }
 
 // runGenerated executes a generated program on the family's canonical
-// input and canonicalizes the output.
-func runGenerated(p *ir.Program, seed int64, iopts interp.Options) (*outcome, error) {
-	ip := interp.New(p, iopts)
-	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
-	for _, k := range core.FuzzInput(seed) {
-		c.Append(interp.IntV(k))
-	}
-	ret, err := ip.Run("main", interp.CollV(c.(interp.Coll)))
+// input on the chosen engine and canonicalizes the output.
+func runGenerated(p *ir.Program, seed int64, iopts interp.Options, eng bench.Engine) (*outcome, error) {
+	m, err := bench.NewMachine(p, iopts, eng)
 	if err != nil {
 		return nil, err
 	}
-	canon := make([]uint64, len(ip.Output))
-	for i, v := range ip.Output {
+	c := m.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
+	for _, k := range core.FuzzInput(seed) {
+		c.Append(interp.IntV(k))
+	}
+	ret, err := m.Run("main", interp.CollV(c.(interp.Coll)))
+	if err != nil {
+		return nil, err
+	}
+	out := m.RecordedOutput()
+	canon := make([]uint64, len(out))
+	for i, v := range out {
 		canon[i] = v.Bits()
 	}
 	sort.Slice(canon, func(i, j int) bool { return canon[i] < canon[j] })
+	st := m.Stats()
 	return &outcome{
-		ret: ret.I, emitSum: ip.Stats.EmitSum, emitCount: ip.Stats.EmitCount,
-		canon: canon, stats: ip.Stats,
+		ret: ret.I, emitSum: st.EmitSum, emitCount: st.EmitCount,
+		canon: canon, stats: st,
 	}, nil
 }
 
@@ -72,12 +78,21 @@ func RunRandom(o RandomOptions) (*Report, error) {
 		if err := ir.Verify(base); err != nil {
 			return nil, fmt.Errorf("seed %d: generated program invalid: %w", seed, err)
 		}
-		ref, err := runGenerated(base, seed, interpOpts(Config{}))
+		ref, err := runGenerated(base, seed, interpOpts(Config{}), bench.EngineInterp)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: reference run: %w", seed, err)
 		}
+		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, div := runRandomCell(seed, c, ref)
+			e, got, div := runRandomCell(seed, c, ref)
+			if div == nil {
+				// The engine-twin count-parity assertion, mirrored from
+				// the benchmark path.
+				if d := twinDivergence(got, twins, c, "", seed); d != nil {
+					e.Diverged = true
+					div = d
+				}
+			}
 			rr.Entries = append(rr.Entries, e)
 			if div != nil {
 				rpt.Divergences = append(rpt.Divergences, *div)
@@ -93,40 +108,41 @@ func RunRandom(o RandomOptions) (*Report, error) {
 }
 
 // runRandomCell diffs one (seed, config) cell against the reference.
-func runRandomCell(seed int64, c Config, ref *outcome) (RandomEntry, *Divergence) {
+func runRandomCell(seed int64, c Config, ref *outcome) (RandomEntry, *outcome, *Divergence) {
 	prog := core.GenerateProgram(seed)
 	if c.ADE != nil {
 		if _, err := core.Apply(prog, *c.ADE); err != nil {
-			return RandomEntry{Seed: seed, Config: c.Name, Error: err.Error()}, nil
+			return RandomEntry{Seed: seed, Config: c.Name, Engine: c.Engine.String(), Error: err.Error()}, nil, nil
 		}
 		if err := ir.Verify(prog); err != nil {
-			return RandomEntry{Seed: seed, Config: c.Name, Error: "post-ade verify: " + err.Error()}, nil
+			return RandomEntry{Seed: seed, Config: c.Name, Engine: c.Engine.String(), Error: "post-ade verify: " + err.Error()}, nil, nil
 		}
 	}
 	if c.Mutate != nil {
 		c.Mutate(prog)
 		if err := ir.Verify(prog); err != nil {
-			return RandomEntry{Seed: seed, Config: c.Name, Error: "post-mutate verify: " + err.Error()}, nil
+			return RandomEntry{Seed: seed, Config: c.Name, Engine: c.Engine.String(), Error: "post-mutate verify: " + err.Error()}, nil, nil
 		}
 	}
-	got, err := runGenerated(prog, seed, interpOpts(c))
+	got, err := runGenerated(prog, seed, interpOpts(c), c.Engine)
 	if err != nil {
-		return RandomEntry{Seed: seed, Config: c.Name, Error: err.Error()}, nil
+		return RandomEntry{Seed: seed, Config: c.Name, Engine: c.Engine.String(), Error: err.Error()}, nil, nil
 	}
 	e := RandomEntry{
-		Seed: seed, Config: c.Name, Ret: got.ret, EmitSum: got.emitSum,
+		Seed: seed, Config: c.Name, Engine: c.Engine.String(),
+		Ret: got.ret, EmitSum: got.emitSum,
 		Enc: got.stats.Counts[interp.ImplEnum][interp.OKEnc],
 		Dec: got.stats.Counts[interp.ImplEnum][interp.OKDec],
 		Add: got.stats.Counts[interp.ImplEnum][interp.OKAdd],
 	}
 	if !equalOutput(ref, got) {
 		e.Diverged = true
-		return e, &Divergence{
+		return e, got, &Divergence{
 			Seed: seed, Config: c.Name,
 			WantRet: ref.ret, GotRet: got.ret,
 			WantEmitSum: ref.emitSum, GotEmitSum: got.emitSum,
 			WantEmitCount: ref.emitCount, GotEmitCount: got.emitCount,
 		}
 	}
-	return e, nil
+	return e, got, nil
 }

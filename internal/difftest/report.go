@@ -11,7 +11,9 @@ import (
 
 // Schema identifies the report format; bump when fields change
 // incompatibly so downstream tooling can refuse stale baselines.
-const Schema = "adediff/v1"
+// v2 added the execution-engine axis: per-entry "engine" fields and
+// "op-counts" divergences between engine twins.
+const Schema = "adediff/v2"
 
 // Report is the machine-readable result of one harness run
 // (difftest-report.json).
@@ -42,7 +44,10 @@ type BenchReport struct {
 // plus the deterministic interpreter op counts and the enumeration
 // translation-call counts from internal/interp's stats.
 type Entry struct {
-	Config    string `json:"config"`
+	Config string `json:"config"`
+	// Engine is the execution engine the cell ran on ("interp" or
+	// "vm"); both must produce identical counts.
+	Engine    string `json:"engine"`
 	Ret       uint64 `json:"ret"`
 	EmitSum   uint64 `json:"emitSum"`
 	EmitCount uint64 `json:"emitCount"`
@@ -65,11 +70,17 @@ type Entry struct {
 	Error    string `json:"error,omitempty"`
 }
 
-// Divergence records one output mismatch against the reference.
+// Divergence records one mismatch: an output divergence against the
+// reference (Kind ""), or an op-count divergence between an engine
+// twin pair (Kind "op-counts").
 type Divergence struct {
 	Bench  string `json:"bench,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
 	Config string `json:"config"`
+	Kind   string `json:"kind,omitempty"`
+	// Detail narrates which deterministic counters drifted for
+	// op-count divergences.
+	Detail string `json:"detail,omitempty"`
 
 	WantRet       uint64 `json:"wantRet"`
 	GotRet        uint64 `json:"gotRet"`
@@ -90,6 +101,7 @@ type RandomReport struct {
 type RandomEntry struct {
 	Seed     int64  `json:"seed"`
 	Config   string `json:"config"`
+	Engine   string `json:"engine"`
 	Ret      uint64 `json:"ret"`
 	EmitSum  uint64 `json:"emitSum"`
 	Enc      uint64 `json:"enc"`
@@ -202,6 +214,11 @@ func (r *Report) Summary(w io.Writer) {
 		where := d.Bench
 		if where == "" {
 			where = fmt.Sprintf("seed %d", d.Seed)
+		}
+		if d.Kind == "op-counts" {
+			fmt.Fprintf(w, "  DIVERGED %s under %s: op counts vs engine twin: %s\n",
+				where, d.Config, d.Detail)
+			continue
 		}
 		fmt.Fprintf(w, "  DIVERGED %s under %s: ret %d vs %d, emits (%d,%d) vs (%d,%d)\n",
 			where, d.Config, d.GotRet, d.WantRet,

@@ -46,8 +46,10 @@ func gateConfigs() []CompilerConfig {
 }
 
 // CollectCounts runs every benchmark under the gate configurations
-// once and records the whole-program op counts.
-func CollectCounts(sc bench.Scale) (*CountsFile, error) {
+// once on the chosen engine and records the whole-program op counts.
+// The counts are engine-invariant — both engines produce the same
+// deterministic totals — so one baseline file gates both engines.
+func CollectCounts(sc bench.Scale, eng bench.Engine) (*CountsFile, error) {
 	out := &CountsFile{
 		Schema: CountsSchema,
 		Scale:  scaleName(sc),
@@ -60,7 +62,7 @@ func CollectCounts(sc bench.Scale) (*CountsFile, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := bench.Execute(s, prog, interpOpts(cfg, false), sc)
+			res, err := bench.ExecuteOn(s, prog, interpOpts(cfg, false), sc, eng)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", s.Abbr, cfg.Name, err)
 			}
@@ -171,14 +173,16 @@ func CompareCounts(baseline, current *CountsFile, tol float64) []string {
 	return fails
 }
 
-// Gate collects the current counts at sc and compares them against the
-// baseline file, writing a verdict to w.
-func Gate(sc bench.Scale, baselinePath string, tol float64, w io.Writer) error {
+// Gate collects the current counts at sc on the chosen engine and
+// compares them against the baseline file, writing a verdict to w. The
+// baseline is engine-neutral: a baseline collected on either engine
+// gates runs on either engine.
+func Gate(sc bench.Scale, baselinePath string, tol float64, eng bench.Engine, w io.Writer) error {
 	baseline, err := ReadCounts(baselinePath)
 	if err != nil {
 		return err
 	}
-	current, err := CollectCounts(sc)
+	current, err := CollectCounts(sc, eng)
 	if err != nil {
 		return err
 	}

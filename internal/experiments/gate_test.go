@@ -67,16 +67,18 @@ func TestCompareCountsMissingCells(t *testing.T) {
 }
 
 // TestCollectCountsDeterministic is the property the CI gate rests on:
-// two collections of the op counts are identical.
+// two collections of the op counts are identical — and the bytecode-VM
+// engine reproduces the interpreter's counts exactly, so one baseline
+// file gates both engines at zero tolerance.
 func TestCollectCountsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite double run")
 	}
-	a, err := CollectCounts(bench.ScaleTest)
+	a, err := CollectCounts(bench.ScaleTest, bench.EngineInterp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CollectCounts(bench.ScaleTest)
+	b, err := CollectCounts(bench.ScaleTest, bench.EngineInterp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,5 +87,15 @@ func TestCollectCountsDeterministic(t *testing.T) {
 	}
 	if fails := CompareCounts(b, a, 0); len(fails) != 0 {
 		t.Fatalf("op counts nondeterministic: %v", fails)
+	}
+	v, err := CollectCounts(bench.ScaleTest, bench.EngineVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := CompareCounts(a, v, 0); len(fails) != 0 {
+		t.Fatalf("vm counts drift from interpreter baseline: %v", fails)
+	}
+	if fails := CompareCounts(v, a, 0); len(fails) != 0 {
+		t.Fatalf("vm counts drift from interpreter baseline: %v", fails)
 	}
 }

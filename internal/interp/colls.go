@@ -9,6 +9,11 @@ import (
 // collection all alias one handle; the interpreter mutates it in
 // place, which is sound because MEMOIR's collection SSA gives each
 // state a single forward use chain.
+//
+// The frequent implementations are exported concrete types (RSetHash,
+// RSetBits, RSetSparse, RMapHash, RMapBit, RSeqArr) so the bytecode
+// VM can devirtualize its hot collection opcodes with a type switch;
+// rarer implementations stay behind the generic rsetG/rmapG wrappers.
 type Coll interface {
 	CollKind() ir.CollKind
 	Impl() collections.Impl
@@ -48,7 +53,20 @@ type RSeq interface {
 	Iterate(func(i int, v Val) bool)
 }
 
-// --- generic (sparse-keyed) set ---
+// --- HashSet-backed set, Val-specialized ---
+
+// RSetHash is the Set{HashSet} runtime set over the Val-specialized
+// open-addressing table.
+type RSetHash struct {
+	ValSet
+	t *ir.CollType
+}
+
+func (r *RSetHash) CollKind() ir.CollKind  { return ir.KSet }
+func (r *RSetHash) Impl() collections.Impl { return collections.ImplHashSet }
+func (r *RSetHash) ElemType() ir.Type      { return r.t.Key }
+
+// --- generic (sparse-keyed) set: Swiss or Flat ---
 
 type rsetG struct {
 	s collections.Set[Val]
@@ -66,27 +84,61 @@ func (r *rsetG) Insert(v Val) bool        { return r.s.Insert(v) }
 func (r *rsetG) Remove(v Val) bool        { return r.s.Remove(v) }
 func (r *rsetG) Iterate(f func(Val) bool) { r.s.Iterate(f) }
 
-// --- dense (idx-keyed) set: BitSet or SparseBitSet ---
+// --- dense (idx-keyed) sets: BitSet and SparseBitSet ---
 
-type rsetDense struct {
-	s collections.Set[uint32]
+// RSetBits is the Set{BitSet} runtime set.
+type RSetBits struct {
+	S *collections.BitSet
 	t *ir.CollType
 }
 
-func (r *rsetDense) CollKind() ir.CollKind  { return ir.KSet }
-func (r *rsetDense) Impl() collections.Impl { return r.s.Kind() }
-func (r *rsetDense) ElemType() ir.Type      { return r.t.Key }
-func (r *rsetDense) Len() int               { return r.s.Len() }
-func (r *rsetDense) Bytes() int64           { return r.s.Bytes() }
-func (r *rsetDense) Clear()                 { r.s.Clear() }
-func (r *rsetDense) Has(v Val) bool         { return r.s.Has(uint32(v.I)) }
-func (r *rsetDense) Insert(v Val) bool      { return r.s.Insert(uint32(v.I)) }
-func (r *rsetDense) Remove(v Val) bool      { return r.s.Remove(uint32(v.I)) }
-func (r *rsetDense) Iterate(f func(Val) bool) {
-	r.s.Iterate(func(k uint32) bool { return f(IntV(uint64(k))) })
+func (r *RSetBits) CollKind() ir.CollKind  { return ir.KSet }
+func (r *RSetBits) Impl() collections.Impl { return collections.ImplBitSet }
+func (r *RSetBits) ElemType() ir.Type      { return r.t.Key }
+func (r *RSetBits) Len() int               { return r.S.Len() }
+func (r *RSetBits) Bytes() int64           { return r.S.Bytes() }
+func (r *RSetBits) Clear()                 { r.S.Clear() }
+func (r *RSetBits) Has(v Val) bool         { return r.S.Has(uint32(v.I)) }
+func (r *RSetBits) Insert(v Val) bool      { return r.S.Insert(uint32(v.I)) }
+func (r *RSetBits) Remove(v Val) bool      { return r.S.Remove(uint32(v.I)) }
+func (r *RSetBits) Iterate(f func(Val) bool) {
+	r.S.Iterate(func(k uint32) bool { return f(IntV(uint64(k))) })
 }
 
-// --- generic (sparse-keyed) map ---
+// RSetSparse is the Set{SparseBitSet} runtime set.
+type RSetSparse struct {
+	S *collections.SparseBitSet
+	t *ir.CollType
+}
+
+func (r *RSetSparse) CollKind() ir.CollKind  { return ir.KSet }
+func (r *RSetSparse) Impl() collections.Impl { return collections.ImplSparseBitSet }
+func (r *RSetSparse) ElemType() ir.Type      { return r.t.Key }
+func (r *RSetSparse) Len() int               { return r.S.Len() }
+func (r *RSetSparse) Bytes() int64           { return r.S.Bytes() }
+func (r *RSetSparse) Clear()                 { r.S.Clear() }
+func (r *RSetSparse) Has(v Val) bool         { return r.S.Has(uint32(v.I)) }
+func (r *RSetSparse) Insert(v Val) bool      { return r.S.Insert(uint32(v.I)) }
+func (r *RSetSparse) Remove(v Val) bool      { return r.S.Remove(uint32(v.I)) }
+func (r *RSetSparse) Iterate(f func(Val) bool) {
+	r.S.Iterate(func(k uint32) bool { return f(IntV(uint64(k))) })
+}
+
+// --- HashMap-backed map, Val-specialized ---
+
+// RMapHash is the Map{HashMap} runtime map over the Val-specialized
+// open-addressing table.
+type RMapHash struct {
+	ValMap
+	t *ir.CollType
+}
+
+func (r *RMapHash) CollKind() ir.CollKind  { return ir.KMap }
+func (r *RMapHash) Impl() collections.Impl { return collections.ImplHashMap }
+func (r *RMapHash) ElemType() ir.Type      { return r.t.Elem }
+func (r *RMapHash) HasKey(k Val) bool      { return r.Has(k) }
+
+// --- generic (sparse-keyed) map: Swiss ---
 
 type rmapG struct {
 	m collections.Map[Val, Val]
@@ -112,86 +164,97 @@ func (r *rmapG) Iterate(f func(k, v Val) bool) { r.m.Iterate(f) }
 
 // --- dense (idx-keyed) map: BitMap ---
 
-type rmapDense struct {
-	m *collections.BitMap[Val]
+// RMapBit is the Map{BitMap} runtime map.
+type RMapBit struct {
+	M *collections.BitMap[Val]
 	t *ir.CollType
 }
 
-func (r *rmapDense) CollKind() ir.CollKind  { return ir.KMap }
-func (r *rmapDense) Impl() collections.Impl { return collections.ImplBitMap }
-func (r *rmapDense) ElemType() ir.Type      { return r.t.Elem }
-func (r *rmapDense) Len() int               { return r.m.Len() }
-func (r *rmapDense) Bytes() int64           { return r.m.Bytes() }
-func (r *rmapDense) Clear()                 { r.m.Clear() }
-func (r *rmapDense) Get(k Val) (Val, bool)  { return r.m.Get(uint32(k.I)) }
-func (r *rmapDense) Put(k, v Val)           { r.m.Put(uint32(k.I), v) }
-func (r *rmapDense) HasKey(k Val) bool      { return r.m.Has(uint32(k.I)) }
-func (r *rmapDense) Remove(k Val) bool      { return r.m.Remove(uint32(k.I)) }
-func (r *rmapDense) Iterate(f func(k, v Val) bool) {
-	r.m.Iterate(func(k uint32, v Val) bool { return f(IntV(uint64(k)), v) })
+func (r *RMapBit) CollKind() ir.CollKind  { return ir.KMap }
+func (r *RMapBit) Impl() collections.Impl { return collections.ImplBitMap }
+func (r *RMapBit) ElemType() ir.Type      { return r.t.Elem }
+func (r *RMapBit) Len() int               { return r.M.Len() }
+func (r *RMapBit) Bytes() int64           { return r.M.Bytes() }
+func (r *RMapBit) Clear()                 { r.M.Clear() }
+func (r *RMapBit) Get(k Val) (Val, bool)  { return r.M.Get(uint32(k.I)) }
+func (r *RMapBit) Put(k, v Val)           { r.M.Put(uint32(k.I), v) }
+func (r *RMapBit) HasKey(k Val) bool      { return r.M.Has(uint32(k.I)) }
+func (r *RMapBit) Remove(k Val) bool      { return r.M.Remove(uint32(k.I)) }
+func (r *RMapBit) Iterate(f func(k, v Val) bool) {
+	r.M.Iterate(func(k uint32, v Val) bool { return f(IntV(uint64(k)), v) })
 }
 
 // --- sequence ---
 
-type rseq struct {
-	s *collections.Seq[Val]
+// RSeqArr is the array-backed runtime sequence.
+type RSeqArr struct {
+	S *collections.Seq[Val]
 	t *ir.CollType
 }
 
-func (r *rseq) CollKind() ir.CollKind         { return ir.KSeq }
-func (r *rseq) Impl() collections.Impl        { return collections.ImplArray }
-func (r *rseq) ElemType() ir.Type             { return r.t.Elem }
-func (r *rseq) Len() int                      { return r.s.Len() }
-func (r *rseq) Bytes() int64                  { return r.s.Bytes() }
-func (r *rseq) Clear()                        { r.s.Clear() }
-func (r *rseq) Get(i int) Val                 { return r.s.Get(i) }
-func (r *rseq) Set(i int, v Val)              { r.s.Set(i, v) }
-func (r *rseq) Append(v Val)                  { r.s.Append(v) }
-func (r *rseq) InsertAt(i int, v Val)         { r.s.InsertAt(i, v) }
-func (r *rseq) RemoveAt(i int)                { r.s.RemoveAt(i) }
-func (r *rseq) Iterate(f func(int, Val) bool) { r.s.Iterate(f) }
+func (r *RSeqArr) CollKind() ir.CollKind         { return ir.KSeq }
+func (r *RSeqArr) Impl() collections.Impl        { return collections.ImplArray }
+func (r *RSeqArr) ElemType() ir.Type             { return r.t.Elem }
+func (r *RSeqArr) Len() int                      { return r.S.Len() }
+func (r *RSeqArr) Bytes() int64                  { return r.S.Bytes() }
+func (r *RSeqArr) Clear()                        { r.S.Clear() }
+func (r *RSeqArr) Get(i int) Val                 { return r.S.Get(i) }
+func (r *RSeqArr) Set(i int, v Val)              { r.S.Set(i, v) }
+func (r *RSeqArr) Append(v Val)                  { r.S.Append(v) }
+func (r *RSeqArr) InsertAt(i int, v Val)         { r.S.InsertAt(i, v) }
+func (r *RSeqArr) RemoveAt(i int)                { r.S.RemoveAt(i) }
+func (r *RSeqArr) Iterate(f func(int, Val) bool) { r.S.Iterate(f) }
 
 // NewColl materializes an empty collection of type ct, honoring its
 // selection annotation (unselected types fall back to the configured
 // defaults) and registering it for memory accounting.
 func (ip *Interp) NewColl(ct *ir.CollType) Coll {
+	c := NewCollFor(ct, ip.opts.DefaultSet, ip.opts.DefaultMap)
+	ip.register(c)
+	return c
+}
+
+// NewCollFor materializes an empty collection of type ct without
+// registering it anywhere: the shared constructor behind both
+// engines' registering NewColl wrappers. Unselected types fall back
+// to the given defaults.
+func NewCollFor(ct *ir.CollType, defSet, defMap collections.Impl) Coll {
 	var c Coll
 	switch ct.Kind {
 	case ir.KSeq:
-		c = &rseq{s: collections.NewSeq[Val](), t: ct}
+		c = &RSeqArr{S: collections.NewSeq[Val](), t: ct}
 	case ir.KSet:
 		sel := ct.Sel
 		if sel == collections.ImplNone {
-			sel = ip.opts.DefaultSet
+			sel = defSet
 		}
 		switch sel {
 		case collections.ImplBitSet:
-			c = &rsetDense{s: collections.NewBitSet(), t: ct}
+			c = &RSetBits{S: collections.NewBitSet(), t: ct}
 		case collections.ImplSparseBitSet:
-			c = &rsetDense{s: collections.NewSparseBitSet(), t: ct}
+			c = &RSetSparse{S: collections.NewSparseBitSet(), t: ct}
 		case collections.ImplFlatSet:
-			c = &rsetG{s: collections.NewFlatSet(cmpVal), t: ct}
+			c = &rsetG{s: collections.NewFlatSet(CmpVal), t: ct}
 		case collections.ImplSwissSet:
-			c = &rsetG{s: collections.NewSwissSet(hashVal, eqVal), t: ct}
+			c = &rsetG{s: collections.NewSwissSet(HashVal, EqVal), t: ct}
 		default:
-			c = &rsetG{s: collections.NewHashSet(hashVal, eqVal), t: ct}
+			c = &RSetHash{t: ct}
 		}
 	case ir.KMap:
 		sel := ct.Sel
 		if sel == collections.ImplNone {
-			sel = ip.opts.DefaultMap
+			sel = defMap
 		}
 		switch sel {
 		case collections.ImplBitMap:
-			c = &rmapDense{m: collections.NewBitMap[Val](), t: ct}
+			c = &RMapBit{M: collections.NewBitMap[Val](), t: ct}
 		case collections.ImplSwissMap:
-			c = &rmapG{m: collections.NewSwissMap[Val, Val](hashVal, eqVal), t: ct}
+			c = &rmapG{m: collections.NewSwissMap[Val, Val](HashVal, EqVal), t: ct}
 		default:
-			c = &rmapG{m: collections.NewHashMap[Val, Val](hashVal, eqVal), t: ct}
+			c = &RMapHash{t: ct}
 		}
 	default:
 		panic("NewColl: unsupported kind " + ct.Kind.String())
 	}
-	ip.register(c)
 	return c
 }

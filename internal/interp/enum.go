@@ -10,21 +10,19 @@ import (
 // Dec is injective and append-only — the properties RTE's rewrite
 // rules rely on.
 type Enum struct {
-	enc *collections.HashMap[Val, uint32]
+	enc valU32Map
 	dec *collections.Seq[Val]
 }
 
-// absentID is the sentinel identifier returned by Enc for values not
+// AbsentID is the sentinel identifier returned by Enc for values not
 // in the enumeration; it is never issued by Add, so dense membership
-// tests against it are always false.
-const absentID uint32 = 0xffffffff
+// tests against it are always false. Exported so the bytecode VM
+// returns the identical sentinel.
+const AbsentID uint32 = 0xffffffff
 
 // NewEnum returns an empty enumeration.
 func NewEnum() *Enum {
-	return &Enum{
-		enc: collections.NewHashMap[Val, uint32](hashVal, eqVal),
-		dec: collections.NewSeq[Val](),
-	}
+	return &Enum{dec: collections.NewSeq[Val]()}
 }
 
 // Len returns the number of enumerated values (the N of E = [0,N)).

@@ -52,8 +52,8 @@ type Interp struct {
 	// per enumeration equivalence class (§III-F).
 	globals map[string]*Enum
 
-	live    []interface{ Bytes() int64 }
-	growOps int
+	live        []interface{ Bytes() int64 }
+	untilSample int
 
 	// Iteration-local allocations (a fresh collection per loop
 	// iteration that is never carried across iterations) occupy one
@@ -91,18 +91,26 @@ func (ip *Interp) ROIStats() *Stats {
 	if ip.ROISnapshot == nil {
 		return ip.Stats
 	}
+	return ROIDelta(ip.Stats, ip.ROISnapshot)
+}
+
+// ROIDelta subtracts the roi-marker snapshot from the total stats,
+// leaving the kernel-only flow quantities; the peak-memory model stays
+// global because memory allocated before the marker is still resident
+// in the region of interest. Shared by both execution engines.
+func ROIDelta(total, snap *Stats) *Stats {
 	out := &Stats{}
 	for i := range out.Counts {
 		for k := range out.Counts[i] {
-			out.Counts[i][k] = ip.Stats.Counts[i][k] - ip.ROISnapshot.Counts[i][k]
+			out.Counts[i][k] = total.Counts[i][k] - snap.Counts[i][k]
 		}
 	}
-	out.Sparse = ip.Stats.Sparse - ip.ROISnapshot.Sparse
-	out.Dense = ip.Stats.Dense - ip.ROISnapshot.Dense
-	out.Steps = ip.Stats.Steps - ip.ROISnapshot.Steps
-	out.PeakBytes = ip.Stats.PeakBytes
-	out.EmitCount = ip.Stats.EmitCount - ip.ROISnapshot.EmitCount
-	out.EmitSum = ip.Stats.EmitSum - ip.ROISnapshot.EmitSum
+	out.Sparse = total.Sparse - snap.Sparse
+	out.Dense = total.Dense - snap.Dense
+	out.Steps = total.Steps - snap.Steps
+	out.PeakBytes = total.PeakBytes
+	out.EmitCount = total.EmitCount - snap.EmitCount
+	out.EmitSum = total.EmitSum - snap.EmitSum
 	return out
 }
 
@@ -118,13 +126,14 @@ func New(prog *ir.Program, opts Options) *Interp {
 		opts.DefaultMap = collections.ImplHashMap
 	}
 	ip := &Interp{
-		Prog:      prog,
-		Stats:     &Stats{},
-		opts:      opts,
-		globals:   map[string]*Enum{},
-		slotCache: map[*ir.Func]int{},
-		iterLocal: map[*ir.Instr]bool{},
-		localSlot: map[*ir.Instr]int{},
+		Prog:        prog,
+		Stats:       &Stats{},
+		opts:        opts,
+		globals:     map[string]*Enum{},
+		untilSample: opts.MemSampleEvery,
+		slotCache:   map[*ir.Func]int{},
+		iterLocal:   map[*ir.Instr]bool{},
+		localSlot:   map[*ir.Instr]int{},
 	}
 	if opts.CollectProfile {
 		ip.profCounts = map[*ir.Instr]uint64{}
@@ -165,9 +174,13 @@ func (ip *Interp) register(c interface{ Bytes() int64 }) {
 	ip.grew()
 }
 
+// grew counts one growth event, sampling the footprint every
+// MemSampleEvery-th event (a countdown instead of a modulo: same
+// sample schedule, no integer division on the mutation fast path).
 func (ip *Interp) grew() {
-	ip.growOps++
-	if ip.growOps%ip.opts.MemSampleEvery == 0 {
+	ip.untilSample--
+	if ip.untilSample <= 0 {
+		ip.untilSample = ip.opts.MemSampleEvery
 		ip.sampleMem()
 	}
 }
@@ -185,6 +198,21 @@ func (ip *Interp) sampleMem() {
 
 // FinalizeMem folds a final footprint sample into the stats.
 func (ip *Interp) FinalizeMem() { ip.sampleMem() }
+
+// CountIterSetup accounts the per-word scan cost of starting an
+// iteration over a bit-structured collection — such sets pay per word
+// scanned, not per element: a dense enumerated set iterates at ~1 word
+// per 64 elements, while a sparsely-populated one (the RQ4 hazard)
+// scans many empty words per element. Shared by both execution
+// engines so their op counts agree exactly.
+func CountIterSetup(st *Stats, c Coll) {
+	switch c := c.(type) {
+	case *RSetBits:
+		st.Count(collections.ImplBitSet, OKIterWord, uint64(len(c.S.Words())))
+	case *RMapBit:
+		st.Count(collections.ImplBitMap, OKIterWord, uint64(c.M.WordCount()))
+	}
+}
 
 type execErr struct {
 	fn  string
@@ -218,56 +246,13 @@ func (ip *Interp) frameSize(fn *ir.Func) int {
 }
 
 // classifyIterLocal marks allocations whose instances die at the end
-// of each iteration of their innermost enclosing loop: no SSA state of
-// the collection flows through a header or exit phi of any enclosing
-// loop.
+// of each iteration of their innermost enclosing loop; the analysis
+// itself lives in ir.IterLocalAllocs so the bytecode compiler bakes
+// the very same classification into its instructions.
 func (ip *Interp) classifyIterLocal(fn *ir.Func) {
-	ui := ir.ComputeUses(fn)
-	var walk func(b *ir.Block, enclosing []ir.Node)
-	walk = func(b *ir.Block, enclosing []ir.Node) {
-		for _, n := range b.Nodes {
-			switch n := n.(type) {
-			case *ir.Instr:
-				if n.Op != ir.OpNew || len(enclosing) == 0 {
-					continue
-				}
-				forbidden := map[*ir.Instr]bool{}
-				for _, loop := range enclosing {
-					var hdr, exit []*ir.Instr
-					switch l := loop.(type) {
-					case *ir.ForEach:
-						hdr, exit = l.HeaderPhis, l.ExitPhis
-					case *ir.DoWhile:
-						hdr, exit = l.HeaderPhis, l.ExitPhis
-					}
-					for _, p := range hdr {
-						forbidden[p] = true
-					}
-					for _, p := range exit {
-						forbidden[p] = true
-					}
-				}
-				local := true
-				for _, v := range ui.Redefs(n) {
-					if v.Def != nil && forbidden[v.Def] {
-						local = false
-						break
-					}
-				}
-				if local {
-					ip.iterLocal[n] = true
-				}
-			case *ir.If:
-				walk(n.Then, enclosing)
-				walk(n.Else, enclosing)
-			case *ir.ForEach:
-				walk(n.Body, append(append([]ir.Node{}, enclosing...), n))
-			case *ir.DoWhile:
-				walk(n.Body, append(append([]ir.Node{}, enclosing...), n))
-			}
-		}
+	for in := range ir.IterLocalAllocs(fn) {
+		ip.iterLocal[in] = true
 	}
-	walk(fn.Body, nil)
 }
 
 // registerAt registers a collection allocated by instruction in,
@@ -449,18 +434,7 @@ func (ip *Interp) execForEach(fn *ir.Func, fr []Val, n *ir.ForEach) error {
 
 	var iterErr error
 	ip.Stats.Steps++
-	// Bit-structured sets pay per word scanned, not per element — a
-	// dense enumerated set iterates at ~1 word per 64 elements, while
-	// a sparsely-populated one (the RQ4 hazard) scans many empty
-	// words per element.
-	switch c := collV.Coll().(type) {
-	case *rsetDense:
-		if bs, ok := c.s.(*collections.BitSet); ok {
-			ip.Stats.Count(collections.ImplBitSet, OKIterWord, uint64(len(bs.Words())))
-		}
-	case *rmapDense:
-		ip.Stats.Count(collections.ImplBitMap, OKIterWord, uint64(c.m.WordCount()))
-	}
+	CountIterSetup(ip.Stats, collV.Coll())
 	step := func(k, v Val) bool {
 		ip.Stats.Count(collV.Coll().Impl(), OKIter, 1)
 		fr[kSlot], fr[vSlot] = k, v

@@ -77,10 +77,10 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		switch c := cv.Coll().(type) {
 		case RSet:
 			ip.Stats.Count(c.Impl(), OKHas, 1)
-			setRes(0, boolV(c.Has(key)))
+			setRes(0, BoolV(c.Has(key)))
 		case RMap:
 			ip.Stats.Count(c.Impl(), OKHas, 1)
-			setRes(0, boolV(c.HasKey(key)))
+			setRes(0, BoolV(c.HasKey(key)))
 		default:
 			return ctrlNormal, Val{}, ip.errf(fn, "has on seq")
 		}
@@ -230,7 +230,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			// identifier so membership tests on the enumerated
 			// collection correctly come back false (Listing 2 encodes
 			// the key before testing `has`).
-			setRes(0, IntV(uint64(absentID)))
+			setRes(0, IntV(uint64(AbsentID)))
 			break
 		}
 		setRes(0, IntV(uint64(id)))
@@ -275,11 +275,11 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		x := ip.eval(fr, in.Args[0].Base)
 		y := ip.eval(fr, in.Args[1].Base)
 		ip.Stats.Count(collections.ImplNone, OKScalar, 1)
-		setRes(0, boolV(ip.cmpOp(in, x, y)))
+		setRes(0, BoolV(ip.cmpOp(in, x, y)))
 
 	case ir.OpNot:
 		x := ip.eval(fr, in.Args[0].Base)
-		setRes(0, boolV(!x.Bool()))
+		setRes(0, BoolV(!x.Bool()))
 
 	case ir.OpSelect:
 		cond := ip.eval(fr, in.Args[0].Base)
@@ -291,7 +291,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 
 	case ir.OpCast:
 		x := ip.eval(fr, in.Args[0].Base)
-		setRes(0, castVal(x, in.CastTo))
+		setRes(0, CastVal(x, in.CastTo))
 
 	case ir.OpTuple:
 		fields := make([]Val, len(in.Args))
@@ -386,24 +386,28 @@ func (ip *Interp) execUnion(fn *ir.Func, fr []Val, in *ir.Instr) error {
 		return ip.errf(fn, "union on non-sets")
 	}
 	defer ip.grew()
+	UnionInto(ip.Stats, dst, src)
+	return nil
+}
 
-	if dd, ok := dst.(*rsetDense); ok {
-		if sd, ok := src.(*rsetDense); ok {
-			switch db := dd.s.(type) {
-			case *collections.BitSet:
-				if sb, ok := sd.s.(*collections.BitSet); ok {
-					db.UnionWith(sb)
-					words := uint64(len(db.Words()))
-					ip.Stats.Count(collections.ImplBitSet, OKUnionWord, words)
-					return nil
-				}
-			case *collections.SparseBitSet:
-				if sb, ok := sd.s.(*collections.SparseBitSet); ok {
-					db.UnionWith(sb)
-					ip.Stats.Count(collections.ImplSparseBitSet, OKUnionWord, uint64(sb.Len()+1))
-					return nil
-				}
-			}
+// UnionInto merges src into dst with implementation-specific fast
+// paths, accounting the work proportionally into st (Table III's
+// union row). Shared by both execution engines so the OKUnionWord
+// counts agree exactly; callers handle memory-growth sampling.
+func UnionInto(st *Stats, dst, src RSet) {
+	switch dd := dst.(type) {
+	case *RSetBits:
+		if sd, ok := src.(*RSetBits); ok {
+			dd.S.UnionWith(sd.S)
+			words := uint64(len(dd.S.Words()))
+			st.Count(collections.ImplBitSet, OKUnionWord, words)
+			return
+		}
+	case *RSetSparse:
+		if sd, ok := src.(*RSetSparse); ok {
+			dd.S.UnionWith(sd.S)
+			st.Count(collections.ImplSparseBitSet, OKUnionWord, uint64(sd.S.Len()+1))
+			return
 		}
 	}
 	if dg, ok := dst.(*rsetG); ok {
@@ -412,20 +416,19 @@ func (ip *Interp) execUnion(fn *ir.Func, fr []Val, in *ir.Instr) error {
 				if sf, ok := sg.s.(*collections.FlatSet[Val]); ok {
 					n := uint64(df.Len() + sf.Len())
 					df.UnionWith(sf)
-					ip.Stats.Count(collections.ImplFlatSet, OKUnionWord, n)
-					return nil
+					st.Count(collections.ImplFlatSet, OKUnionWord, n)
+					return
 				}
 			}
 		}
 	}
 	// Generic element-wise union: iterate src, insert into dst.
 	src.Iterate(func(v Val) bool {
-		ip.Stats.Count(src.Impl(), OKIter, 1)
-		ip.Stats.Count(dst.Impl(), OKInsert, 1)
+		st.Count(src.Impl(), OKIter, 1)
+		st.Count(dst.Impl(), OKInsert, 1)
 		dst.Insert(v)
 		return true
 	})
-	return nil
 }
 
 func intIsSigned(t ir.Type) bool {
@@ -533,9 +536,9 @@ func (ip *Interp) binOp(fn *ir.Func, in *ir.Instr, x, y Val) (Val, error) {
 func (ip *Interp) cmpOp(in *ir.Instr, x, y Val) bool {
 	switch in.Cmp {
 	case ir.CmpEq:
-		return eqVal(x, y)
+		return EqVal(x, y)
 	case ir.CmpNe:
-		return !eqVal(x, y)
+		return !EqVal(x, y)
 	}
 	t := in.Args[0].Base.Type
 	var c int
@@ -555,7 +558,7 @@ func (ip *Interp) cmpOp(in *ir.Instr, x, y Val) bool {
 			c = 1
 		}
 	default:
-		c = cmpVal(x, y)
+		c = CmpVal(x, y)
 	}
 	switch in.Cmp {
 	case ir.CmpLt:
@@ -570,7 +573,7 @@ func (ip *Interp) cmpOp(in *ir.Instr, x, y Val) bool {
 	return false
 }
 
-func castVal(x Val, to ir.Type) Val {
+func CastVal(x Val, to ir.Type) Val {
 	st, ok := to.(*ir.ScalarType)
 	if !ok {
 		return x

@@ -73,6 +73,11 @@ func (v Val) Coll() Coll {
 	return c
 }
 
+// Ref exposes the raw ref slot so the VM's hot opcodes can type-switch
+// on the concrete collection once, instead of asserting to Coll first
+// and switching on the result.
+func (v Val) Ref() any { return v.ref }
+
 // Enum returns the enumeration handle (nil if not an enumeration).
 func (v Val) Enum() *Enum {
 	e, _ := v.ref.(*Enum)
@@ -88,7 +93,8 @@ func (v Val) Tuple() []Val {
 // Bool reports the value as a boolean.
 func (v Val) Bool() bool { return v.I != 0 }
 
-func boolV(b bool) Val {
+// BoolV returns a boolean value (canonical 0/1 integer).
+func BoolV(b bool) Val {
 	if b {
 		return Val{K: VInt, I: 1}
 	}
@@ -108,8 +114,10 @@ func (v Val) Bits() uint64 {
 	}
 }
 
-// hashVal and eqVal parameterize the generic hash containers over Val.
-func hashVal(v Val) uint64 {
+// HashVal and EqVal parameterize the generic hash containers over Val;
+// they are exported so the bytecode VM instantiates identical
+// containers.
+func HashVal(v Val) uint64 {
 	switch v.K {
 	case VStr:
 		return collections.HashString(v.S)
@@ -118,7 +126,8 @@ func hashVal(v Val) uint64 {
 	}
 }
 
-func eqVal(a, b Val) bool {
+// EqVal reports scalar value equality.
+func EqVal(a, b Val) bool {
 	if a.K != b.K {
 		return false
 	}
@@ -133,7 +142,9 @@ func eqVal(a, b Val) bool {
 	return false
 }
 
-func cmpVal(a, b Val) int {
+// CmpVal is a total order over scalar values (floats, strings,
+// integer bit patterns).
+func CmpVal(a, b Val) int {
 	switch a.K {
 	case VFloat:
 		switch {
@@ -180,10 +191,12 @@ func (v Val) String() string {
 	return "?"
 }
 
-// zeroVal materializes the zero value of an IR type; collection types
-// materialize a fresh empty collection (used by map inserts whose
-// value type is itself a collection, e.g. Map<ptr,Set<ptr>>).
-func (ip *Interp) zeroVal(t ir.Type) Val {
+// ZeroVal materializes the zero value of an IR type; collection types
+// materialize a fresh empty collection through newColl (used by map
+// inserts whose value type is itself a collection, e.g.
+// Map<ptr,Set<ptr>>). Both engines pass their own registering
+// constructor so memory accounting stays engine-local.
+func ZeroVal(t ir.Type, newColl func(*ir.CollType) Coll) Val {
 	switch tt := t.(type) {
 	case *ir.ScalarType:
 		switch tt.Kind {
@@ -195,7 +208,9 @@ func (ip *Interp) zeroVal(t ir.Type) Val {
 			return IntV(0)
 		}
 	case *ir.CollType:
-		return CollV(ip.NewColl(tt))
+		return CollV(newColl(tt))
 	}
 	return Val{}
 }
+
+func (ip *Interp) zeroVal(t ir.Type) Val { return ZeroVal(t, ip.NewColl) }

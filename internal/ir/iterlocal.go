@@ -1,0 +1,60 @@
+package ir
+
+// IterLocalAllocs classifies allocations whose instances die at the
+// end of each iteration of their innermost enclosing loop: no SSA
+// state of the collection flows through a header or exit phi of any
+// enclosing loop. Both execution engines (the tree-walking interpreter
+// and the bytecode VM) share this analysis so their peak-memory models
+// agree: iteration-local allocations occupy one live-registry slot
+// that each new instance replaces, modeling the allocator reclaiming
+// the dead instance.
+func IterLocalAllocs(fn *Func) map[*Instr]bool {
+	out := map[*Instr]bool{}
+	ui := ComputeUses(fn)
+	var walk func(b *Block, enclosing []Node)
+	walk = func(b *Block, enclosing []Node) {
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *Instr:
+				if n.Op != OpNew || len(enclosing) == 0 {
+					continue
+				}
+				forbidden := map[*Instr]bool{}
+				for _, loop := range enclosing {
+					var hdr, exit []*Instr
+					switch l := loop.(type) {
+					case *ForEach:
+						hdr, exit = l.HeaderPhis, l.ExitPhis
+					case *DoWhile:
+						hdr, exit = l.HeaderPhis, l.ExitPhis
+					}
+					for _, p := range hdr {
+						forbidden[p] = true
+					}
+					for _, p := range exit {
+						forbidden[p] = true
+					}
+				}
+				local := true
+				for _, v := range ui.Redefs(n) {
+					if v.Def != nil && forbidden[v.Def] {
+						local = false
+						break
+					}
+				}
+				if local {
+					out[n] = true
+				}
+			case *If:
+				walk(n.Then, enclosing)
+				walk(n.Else, enclosing)
+			case *ForEach:
+				walk(n.Body, append(append([]Node{}, enclosing...), n))
+			case *DoWhile:
+				walk(n.Body, append(append([]Node{}, enclosing...), n))
+			}
+		}
+	}
+	walk(fn.Body, nil)
+	return out
+}

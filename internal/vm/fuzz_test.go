@@ -1,0 +1,18 @@
+package vm_test
+
+import "testing"
+
+// FuzzEngineDiff is differential fuzzing between the two execution
+// engines: for each seed a random MEMOIR program (the same generator
+// the ADE fuzz harness uses) runs on the interpreter and on the
+// bytecode VM — baseline and ADE-transformed — and the full
+// measurement surface (return value, emitted output in order, op
+// counts, steps, memory peaks) must match exactly.
+func FuzzEngineDiff(f *testing.F) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		engineDiffSeed(t, seed)
+	})
+}

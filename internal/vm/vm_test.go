@@ -1,0 +1,248 @@
+package vm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"memoir/internal/bench"
+	"memoir/internal/bytecode"
+	"memoir/internal/collections"
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+	"memoir/internal/vm"
+)
+
+// parityConfig is one engine-diff column: how to transform the program
+// and which implementation defaults to run it under.
+type parityConfig struct {
+	name    string
+	ade     *core.Options
+	defSet  collections.Impl
+	defMap  collections.Impl
+	memEach int // MemSampleEvery; 0 = interpreter default (512)
+}
+
+func parityConfigs() []parityConfig {
+	ade := func(name string) *core.Options {
+		for _, no := range core.OptionsMatrix() {
+			if no.Name == name {
+				o := no.Opts
+				return &o
+			}
+		}
+		panic("unknown ade config " + name)
+	}
+	return []parityConfig{
+		{name: "baseline-hash"},
+		{name: "baseline-swiss", defSet: collections.ImplSwissSet, defMap: collections.ImplSwissMap},
+		{name: "baseline-flat", defSet: collections.ImplFlatSet},
+		{name: "ade", ade: ade("ade")},
+		{name: "ade-sparse", ade: ade("ade-sparse")},
+		{name: "ade-force", ade: ade("ade-force")},
+	}
+}
+
+func (c parityConfig) opts() interp.Options {
+	o := interp.DefaultOptions()
+	if c.defSet != collections.ImplNone {
+		o.DefaultSet = c.defSet
+	}
+	if c.defMap != collections.ImplNone {
+		o.DefaultMap = c.defMap
+	}
+	if c.memEach != 0 {
+		o.MemSampleEvery = c.memEach
+	}
+	o.RecordOutput = true
+	return o
+}
+
+// runOn builds a fresh program via build, transforms it per cfg, and
+// executes it on the requested engine with input from inputFor.
+func runOn(t *testing.T, eng bench.Engine, build func() *ir.Program,
+	inputFor func(bench.Allocator) []interp.Val, cfg parityConfig,
+) (interp.Val, []interp.Val, *interp.Stats, error) {
+	t.Helper()
+	prog := build()
+	if cfg.ade != nil {
+		if _, err := core.Apply(prog, *cfg.ade); err != nil {
+			t.Fatalf("%s: ade: %v", cfg.name, err)
+		}
+	}
+	m, err := bench.NewMachine(prog, cfg.opts(), eng)
+	if err != nil {
+		t.Fatalf("%s: new %v machine: %v", cfg.name, eng, err)
+	}
+	args := inputFor(m)
+	ret, runErr := m.Run("main", args...)
+	m.FinalizeMem()
+	return ret, m.RecordedOutput(), m.Stats(), runErr
+}
+
+// assertParity runs the program on both engines and requires the full
+// measurement surface to be identical: return value, the emitted
+// output in order, every (implementation, op-kind) count, sparse/dense
+// classification, step count, and the sampled memory model.
+func assertParity(t *testing.T, build func() *ir.Program,
+	inputFor func(bench.Allocator) []interp.Val, cfg parityConfig,
+) {
+	t.Helper()
+	iRet, iOut, iStats, iErr := runOn(t, bench.EngineInterp, build, inputFor, cfg)
+	vRet, vOut, vStats, vErr := runOn(t, bench.EngineVM, build, inputFor, cfg)
+	if (iErr == nil) != (vErr == nil) {
+		t.Fatalf("%s: error divergence: interp=%v vm=%v", cfg.name, iErr, vErr)
+	}
+	if iErr != nil {
+		if iErr.Error() != vErr.Error() {
+			t.Fatalf("%s: error message divergence:\n  interp: %v\n  vm:     %v", cfg.name, iErr, vErr)
+		}
+		return
+	}
+	if iRet.I != vRet.I || iRet.K != vRet.K {
+		t.Errorf("%s: ret divergence: interp=%v vm=%v", cfg.name, iRet, vRet)
+	}
+	if len(iOut) != len(vOut) {
+		t.Fatalf("%s: output length divergence: interp=%d vm=%d", cfg.name, len(iOut), len(vOut))
+	}
+	for i := range iOut {
+		if iOut[i].Bits() != vOut[i].Bits() {
+			t.Fatalf("%s: output[%d] divergence: interp=%v vm=%v", cfg.name, i, iOut[i], vOut[i])
+		}
+	}
+	if *iStats != *vStats {
+		t.Errorf("%s: stats divergence:\n  interp: steps=%d sparse=%d dense=%d peak=%d cur=%d emit=%d/%d\n  vm:     steps=%d sparse=%d dense=%d peak=%d cur=%d emit=%d/%d",
+			cfg.name,
+			iStats.Steps, iStats.Sparse, iStats.Dense, iStats.PeakBytes, iStats.CurBytes, iStats.EmitCount, iStats.EmitSum,
+			vStats.Steps, vStats.Sparse, vStats.Dense, vStats.PeakBytes, vStats.CurBytes, vStats.EmitCount, vStats.EmitSum)
+		for impl := 0; impl < interp.NImpls; impl++ {
+			for k := range iStats.Counts[impl] {
+				if iStats.Counts[impl][k] != vStats.Counts[impl][k] {
+					t.Errorf("%s: Counts[%d][%s]: interp=%d vm=%d",
+						cfg.name, impl, interp.OpKind(k), iStats.Counts[impl][k], vStats.Counts[impl][k])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParitySuite diffs the two engines over the whole benchmark
+// suite crossed with baseline and ADE configurations.
+func TestEngineParitySuite(t *testing.T) {
+	for _, s := range bench.All() {
+		s := s
+		t.Run(s.Abbr, func(t *testing.T) {
+			for _, cfg := range parityConfigs() {
+				assertParity(t,
+					func() *ir.Program { return s.Build("") },
+					func(a bench.Allocator) []interp.Val { return s.Input(a, bench.ScaleTest) },
+					cfg)
+			}
+		})
+	}
+}
+
+// TestEngineParityMemSampleEveryGrow stresses the growth-sampled
+// memory model: with MemSampleEvery=1 every growth event samples, so
+// any divergence in the engines' growth-event sequences shows up as a
+// PeakBytes mismatch.
+func TestEngineParityMemSampleEveryGrow(t *testing.T) {
+	for _, abbr := range []string{"BFS", "PTA", "FIM"} {
+		s := bench.Get(abbr)
+		if s == nil {
+			t.Fatalf("missing benchmark %s", abbr)
+		}
+		for _, cfg := range []parityConfig{
+			{name: "baseline-hash-mem1", memEach: 1},
+			{name: "ade-mem1", ade: func() *core.Options { o := core.DefaultOptions(); return &o }(), memEach: 1},
+		} {
+			assertParity(t,
+				func() *ir.Program { return s.Build("") },
+				func(a bench.Allocator) []interp.Val { return s.Input(a, bench.ScaleTest) },
+				cfg)
+		}
+	}
+}
+
+// TestEngineParityRandom diffs the engines over the random program
+// family behind the core fuzz tests.
+func TestEngineParityRandom(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			engineDiffSeed(t, seed)
+		})
+	}
+}
+
+func engineDiffSeed(t *testing.T, seed int64) {
+	t.Helper()
+	input := core.FuzzInput(seed)
+	inputFor := func(a bench.Allocator) []interp.Val {
+		c := a.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
+		for _, x := range input {
+			c.Append(interp.IntV(x))
+		}
+		return []interp.Val{interp.CollV(c.(interp.Coll))}
+	}
+	build := func() *ir.Program { return core.GenerateProgram(seed) }
+	assertParity(t, build, inputFor, parityConfig{name: "random-baseline"})
+	ade := core.DefaultOptions()
+	assertParity(t, build, inputFor, parityConfig{name: "random-ade", ade: &ade})
+}
+
+// TestStepBudgetParity verifies that both engines hit the step budget
+// with the same diagnostic.
+func TestStepBudgetParity(t *testing.T) {
+	s := bench.Get("BFS")
+	build := func() *ir.Program { return s.Build("") }
+	inputFor := func(a bench.Allocator) []interp.Val { return s.Input(a, bench.ScaleTest) }
+	for _, budget := range []uint64{1, 10, 1000} {
+		prog := build()
+		iOpts := interp.DefaultOptions()
+		iOpts.MaxSteps = budget
+		ip := interp.New(prog, iOpts)
+		_, iErr := ip.Run("main", inputFor(interpAlloc{ip})...)
+
+		bc, err := bytecode.Compile(build())
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		m := vm.New(bc, iOpts)
+		_, vErr := m.Run("main", inputFor(m)...)
+		if (iErr == nil) != (vErr == nil) {
+			t.Fatalf("budget %d: error divergence: interp=%v vm=%v", budget, iErr, vErr)
+		}
+		if iErr != nil && iErr.Error() != vErr.Error() {
+			t.Fatalf("budget %d: message divergence: interp=%v vm=%v", budget, iErr, vErr)
+		}
+		if iErr != nil && ip.Stats.Steps != m.Stats.Steps {
+			t.Fatalf("budget %d: steps at abort: interp=%d vm=%d", budget, ip.Stats.Steps, m.Stats.Steps)
+		}
+	}
+}
+
+type interpAlloc struct{ ip *interp.Interp }
+
+func (a interpAlloc) NewColl(ct *ir.CollType) interp.Coll { return a.ip.NewColl(ct) }
+
+// TestDisasmDeterministic compiles a benchmark twice and requires
+// byte-identical disassembly.
+func TestDisasmDeterministic(t *testing.T) {
+	s := bench.Get("PTA")
+	a, err := bytecode.Compile(s.Build(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bytecode.Compile(s.Build(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytecode.Disasm(a) != bytecode.Disasm(b) {
+		t.Fatal("disassembly not deterministic across identical builds")
+	}
+}

@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"time"
 
+	"memoir/internal/bytecode"
 	"memoir/internal/collections"
 	"memoir/internal/core"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
 	"memoir/internal/profile"
+	"memoir/internal/vm"
 )
 
 // Program is a parsed (and possibly ADE-transformed) MEMOIR program.
@@ -39,17 +41,37 @@ type Program struct {
 	Report string
 
 	set, mapI collections.Impl
+	engine    Engine
 }
 
 // Option configures Compile.
 type Option func(*config)
 
 type config struct {
-	ade  bool
-	opts core.Options
-	set  collections.Impl
-	mapI collections.Impl
+	ade    bool
+	opts   core.Options
+	set    collections.Impl
+	mapI   collections.Impl
+	engine Engine
 }
+
+// Engine selects the execution engine Run uses.
+type Engine int
+
+const (
+	// EngineInterp is the instrumented tree-walking interpreter, the
+	// measurement reference.
+	EngineInterp Engine = iota
+	// EngineVM lowers the program to register bytecode and runs it on
+	// the fast VM. All deterministic measurements (checksums, access
+	// counts, memory peaks) are identical to the interpreter's; only
+	// wall-clock time changes.
+	EngineVM
+)
+
+// WithEngine selects the execution engine for Run. The default is the
+// interpreter.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
 // WithoutADE parses and verifies only (the MEMOIR baseline).
 func WithoutADE() Option { return func(c *config) { c.ade = false } }
@@ -132,7 +154,7 @@ func Compile(src string, options ...Option) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog.set, prog.mapI = cfg.set, cfg.mapI
+	prog.set, prog.mapI, prog.engine = cfg.set, cfg.mapI, cfg.engine
 	if !cfg.ade {
 		return prog, nil
 	}
@@ -166,7 +188,8 @@ type Result struct {
 	Peak   int64
 }
 
-// Run executes entry with optional u64 arguments.
+// Run executes entry on the configured engine with optional u64
+// arguments.
 func (p *Program) Run(entry string, args ...uint64) (*Result, error) {
 	opts := interp.DefaultOptions()
 	if p.set != collections.ImplNone {
@@ -175,25 +198,41 @@ func (p *Program) Run(entry string, args ...uint64) (*Result, error) {
 	if p.mapI != collections.ImplNone {
 		opts.DefaultMap = p.mapI
 	}
-	ip := interp.New(p.IR, opts)
 	vals := make([]interp.Val, len(args))
 	for i, a := range args {
 		vals[i] = interp.IntV(a)
 	}
+	var (
+		run      func(string, ...interp.Val) (interp.Val, error)
+		finalize func()
+		stats    *interp.Stats
+	)
+	switch p.engine {
+	case EngineVM:
+		bc, err := bytecode.Compile(p.IR)
+		if err != nil {
+			return nil, err
+		}
+		m := vm.New(bc, opts)
+		run, finalize, stats = m.Run, m.FinalizeMem, m.Stats
+	default:
+		ip := interp.New(p.IR, opts)
+		run, finalize, stats = ip.Run, ip.FinalizeMem, ip.Stats
+	}
 	start := time.Now()
-	ret, err := ip.Run(entry, vals...)
+	ret, err := run(entry, vals...)
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
-	ip.FinalizeMem()
+	finalize()
 	return &Result{
 		Value:    ret.I,
-		Checksum: ip.Stats.EmitSum,
-		Outputs:  ip.Stats.EmitCount,
+		Checksum: stats.EmitSum,
+		Outputs:  stats.EmitCount,
 		Wall:     wall,
-		Sparse:   ip.Stats.Sparse,
-		Dense:    ip.Stats.Dense,
-		Peak:     ip.Stats.PeakBytes,
+		Sparse:   stats.Sparse,
+		Dense:    stats.Dense,
+		Peak:     stats.PeakBytes,
 	}, nil
 }

@@ -87,6 +87,38 @@ func TestCompileOptions(t *testing.T) {
 	}
 }
 
+// TestWithEngine checks the façade's engine switch: the bytecode VM
+// must reproduce the interpreter's result and deterministic
+// measurements exactly, with and without ADE.
+func TestWithEngine(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithoutADE()},
+		nil,
+		{WithSparseSets()},
+	} {
+		pi, err := Compile(histSrc, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := Compile(histSrc, append(opts, WithEngine(EngineVM))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := pi.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := pv.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri.Wall, rv.Wall = 0, 0
+		if *ri != *rv {
+			t.Fatalf("engines disagree:\n  interp: %+v\n  vm:     %+v", ri, rv)
+		}
+	}
+}
+
 func TestCompileRejectsBadProgram(t *testing.T) {
 	if _, err := Compile("fn void @f():\n  %x := add(%ghost, 1)\n  ret\n"); err == nil {
 		t.Fatal("bad program accepted")
