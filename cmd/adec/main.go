@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"memoir/internal/analysis"
 	"memoir/internal/bytecode"
 	"memoir/internal/collections"
 	"memoir/internal/core"
@@ -31,7 +32,8 @@ func main() {
 		noShare   = flag.Bool("no-sharing", false, "disable enumeration sharing (§III-D); implies -no-propagation")
 		sparse    = flag.Bool("sparse", false, "select SparseBitSet for enumerated sets")
 		report    = flag.Bool("report", false, "print the enumeration report to stderr")
-		checkOnly = flag.Bool("check", false, "parse and verify only; do not transform")
+		check     = flag.Bool("check", false, "re-run the IR verifier and ADE invariant checks between every ADE sub-pass")
+		parseOnly = flag.Bool("parse-only", false, "parse and verify only; do not transform")
 		cleanup   = flag.Bool("O", false, "run constant folding and dead-code elimination after ADE")
 		dump      = flag.Bool("dump-bytecode", false, "print the register bytecode for the (transformed) program instead of MEMOIR text")
 	)
@@ -51,7 +53,15 @@ func main() {
 	if err := ir.Verify(prog); err != nil {
 		fatal(fmt.Errorf("verify: %w", err))
 	}
-	if *checkOnly {
+	// Suspect pragmas never change semantics but silently steer (or
+	// fail to steer) the pass; reject them up front.
+	for _, d := range analysis.CheckPragmas(prog) {
+		if d.Severity == analysis.SevError {
+			fatal(fmt.Errorf("%s: %s", flag.Arg(0), d))
+		}
+		fmt.Fprintf(os.Stderr, "adec: warning: %s: %s\n", flag.Arg(0), d)
+	}
+	if *parseOnly {
 		fmt.Fprintln(os.Stderr, "ok")
 		return
 	}
@@ -59,6 +69,7 @@ func main() {
 	opts.RTE = !*noRTE
 	opts.Propagation = !*noProp && !*noShare
 	opts.Sharing = !*noShare
+	opts.Check = *check
 	if *sparse {
 		opts.SetImpl = collections.ImplSparseBitSet
 	}

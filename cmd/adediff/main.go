@@ -36,6 +36,7 @@ func main() {
 		count   = flag.Int("count", 25, "random-program mode: number of seeds")
 		out     = flag.String("out", "difftest-report.json", "JSON report path (empty = don't write)")
 		list    = flag.Bool("list", false, "print the configuration matrix and exit")
+		check   = flag.Bool("check", false, "enable core's mid-pipeline invariant checking on every ADE column")
 		verbose = flag.Bool("v", false, "log each cell as it runs")
 	)
 	flag.Parse()
@@ -64,7 +65,7 @@ func main() {
 	if *seed != 0 {
 		rpt, err = difftest.RunRandom(difftest.RandomOptions{
 			Seed: *seed, Count: *count, Shard: sh,
-			Configs: splitList(*configs), Verbose: progress,
+			Configs: splitList(*configs), Check: *check, Verbose: progress,
 		})
 	} else {
 		sc, perr := difftest.ParseScale(*scale)
@@ -74,7 +75,7 @@ func main() {
 		rpt, err = difftest.Run(difftest.RunOptions{
 			Scale: sc, Shard: sh,
 			Benchmarks: splitList(*benchs), Configs: splitList(*configs),
-			Verbose: progress,
+			Check: *check, Verbose: progress,
 		})
 	}
 	if err != nil {

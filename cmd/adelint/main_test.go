@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenCorpus locks the text and JSON output formats on the lint
+// corpus: one deliberate instance of each diagnostic code.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "lint", "*.mir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("lint corpus has %d files, want at least one per diagnostic code", len(files))
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(path)
+		stem := strings.TrimSuffix(path, ".mir")
+		for _, mode := range []struct {
+			json   bool
+			golden string
+		}{
+			{false, stem + ".golden"},
+			{true, stem + ".json.golden"},
+		} {
+			var buf bytes.Buffer
+			l := &linter{json: mode.json, out: &buf}
+			l.lintSource(base, string(src), 0, false)
+			if l.status == 2 {
+				t.Fatalf("%s: lint failed hard", base)
+			}
+			if *update {
+				if err := os.WriteFile(mode.golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(mode.golden)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update to create)", base, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s (json=%v): output mismatch\n--- got ---\n%s--- want ---\n%s",
+					base, mode.json, buf.String(), want)
+			}
+		}
+	}
+}
+
+// TestCorpusExitStatus checks the -werror/-severity exit contract on
+// the corpus: error-grade codes (ADE001, ADE005) fail the run even
+// without -werror; warning-grade codes fail only with it.
+func TestCorpusExitStatus(t *testing.T) {
+	cases := []struct {
+		file       string
+		status     int // without -werror
+		werrStatus int
+	}{
+		{"ade001.mir", 1, 1},
+		{"ade002.mir", 0, 1},
+		{"ade003.mir", 0, 1},
+		{"ade004.mir", 0, 1},
+		{"ade005.mir", 1, 1},
+	}
+	for _, c := range cases {
+		path := filepath.Join("..", "..", "testdata", "lint", c.file)
+		for _, werr := range []bool{false, true} {
+			var buf bytes.Buffer
+			l := &linter{werror: werr, out: &buf}
+			l.lintFile(path, false)
+			want := c.status
+			if werr {
+				want = c.werrStatus
+			}
+			if l.status != want {
+				t.Errorf("%s (werror=%v): status = %d, want %d", c.file, werr, l.status, want)
+			}
+		}
+	}
+}
+
+// TestCheckedInSourcesClean asserts the repository's own .mir programs
+// and the examples' embedded sources produce zero diagnostics.
+func TestCheckedInSourcesClean(t *testing.T) {
+	mirs, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.mir"))
+	if err != nil || len(mirs) == 0 {
+		t.Fatalf("no testdata .mir files found (err=%v)", err)
+	}
+	var buf bytes.Buffer
+	l := &linter{werror: true, out: &buf}
+	for _, m := range mirs {
+		l.lintFile(m, false)
+	}
+	l.lintExamples(filepath.Join("..", "..", "examples"))
+	if l.status != 0 || buf.Len() != 0 {
+		t.Errorf("checked-in sources not lint-clean (status=%d):\n%s", l.status, buf.String())
+	}
+}
+
+// TestBenchSuiteClean asserts the post-ADE dumps of the whole
+// benchmark suite (all variants) produce zero diagnostics — in
+// particular, that redundant-translation elimination leaves no ADE003
+// residues behind.
+func TestBenchSuiteClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transforms the full suite")
+	}
+	var buf bytes.Buffer
+	l := &linter{werror: true, out: &buf}
+	l.lintBench()
+	if l.status != 0 || buf.Len() != 0 {
+		t.Errorf("benchmark suite not lint-clean (status=%d):\n%s", l.status, buf.String())
+	}
+}

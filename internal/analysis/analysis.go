@@ -1,0 +1,159 @@
+// Package analysis provides a reusable dataflow-analysis framework
+// over the structured-control-flow SSA IR, plus the concrete analyses
+// the ADE pipeline and the adelint diagnostics are built on.
+//
+// The framework lowers a structured function body (blocks, if-else,
+// for-each, do-while) to a conventional basic-block control-flow graph
+// (cfg.go) and solves monotone forward or backward dataflow problems
+// over it with a worklist fixpoint (dataflow.go). Loop-carried facts
+// converge through the back edges the lowering makes explicit.
+//
+// Four concrete analyses are provided:
+//
+//   - Liveness (liveness.go): backward value liveness; backs the
+//     ADE002 dead-collection-store diagnostic and the runtime
+//     ground-truth property tests.
+//   - Definite assignment (defined.go): forward use-before-def; backs
+//     ADE001.
+//   - Collection escape analysis (escape.go): does a collection level
+//     flow into a call argument, return, the output stream, or an
+//     untracked nested-element alias? internal/core bases its sharing
+//     and interprocedural safety decisions on it.
+//   - Residual-translation analysis (residual.go): an enumeration-flow
+//     analysis detecting @enc/@dec/@add chains RTE (Algorithm 2)
+//     should have eliminated; backs ADE003 and the -check invariant.
+//
+// Lint (lint.go) bundles the analyses into the stable-coded
+// diagnostics cmd/adelint surfaces.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"memoir/internal/ir"
+)
+
+// Severity grades a diagnostic.
+type Severity string
+
+const (
+	SevError   Severity = "error"
+	SevWarning Severity = "warning"
+)
+
+// Stable diagnostic codes. Codes are append-only: a published code
+// never changes meaning.
+const (
+	// ADE001: a value is used on a path where it has no definition.
+	ADE001 = "ADE001"
+	// ADE002: an update to a function-local, non-escaping collection
+	// that no later code can observe (a dead store).
+	ADE002 = "ADE002"
+	// ADE003: a residual translation chain (enc(dec(x)) and friends)
+	// that redundant-translation elimination should have removed.
+	ADE003 = "ADE003"
+	// ADE004: an enumeration that is created but never used.
+	ADE004 = "ADE004"
+	// ADE005: a suspect `#pragma ade` directive (nonexistent target,
+	// impossible selection, conflicting share/noshare).
+	ADE005 = "ADE005"
+)
+
+// SeverityOf returns the severity grade of a diagnostic code.
+func SeverityOf(code string) Severity {
+	switch code {
+	case ADE001, ADE005:
+		return SevError
+	}
+	return SevWarning
+}
+
+// Diagnostic is one adelint finding.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Fn       string   `json:"fn"`
+	Line     int      `json:"line,omitempty"` // 1-based .mir line; 0 when unknown
+	Msg      string   `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	if d.Line > 0 {
+		return fmt.Sprintf("%d: %s: %s (@%s)", d.Line, d.Code, d.Msg, d.Fn)
+	}
+	return fmt.Sprintf("%s: %s (@%s)", d.Code, d.Msg, d.Fn)
+}
+
+// SortDiagnostics orders diagnostics for stable output: by line, then
+// code, then function, then message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// HasErrors reports whether any diagnostic is error-grade.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatText writes diagnostics in the compiler-style one-per-line
+// text format: `file:line: CODE: message (@fn)`.
+func FormatText(w io.Writer, file string, ds []Diagnostic) {
+	for _, d := range ds {
+		if d.Line > 0 {
+			fmt.Fprintf(w, "%s:%d: %s: %s (@%s)\n", file, d.Line, d.Code, d.Msg, d.Fn)
+		} else {
+			fmt.Fprintf(w, "%s: %s: %s (@%s)\n", file, d.Code, d.Msg, d.Fn)
+		}
+	}
+}
+
+// jsonReport is the -json output shape of adelint.
+type jsonReport struct {
+	File        string       `json:"file"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// FormatJSON writes diagnostics as an indented JSON report.
+func FormatJSON(w io.Writer, file string, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{File: file, Diagnostics: ds})
+}
+
+// enumerableDomain mirrors internal/core's notion of a key domain the
+// enumeration can range over: any scalar except void, bool and
+// identifiers themselves. Kept in sync with core.enumerableKey.
+func enumerableDomain(t ir.Type) bool {
+	st, ok := t.(*ir.ScalarType)
+	if !ok {
+		return false
+	}
+	switch st.Kind {
+	case ir.Void, ir.Idx, ir.Bool:
+		return false
+	}
+	return true
+}

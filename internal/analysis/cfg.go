@@ -1,0 +1,239 @@
+package analysis
+
+import "memoir/internal/ir"
+
+// StepKind classifies the atomic facts a CFG block carries. Beyond
+// plain instructions, structural nodes contribute steps for the parts
+// of their semantics that read or define values: the branch condition,
+// the loop-collection read, and the per-iteration key/value bindings.
+type StepKind uint8
+
+const (
+	// StepInstr is an ordinary instruction (Step.Instr set).
+	StepInstr StepKind = iota
+	// StepBind is a for-each header binding its Key and Val values for
+	// the iteration (Step.Loop set).
+	StepBind
+	// StepCond is an if or do-while branch condition read (Step.Cond
+	// set).
+	StepCond
+	// StepColl is the for-each read of its collection operand before
+	// entering the loop (Step.Loop set; the operand is Loop.Coll).
+	StepColl
+)
+
+// Step is one atomic transfer unit within a CFG block.
+type Step struct {
+	Kind  StepKind
+	Instr *ir.Instr   // StepInstr
+	Loop  *ir.ForEach // StepBind, StepColl
+	Cond  *ir.Value   // StepCond
+	Pos   int         // source line, 0 when unknown
+}
+
+// Uses appends the values the step reads to buf and returns it.
+// Constants are skipped.
+func (s Step) Uses(buf []*ir.Value) []*ir.Value {
+	addOperand := func(o ir.Operand) {
+		if o.Base != nil && o.Base.Kind != ir.VConst {
+			buf = append(buf, o.Base)
+		}
+		for _, ix := range o.Path {
+			if ix.Kind == ir.IdxValue && ix.Val != nil && ix.Val.Kind != ir.VConst {
+				buf = append(buf, ix.Val)
+			}
+		}
+	}
+	switch s.Kind {
+	case StepInstr:
+		for _, a := range s.Instr.Args {
+			addOperand(a)
+		}
+	case StepCond:
+		if s.Cond != nil && s.Cond.Kind != ir.VConst {
+			buf = append(buf, s.Cond)
+		}
+	case StepColl:
+		addOperand(s.Loop.Coll)
+	}
+	return buf
+}
+
+// Defs appends the values the step defines to buf and returns it.
+func (s Step) Defs(buf []*ir.Value) []*ir.Value {
+	switch s.Kind {
+	case StepInstr:
+		buf = append(buf, s.Instr.Results...)
+	case StepBind:
+		if s.Loop.Key != nil {
+			buf = append(buf, s.Loop.Key)
+		}
+		if s.Loop.Val != nil {
+			buf = append(buf, s.Loop.Val)
+		}
+	}
+	return buf
+}
+
+// Block is a CFG basic block. Phis execute conceptually on the edges:
+// Phis[k].Args[j] flows into the block along the edge from Preds[j].
+// Steps then execute in order.
+type Block struct {
+	ID    int
+	Phis  []*ir.Instr
+	Steps []Step
+	Preds []int
+	Succs []int
+}
+
+// CFG is the control-flow graph of one function, lowered from its
+// structured body. Predecessor order is significant: it matches the
+// positional phi convention (if-exit: [then, else]; loop-header:
+// [init, latch]; loop-exit: [latch]).
+type CFG struct {
+	Fn     *ir.Func
+	Blocks []*Block
+	Entry  int
+}
+
+// NewCFG lowers fn's structured body to a basic-block CFG.
+func NewCFG(fn *ir.Func) *CFG {
+	b := &cfgBuilder{c: &CFG{Fn: fn}}
+	entry := b.newBlock()
+	b.c.Entry = entry.ID
+	b.cur = entry
+	b.lowerBlock(fn.Body)
+	return b.c
+}
+
+type cfgBuilder struct {
+	c   *CFG
+	cur *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+// link wires an edge from -> to. Append order on to.Preds defines the
+// positional phi argument order, so callers must link in phi order.
+func (b *cfgBuilder) link(from, to *Block) {
+	from.Succs = append(from.Succs, to.ID)
+	to.Preds = append(to.Preds, from.ID)
+}
+
+func (b *cfgBuilder) lowerBlock(blk *ir.Block) {
+	for _, n := range blk.Nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			b.cur.Steps = append(b.cur.Steps, Step{Kind: StepInstr, Instr: n, Pos: n.Pos})
+			if n.Op == ir.OpRet {
+				// Anything after a return is unreachable; give it a
+				// fresh block with no predecessors.
+				b.cur = b.newBlock()
+			}
+		case *ir.If:
+			b.lowerIf(n)
+		case *ir.ForEach:
+			b.lowerForEach(n)
+		case *ir.DoWhile:
+			b.lowerDoWhile(n)
+		}
+	}
+}
+
+func (b *cfgBuilder) lowerIf(n *ir.If) {
+	condBlk := b.cur
+	condBlk.Steps = append(condBlk.Steps, Step{Kind: StepCond, Cond: n.Cond, Pos: n.Pos})
+
+	thenEntry := b.newBlock()
+	b.link(condBlk, thenEntry)
+	b.cur = thenEntry
+	b.lowerBlock(n.Then)
+	thenEnd := b.cur
+
+	elseEntry := b.newBlock()
+	b.link(condBlk, elseEntry)
+	b.cur = elseEntry
+	b.lowerBlock(n.Else)
+	elseEnd := b.cur
+
+	join := b.newBlock()
+	join.Phis = n.ExitPhis
+	// Link order fixes Preds = [then, else], matching the positional
+	// phi(then-value, else-value) convention.
+	b.link(thenEnd, join)
+	b.link(elseEnd, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) lowerForEach(n *ir.ForEach) {
+	pre := b.cur
+	pre.Steps = append(pre.Steps, Step{Kind: StepColl, Loop: n, Pos: n.Pos})
+
+	header := b.newBlock()
+	header.Phis = n.HeaderPhis
+	// Preds[0] = init edge; the latch edge is linked below as Preds[1],
+	// matching phi(init, latch).
+	b.link(pre, header)
+	header.Steps = append(header.Steps, Step{Kind: StepBind, Loop: n, Pos: n.Pos})
+
+	body := b.newBlock()
+	b.link(header, body)
+	b.cur = body
+	b.lowerBlock(n.Body)
+	latch := b.cur
+	b.link(latch, header)
+
+	exit := b.newBlock()
+	// Exit phis are phi(final): their single argument is the value at
+	// the end of the last iteration, so the exit's predecessor is the
+	// latch (the zero-iteration init path is folded into it, mirroring
+	// the verifier's scope approximation for body-defined arguments).
+	exit.Phis = append(exitShadowPhis(n.HeaderPhis), n.ExitPhis...)
+	b.link(latch, exit)
+	b.cur = exit
+}
+
+// exitShadowPhis models the implicit parallel copy both engines
+// perform when a loop exits: the header phis take their latch values
+// one final time, and only then do the exit phis read them. Each
+// header phi contributes a synthetic single-argument phi on the
+// latch->exit edge so dataflow sees the latch values consumed on the
+// exit path too.
+func exitShadowPhis(headerPhis []*ir.Instr) []*ir.Instr {
+	var out []*ir.Instr
+	for _, h := range headerPhis {
+		if len(h.Args) < 2 {
+			continue
+		}
+		out = append(out, &ir.Instr{
+			Op: ir.OpPhi, Results: h.Results,
+			Args: []ir.Operand{h.Args[1]}, Pos: h.Pos,
+		})
+	}
+	return out
+}
+
+func (b *cfgBuilder) lowerDoWhile(n *ir.DoWhile) {
+	pre := b.cur
+
+	header := b.newBlock()
+	header.Phis = n.HeaderPhis
+	b.link(pre, header) // Preds[0] = init edge
+
+	body := b.newBlock()
+	b.link(header, body)
+	b.cur = body
+	b.lowerBlock(n.Body)
+	latch := b.cur
+	latch.Steps = append(latch.Steps, Step{Kind: StepCond, Cond: n.Cond, Pos: n.Pos})
+	b.link(latch, header) // Preds[1] = latch edge
+
+	exit := b.newBlock()
+	exit.Phis = append(exitShadowPhis(n.HeaderPhis), n.ExitPhis...)
+	b.link(latch, exit)
+	b.cur = exit
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import "memoir/internal/ir"
+
+// Direction of a dataflow problem.
+type Direction uint8
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem is a monotone dataflow problem over facts of type F. The
+// solver calls Copy before mutating a fact, so implementations may
+// mutate the argument of Step/PhiDef/PhiArg in place and return it.
+type Problem[F any] interface {
+	Direction() Direction
+
+	// Boundary produces the initial fact: the fact entering the entry
+	// block (Forward), or the fact leaving blocks with no successors
+	// (Backward).
+	Boundary(c *CFG) F
+
+	// Copy deep-copies a fact.
+	Copy(f F) F
+
+	// Join merges src into dst (may mutate dst) and reports whether
+	// dst changed. Used at control-flow merge points.
+	Join(dst, src F) (F, bool)
+
+	// Step applies one step's transfer function. For Backward
+	// problems the solver feeds steps in reverse block order.
+	Step(s Step, f F) F
+
+	// PhiDef applies the phi results of a block: Forward problems
+	// define them, Backward problems kill them.
+	PhiDef(phis []*ir.Instr, f F) F
+
+	// PhiArg applies the phi arguments flowing along edge j (the
+	// block's j-th predecessor). Backward problems generate the
+	// argument uses; Forward problems usually pass the fact through.
+	PhiArg(phis []*ir.Instr, j int, f F) F
+}
+
+// Solution holds the fixpoint facts per block. For Forward problems
+// In[b] is the fact before the block's phis and Out[b] after its last
+// step; for Backward problems In[b] is the fact before the first step
+// (after phi kills) and Out[b] the fact after the block (towards its
+// successors). Reached marks blocks the solver ever delivered a fact
+// to; unreached blocks keep zero-value facts.
+type Solution[F any] struct {
+	CFG     *CFG
+	In, Out []F
+	Reached []bool
+}
+
+// Solve runs the worklist fixpoint for p over c.
+func Solve[F any](c *CFG, p Problem[F]) *Solution[F] {
+	sol := &Solution[F]{
+		CFG:     c,
+		In:      make([]F, len(c.Blocks)),
+		Out:     make([]F, len(c.Blocks)),
+		Reached: make([]bool, len(c.Blocks)),
+	}
+	if p.Direction() == Forward {
+		solveForward(c, p, sol)
+	} else {
+		solveBackward(c, p, sol)
+	}
+	return sol
+}
+
+func solveForward[F any](c *CFG, p Problem[F], sol *Solution[F]) {
+	inSet := make([]bool, len(c.Blocks))
+	work := []int{c.Entry}
+	inWork := make([]bool, len(c.Blocks))
+	inWork[c.Entry] = true
+	sol.In[c.Entry] = p.Boundary(c)
+	inSet[c.Entry] = true
+	sol.Reached[c.Entry] = true
+
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		b := c.Blocks[id]
+
+		f := p.Copy(sol.In[id])
+		f = p.PhiDef(b.Phis, f)
+		for _, s := range b.Steps {
+			f = p.Step(s, f)
+		}
+		sol.Out[id] = f
+
+		for _, sid := range b.Succs {
+			succ := c.Blocks[sid]
+			j := edgeIndex(succ.Preds, id)
+			ef := p.PhiArg(succ.Phis, j, p.Copy(f))
+			changed := false
+			if !inSet[sid] {
+				sol.In[sid] = ef
+				inSet[sid] = true
+				changed = true
+			} else {
+				sol.In[sid], changed = p.Join(sol.In[sid], ef)
+			}
+			sol.Reached[sid] = true
+			if changed && !inWork[sid] {
+				work = append(work, sid)
+				inWork[sid] = true
+			}
+		}
+	}
+}
+
+func solveBackward[F any](c *CFG, p Problem[F], sol *Solution[F]) {
+	outSet := make([]bool, len(c.Blocks))
+	var work []int
+	inWork := make([]bool, len(c.Blocks))
+	for _, b := range c.Blocks {
+		if len(b.Succs) == 0 {
+			sol.Out[b.ID] = p.Boundary(c)
+			outSet[b.ID] = true
+			sol.Reached[b.ID] = true
+			work = append(work, b.ID)
+			inWork[b.ID] = true
+		}
+	}
+
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		b := c.Blocks[id]
+
+		f := p.Copy(sol.Out[id])
+		for i := len(b.Steps) - 1; i >= 0; i-- {
+			f = p.Step(b.Steps[i], f)
+		}
+		f = p.PhiDef(b.Phis, f)
+		sol.In[id] = f
+
+		for j, pid := range b.Preds {
+			ef := p.PhiArg(b.Phis, j, p.Copy(f))
+			changed := false
+			if !outSet[pid] {
+				sol.Out[pid] = ef
+				outSet[pid] = true
+				changed = true
+			} else {
+				sol.Out[pid], changed = p.Join(sol.Out[pid], ef)
+			}
+			sol.Reached[pid] = true
+			if changed && !inWork[pid] {
+				work = append(work, pid)
+				inWork[pid] = true
+			}
+		}
+	}
+}
+
+// edgeIndex returns the position of pred in preds. The lowering links
+// every edge exactly once, so the first match is the edge.
+func edgeIndex(preds []int, pred int) int {
+	for j, p := range preds {
+		if p == pred {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import "memoir/internal/ir"
+
+// definedProblem is forward definite assignment (a must-analysis): a
+// value is "defined" at a point when every path from entry to the
+// point defines it. The fact is the set of definitely-defined values;
+// Join is set intersection.
+type definedProblem struct{ fn *ir.Func }
+
+func (definedProblem) Direction() Direction { return Forward }
+
+func (p definedProblem) Boundary(*CFG) VSet {
+	f := VSet{}
+	for _, prm := range p.fn.Params {
+		f[prm] = true
+	}
+	return f
+}
+
+func (definedProblem) Copy(f VSet) VSet { return f.Clone() }
+
+func (definedProblem) Join(dst, src VSet) (VSet, bool) {
+	changed := false
+	for v := range dst {
+		if !src[v] {
+			delete(dst, v)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (definedProblem) Step(s Step, f VSet) VSet {
+	for _, d := range s.Defs(nil) {
+		f[d] = true
+	}
+	return f
+}
+
+func (definedProblem) PhiDef(phis []*ir.Instr, f VSet) VSet {
+	for _, p := range phis {
+		for _, r := range p.Results {
+			f[r] = true
+		}
+	}
+	return f
+}
+
+func (definedProblem) PhiArg(phis []*ir.Instr, j int, f VSet) VSet { return f }
+
+// UndefUse is one use of a value on a path where it has no reaching
+// definition (ADE001).
+type UndefUse struct {
+	Val *ir.Value
+	Pos int
+}
+
+// UseBeforeDef reports every use of a value that is not definitely
+// assigned at the point of use: the use-before-def / reaching-
+// definitions check behind ADE001. The parser guarantees every used
+// name is defined *somewhere*; this analysis catches names whose
+// definition does not dominate the use (e.g. defined only in one
+// branch of an if and used after the join without a phi).
+func UseBeforeDef(c *CFG) []UndefUse {
+	sol := Solve[VSet](c, definedProblem{fn: c.Fn})
+	var out []UndefUse
+	seen := map[*ir.Value]bool{}
+	report := func(v *ir.Value, pos int) {
+		if v == nil || v.Kind == ir.VConst || seen[v] {
+			return
+		}
+		seen[v] = true
+		out = append(out, UndefUse{Val: v, Pos: pos})
+	}
+	var p definedProblem
+	for _, b := range c.Blocks {
+		if !sol.Reached[b.ID] || sol.In[b.ID] == nil {
+			continue
+		}
+		// Phi arguments are read on the incoming edge: check each
+		// against the corresponding predecessor's out-fact.
+		for j, pid := range b.Preds {
+			if !sol.Reached[pid] || sol.Out[pid] == nil {
+				continue
+			}
+			pf := sol.Out[pid]
+			for _, ph := range b.Phis {
+				if j >= len(ph.Args) {
+					continue
+				}
+				a := ph.Args[j]
+				if a.Base != nil && a.Base.Kind != ir.VConst && !pf[a.Base] {
+					report(a.Base, ph.Pos)
+				}
+				for _, ix := range a.Path {
+					if ix.Kind == ir.IdxValue && ix.Val != nil && ix.Val.Kind != ir.VConst && !pf[ix.Val] {
+						report(ix.Val, ph.Pos)
+					}
+				}
+			}
+		}
+		f := sol.In[b.ID].Clone()
+		f = p.PhiDef(b.Phis, f)
+		for _, s := range b.Steps {
+			for _, u := range s.Uses(nil) {
+				if !f[u] {
+					report(u, s.Pos)
+				}
+			}
+			f = p.Step(s, f)
+		}
+	}
+	return out
+}

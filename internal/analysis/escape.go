@@ -1,0 +1,195 @@
+package analysis
+
+import "memoir/internal/ir"
+
+// Collection escape analysis.
+//
+// A collection level "escapes" when an alias to it leaves the set of
+// uses ADE can rewrite: it is stored into another collection, returned,
+// emitted, read or bound into an untracked local alias, or (for nested
+// levels) passed across a call. Escaped levels must not be transformed
+// (§III-D); internal/core consults this analysis for its sharing and
+// interprocedural safety decisions.
+//
+// The analysis is flow-insensitive over the SSA redef web of each root
+// (an allocation result or a collection-typed parameter): any use of
+// any SSA state of the collection can mark one or more nesting depths.
+
+// Escape reasons. The exact strings are part of core's reports and
+// tests; keep them stable.
+const (
+	EscStored     = "stored into another collection"
+	EscReturned   = "returned from function"
+	EscEmitted    = "emitted"
+	EscNestedCall = "nested level passed to call"
+	EscNestedRead = "nested collection read into a value"
+	EscLoopBound  = "nested collection bound by for-each"
+)
+
+// EscapeInfo holds the per-root, per-depth escape facts of one
+// function.
+type EscapeInfo struct {
+	Fn *ir.Func
+	// reasons[root][d] lists every escape reason recorded for depth d
+	// of the collection rooted at root, in discovery order.
+	reasons map[*ir.Value][][]string
+}
+
+// Reasons returns all escape reasons for the given depth of root, or
+// nil. Root is the allocation's result value or the parameter value.
+func (e *EscapeInfo) Reasons(root *ir.Value, depth int) []string {
+	lv := e.reasons[root]
+	if depth < 0 || depth >= len(lv) {
+		return nil
+	}
+	return lv[depth]
+}
+
+// Reason returns the first recorded escape reason for (root, depth),
+// or "" when the level does not escape.
+func (e *EscapeInfo) Reason(root *ir.Value, depth int) string {
+	if rs := e.Reasons(root, depth); len(rs) > 0 {
+		return rs[0]
+	}
+	return ""
+}
+
+// Roots returns the analyzed root values.
+func (e *EscapeInfo) Roots() []*ir.Value {
+	var out []*ir.Value
+	for r := range e.reasons {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Escapes analyzes every collection root of fn. ui may be nil, in
+// which case def-use chains are computed internally.
+func Escapes(fn *ir.Func, ui *ir.UseInfo) *EscapeInfo {
+	if ui == nil {
+		ui = ir.ComputeUses(fn)
+	}
+	e := &EscapeInfo{Fn: fn, reasons: map[*ir.Value][][]string{}}
+	for _, in := range ir.Allocations(fn) {
+		e.addRoot(in.Result(), ui)
+	}
+	for _, p := range fn.Params {
+		if ir.AsColl(p.Type) != nil {
+			e.addRoot(p, ui)
+		}
+	}
+	return e
+}
+
+// levelFaceted mirrors core's facet conditions, which are purely
+// type-directed: a level participates in ADE when its keys or its
+// scalar elements form an enumerable domain.
+func levelFaceted(ct *ir.CollType) bool {
+	if ct.Assoc() && enumerableDomain(ct.Key) {
+		return true
+	}
+	if (ct.Kind == ir.KMap || ct.Kind == ir.KSeq) && ct.Elem != nil && enumerableDomain(ct.Elem) {
+		return true
+	}
+	return false
+}
+
+func (e *EscapeInfo) addRoot(root *ir.Value, ui *ir.UseInfo) {
+	if root == nil {
+		return
+	}
+	ct := ir.AsColl(root.Type)
+	if ct == nil || ct.Kind == ir.KEnum || ct.Kind == ir.KTuple {
+		return
+	}
+	// Count nesting levels the same way core discovers sites: one per
+	// collection type along the element chain.
+	var levelTypes []*ir.CollType
+	for cur := ct; cur != nil; cur = ir.AsColl(cur.Elem) {
+		levelTypes = append(levelTypes, cur)
+	}
+	levels := make([][]string, len(levelTypes))
+	mark := func(d int, reason string) {
+		if d >= 0 && d < len(levels) {
+			levels[d] = append(levels[d], reason)
+		}
+	}
+	markFrom := func(from int, reason string) {
+		for d := from; d < len(levels); d++ {
+			mark(d, reason)
+		}
+	}
+
+	for _, v := range ui.RedefsFrom(root) {
+		for _, u := range ui.Uses(v) {
+			if !u.IsBase() {
+				continue
+			}
+			switch {
+			case u.Instr != nil:
+				e.instrUse(u.Instr, u.Arg, mark, markFrom)
+			case u.Arg == ir.UseLoopColl:
+				fe, _ := u.User.(*ir.ForEach)
+				if fe == nil {
+					break
+				}
+				L := len(fe.Coll.Path)
+				// Iterating a level binds any nested collection to the
+				// loop value: an untracked alias of the next depth.
+				// Core records this only while analyzing the faceted
+				// site at depth L, so the mark is gated the same way.
+				if ir.AsColl(fe.Val.Type) != nil && len(ui.Uses(fe.Val)) > 0 &&
+					L < len(levelTypes) && levelFaceted(levelTypes[L]) {
+					mark(L+1, EscLoopBound)
+				}
+			}
+		}
+	}
+	e.reasons[root] = levels
+}
+
+// instrUse applies the escape rules of one instruction whose operand
+// at argIdx is an SSA state of the analyzed root.
+func (e *EscapeInfo) instrUse(in *ir.Instr, argIdx int, mark func(int, string), markFrom func(int, string)) {
+	if argIdx != 0 {
+		// The collection handle flows as data into another position.
+		switch in.Op {
+		case ir.OpPhi, ir.OpUnion:
+			// Phis are part of the redef web; union sources are search
+			// keys, not escapes.
+		case ir.OpCall:
+			// Depth 0 across a call is handled interprocedurally;
+			// deeper levels cannot cross calls.
+			markFrom(1, EscNestedCall)
+		case ir.OpWrite, ir.OpInsert:
+			markFrom(0, EscStored)
+		case ir.OpRet:
+			markFrom(0, EscReturned)
+		case ir.OpEmit:
+			markFrom(0, EscEmitted)
+		}
+		return
+	}
+
+	L := len(in.Args[0].Path)
+	switch in.Op {
+	case ir.OpRet:
+		// Returns the level the path addresses; that level and every
+		// deeper one escape.
+		markFrom(L, EscReturned)
+	case ir.OpCall:
+		// Depth max(L,1): level L crosses the call boundary when
+		// nested (interprocedural handling covers only whole roots).
+		from := L
+		if from < 1 {
+			from = 1
+		}
+		markFrom(from, EscNestedCall)
+	case ir.OpRead:
+		// Reading a nested collection into a value creates an alias we
+		// do not track; only the directly read level escapes.
+		if r := in.Result(); r != nil && ir.AsColl(r.Type) != nil {
+			mark(L+1, EscNestedRead)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+
+	"memoir/internal/ir"
+)
+
+// Lint runs every adelint diagnostic over p and returns the findings
+// sorted for stable output.
+func Lint(p *ir.Program) []Diagnostic {
+	out := CheckPragmas(p)
+	for _, name := range p.Order {
+		out = append(out, LintFunc(p.Funcs[name])...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// LintFunc runs the per-function diagnostics (everything except
+// pragma validation, which needs no dataflow).
+func LintFunc(fn *ir.Func) []Diagnostic {
+	var out []Diagnostic
+	diag := func(code string, pos int, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Code: code, Severity: SeverityOf(code),
+			Fn: fn.Name, Line: pos, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	c := NewCFG(fn)
+
+	// ADE001: use before definite assignment.
+	for _, u := range UseBeforeDef(c) {
+		diag(ADE001, u.Pos, "%%%s may be used before it is defined", u.Val.Name)
+	}
+
+	// ADE002: dead collection stores.
+	ui := ir.ComputeUses(fn)
+	li := LivenessOf(c)
+	for _, in := range li.DeadUpdates(ui, nil) {
+		name := "?"
+		if in.Args[0].Base != nil {
+			name = in.Args[0].Base.Name
+		}
+		diag(ADE002, in.Pos, "%s to %%%s is never observed (dead store)", in.Op, name)
+	}
+
+	// ADE003: residual translation chains.
+	for _, r := range FuncResiduals(fn) {
+		diag(ADE003, r.Pos, "residual translation %s: redundant-translation elimination should remove this", r.Kind)
+	}
+
+	// ADE004: enumerations allocated but never used. Deliberately
+	// limited to local `new Enum` allocations: ADE's own output loads
+	// class globals (enumglobal) per function whether or not that
+	// function touches them, and flagging those would make every
+	// post-ADE program lint-dirty.
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		if in.Op != ir.OpNewEnum {
+			return
+		}
+		r := in.Result()
+		if r == nil || len(ui.Uses(r)) > 0 {
+			return
+		}
+		diag(ADE004, in.Pos, "enumeration %%%s is never used", r.Name)
+	})
+
+	SortDiagnostics(out)
+	return out
+}

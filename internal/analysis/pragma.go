@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+
+	"memoir/internal/collections"
+	"memoir/internal/ir"
+)
+
+// Pragma validation (ADE005).
+//
+// `#pragma ade` directives steer ADE but never change program
+// semantics, so a misspelled or impossible directive is silently
+// ignored by the pipeline. This check surfaces them: conflicting
+// enumerate/noenumerate or share/noshare requests, selections naming
+// an implementation the collection kind cannot use, noshare((%x))
+// references to allocations that do not exist, directives nested
+// deeper than the collection type, and enumerate requests on levels
+// with no enumerable domain.
+
+// CheckPragmas validates every allocation directive in p.
+func CheckPragmas(p *ir.Program) []Diagnostic {
+	var out []Diagnostic
+	for _, name := range p.Order {
+		out = append(out, checkFuncPragmas(p.Funcs[name])...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+func checkFuncPragmas(fn *ir.Func) []Diagnostic {
+	// Allocation result names in this function; noshare(%x) must refer
+	// to one of them (core matches directives by allocation name).
+	allocNames := map[string]bool{}
+	for _, in := range ir.Allocations(fn) {
+		if r := in.Result(); r != nil {
+			allocNames[r.Name] = true
+		}
+	}
+
+	var out []Diagnostic
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		if in.Dir == nil {
+			return
+		}
+		report := func(pos int, format string, args ...any) {
+			out = append(out, Diagnostic{
+				Code: ADE005, Severity: SeverityOf(ADE005),
+				Fn: fn.Name, Line: pos, Msg: fmt.Sprintf(format, args...),
+			})
+		}
+		pos := firstPos(in.Dir.Pos, in.Pos)
+		if in.Op == ir.OpNewEnum {
+			report(pos, "pragma on an enumeration allocation has no effect")
+			return
+		}
+		if in.Op != ir.OpNew {
+			return
+		}
+		target := "%?"
+		if r := in.Result(); r != nil {
+			target = "%" + r.Name
+		}
+		ct := in.Alloc
+		for d, depth := in.Dir, 0; d != nil; d, depth = d.Inner, depth+1 {
+			dpos := firstPos(d.Pos, pos)
+			lvl := ""
+			if depth > 0 {
+				lvl = fmt.Sprintf(" (inner level %d)", depth)
+			}
+			if ct == nil {
+				report(dpos, "pragma on %s%s: directive nested deeper than the collection type", target, lvl)
+				break
+			}
+			if d.Enumerate && d.NoEnumerate {
+				report(dpos, "pragma on %s%s: both enumerate and noenumerate", target, lvl)
+			}
+			if d.NoShare && d.ShareGroup != "" {
+				report(dpos, "pragma on %s%s: noshare conflicts with share group(%q)", target, lvl, d.ShareGroup)
+			}
+			for _, n := range d.NoShareWith {
+				if !allocNames[n] {
+					report(dpos, "pragma on %s%s: noshare(%%%s) names no allocation in @%s", target, lvl, n, fn.Name)
+				}
+			}
+			if d.Select != collections.ImplNone && !implFitsKind(d.Select, ct.Kind) {
+				report(dpos, "pragma on %s%s: select(%v) cannot implement a %s", target, lvl, d.Select, kindName(ct.Kind))
+			}
+			if d.Enumerate && !levelFaceted(ct) {
+				report(dpos, "pragma on %s%s: enumerate on a level with no enumerable domain", target, lvl)
+			}
+			ct = ir.AsColl(ct.Elem)
+		}
+	})
+	return out
+}
+
+// implFitsKind reports whether impl can implement a collection of the
+// given kind.
+func implFitsKind(impl collections.Impl, k ir.CollKind) bool {
+	switch k {
+	case ir.KSet:
+		switch impl {
+		case collections.ImplBitSet, collections.ImplSparseBitSet,
+			collections.ImplFlatSet, collections.ImplHashSet, collections.ImplSwissSet:
+			return true
+		}
+	case ir.KMap:
+		switch impl {
+		case collections.ImplBitMap, collections.ImplHashMap, collections.ImplSwissMap:
+			return true
+		}
+	case ir.KSeq:
+		return impl == collections.ImplArray
+	}
+	return false
+}
+
+func kindName(k ir.CollKind) string {
+	switch k {
+	case ir.KSet:
+		return "set"
+	case ir.KMap:
+		return "map"
+	case ir.KSeq:
+		return "sequence"
+	case ir.KEnum:
+		return "enumeration"
+	case ir.KTuple:
+		return "tuple"
+	}
+	return "collection"
+}
+
+// firstPos returns the first non-zero position.
+func firstPos(ps ...int) int {
+	for _, p := range ps {
+		if p != 0 {
+			return p
+		}
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import "memoir/internal/ir"
+
+// Residual-translation analysis.
+//
+// After redundant-translation elimination (RTE, Algorithm 2) has run,
+// no value should be decoded from an enumeration only to be re-encoded
+// into the same enumeration (or vice versa). This analysis finds such
+// residual chains; ADE003 reports them and core's -check mode asserts
+// their absence after RTE.
+//
+// The analysis first assigns every Enum-typed SSA value an enumeration
+// identity — which logical enumeration its states belong to — and then
+// flags translation pairs that round-trip through one identity:
+//
+//	enc(dec)  j := enc(e, dec(e', i))   same identity e ~ e'
+//	add(dec)  add(e, dec(e', i))        same identity
+//	dec(enc)  v := dec(e, enc(e', w))   same identity
+//	dec(add)  v := dec(e, i) where (_, i) := add(e', w), same identity
+//
+// Enumerations are add-only, so a value-to-identifier mapping persists
+// across states and identity equality (rather than exact SSA-state
+// equality) is the right granularity.
+
+// Residual is one residual translation chain.
+type Residual struct {
+	Fn    *ir.Func
+	Instr *ir.Instr
+	Pos   int
+	Kind  string // "enc(dec)", "add(dec)", "dec(enc)", "dec(add)"
+}
+
+// enumIdentity computes the enumeration identity of every Enum-typed
+// value in fn. Identities are: the OpNewEnum instruction, the string
+// "global:<name>" for enumeration globals, or the parameter value for
+// Enum-typed parameters. States reached through @add and through phis
+// whose arguments agree inherit the identity.
+func enumIdentity(fn *ir.Func) map[*ir.Value]any {
+	id := map[*ir.Value]any{}
+	for _, p := range fn.Params {
+		if ct := ir.AsColl(p.Type); ct != nil && ct.Kind == ir.KEnum {
+			id[p] = p
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ir.WalkInstrs(fn, func(in *ir.Instr) {
+			var nv *ir.Value
+			var nid any
+			switch in.Op {
+			case ir.OpNewEnum:
+				nv, nid = in.Result(), in
+			case ir.OpEnumGlobal:
+				nv, nid = in.Result(), "global:"+in.Callee
+			case ir.OpEnumAdd:
+				if len(in.Args) > 0 && in.Args[0].Base != nil {
+					if x, ok := id[in.Args[0].Base]; ok {
+						nv, nid = in.Result(), x
+					}
+				}
+			case ir.OpPhi:
+				r := in.Result()
+				ct := ir.AsColl(readType(r))
+				if ct == nil || ct.Kind != ir.KEnum {
+					break
+				}
+				var common any
+				ok := len(in.Args) > 0
+				for _, a := range in.Args {
+					if a.Base == nil {
+						ok = false
+						break
+					}
+					x, have := id[a.Base]
+					if !have {
+						ok = false
+						break
+					}
+					if common == nil {
+						common = x
+					} else if common != x {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					nv, nid = r, common
+				}
+			}
+			if nv == nil || nid == nil {
+				return
+			}
+			if _, have := id[nv]; !have {
+				id[nv] = nid
+				changed = true
+			}
+		})
+	}
+	return id
+}
+
+func readType(v *ir.Value) ir.Type {
+	if v == nil {
+		return nil
+	}
+	return v.Type
+}
+
+// FuncResiduals finds residual translation chains in fn.
+func FuncResiduals(fn *ir.Func) []Residual {
+	id := enumIdentity(fn)
+	// enumOf is the identity of an instruction's enumeration operand.
+	enumOf := func(in *ir.Instr) any {
+		if len(in.Args) == 0 || in.Args[0].Base == nil {
+			return nil
+		}
+		return id[in.Args[0].Base]
+	}
+	var out []Residual
+	add := func(in *ir.Instr, kind string) {
+		out = append(out, Residual{Fn: fn, Instr: in, Pos: in.Pos, Kind: kind})
+	}
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		if len(in.Args) < 2 {
+			return
+		}
+		v := in.Args[1].Base
+		if v == nil || v.Kind == ir.VConst || v.Def == nil {
+			return
+		}
+		e := enumOf(in)
+		if e == nil {
+			return
+		}
+		switch in.Op {
+		case ir.OpEncode:
+			if v.Def.Op == ir.OpDecode && e == enumOf(v.Def) {
+				add(in, "enc(dec)")
+			}
+		case ir.OpEnumAdd:
+			if v.Def.Op == ir.OpDecode && e == enumOf(v.Def) {
+				add(in, "add(dec)")
+			}
+		case ir.OpDecode:
+			switch {
+			case v.Def.Op == ir.OpEncode && e == enumOf(v.Def):
+				add(in, "dec(enc)")
+			case v.Def.Op == ir.OpEnumAdd && v.ResIdx == 1 && e == enumOf(v.Def):
+				add(in, "dec(add)")
+			}
+		}
+	})
+	return out
+}
+
+// Residuals finds residual translation chains in every function of p.
+func Residuals(p *ir.Program) []Residual {
+	var out []Residual
+	for _, name := range p.Order {
+		out = append(out, FuncResiduals(p.Funcs[name])...)
+	}
+	return out
+}

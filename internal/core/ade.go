@@ -153,6 +153,11 @@ func (cx *adeCtx) extBenefit(facets []*facet) int {
 func Apply(prog *ir.Program, opts Options) (*Report, error) {
 	report := &Report{}
 
+	chk := &checkCtx{on: opts.Check, prog: prog}
+	if err := chk.pragmas(); err != nil {
+		return report, err
+	}
+
 	cx := &adeCtx{
 		prog: prog, opts: opts, fis: map[*ir.Func]*fnInfo{},
 		ordinals: map[*ir.Func]map[*ir.Instr]int{},
@@ -163,11 +168,20 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		cx.fis[fn] = analyzeFunc(fn)
 	}
 	cx.rebuildLinkage()
+	if err := chk.program("use-analysis"); err != nil {
+		return report, err
+	}
+	if err := chk.sites("use-analysis", cx.fis); err != nil {
+		return report, err
+	}
 
 	cands := map[*ir.Func][]*candidate{}
 	for _, name := range prog.Order {
 		fn := prog.Funcs[name]
 		cands[fn] = formCandidates(cx, cx.fis[fn], report)
+	}
+	if err := chk.candidates("candidate-formation", cands, opts); err != nil {
+		return report, err
 	}
 
 	ipc := &interproc{cx: cx, prog: prog, opts: opts, report: report, fis: cx.fis, cands: cands, clones: map[string]string{}}
@@ -175,8 +189,17 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 	if err != nil {
 		return report, err
 	}
+	if err := chk.program("interprocedural-unification"); err != nil {
+		return report, err
+	}
+	if err := chk.classes("interprocedural-unification", classes, classOf); err != nil {
+		return report, err
+	}
 
 	dropUnsafeUnionClasses(prog, cx.fis, classes, classOf, report)
+	if err := chk.classes("union-safety", classes, classOf); err != nil {
+		return report, err
+	}
 
 	// prog.Order may have grown with clones; transform everything.
 	for _, name := range prog.Order {
@@ -187,6 +210,19 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		}
 		if err := transformFunc(fi, opts, classOf); err != nil {
 			return report, fmt.Errorf("ade: @%s: %w", fn.Name, err)
+		}
+		// Mid-loop, callers and callees legitimately disagree on
+		// collection argument types; check each function locally.
+		if err := chk.funcLocal("transform", fn); err != nil {
+			return report, err
+		}
+	}
+	if err := chk.program("transform"); err != nil {
+		return report, err
+	}
+	if opts.RTE {
+		if err := chk.residuals("redundant-translation elimination"); err != nil {
+			return report, err
 		}
 	}
 

@@ -54,6 +54,11 @@ type Options struct {
 	// benefit heuristic (useful in tests).
 	ForceAll bool
 
+	// Check re-runs the IR verifier and the pipeline's own invariant
+	// checks between every ADE sub-pass (adec -check). Checks are pure
+	// reads: enabling them never changes the decisions taken.
+	Check bool
+
 	// Profile, when non-nil, weights the benefit heuristic by dynamic
 	// execution counts instead of static use counts — the extension
 	// the paper sketches in §III-C. Cold code (never-executed uses,

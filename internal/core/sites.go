@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"memoir/internal/analysis"
 	"memoir/internal/ir"
 )
 
@@ -223,7 +224,37 @@ func analyzeFunc(fn *ir.Func) *fnInfo {
 	for _, s := range fi.sites {
 		analyzeSite(fi, s)
 	}
+	applyEscapes(fi)
 	return fi
+}
+
+// applyEscapes imports the escape decisions of the dataflow analysis
+// package into the sites: a faceted site whose level escapes must not
+// be transformed. Only faceted sites receive the mark — facetless
+// sites never form candidates, and keeping them unmarked matches the
+// historical in-place analysis.
+func applyEscapes(fi *fnInfo) {
+	esc := analysis.Escapes(fi.fn, fi.ui)
+	for _, s := range fi.sites {
+		if s.key == nil && s.elem == nil {
+			continue
+		}
+		var roots []*ir.Value
+		for _, a := range s.allocs {
+			if r := a.Result(); r != nil {
+				roots = append(roots, r)
+			}
+		}
+		if s.param != nil {
+			roots = append(roots, s.param)
+		}
+		for _, r := range roots {
+			if reason := esc.Reason(r, s.depth); reason != "" {
+				s.escape(reason)
+				break
+			}
+		}
+	}
 }
 
 // mergeAliasedRoots fuses roots whose redef webs intersect — a phi
@@ -340,50 +371,27 @@ func (s *site) escape(reason string) {
 // argument position) is a redef of s's base collection.
 func analyzeInstrUse(fi *fnInfo, s *site, in *ir.Instr, argIdx int, d int) {
 	// Only the collection operand position drives Algorithm 1; a redef
-	// appearing elsewhere is data flow of the collection handle
-	// itself.
+	// appearing elsewhere is data flow of the collection handle itself.
+	// Escapes through those positions (call arguments, stores into
+	// other collections, returns, emits) are detected by the analysis
+	// package and applied in applyEscapes.
 	if argIdx != 0 {
-		switch in.Op {
-		case ir.OpPhi:
-			return // phis over redefs are part of the redef web
-		case ir.OpUnion:
-			if argIdx == 1 && s.key != nil {
-				L := pathLen(in.Args[1])
-				switch {
-				case L == d:
-					s.key.unions = append(s.key.unions, in)
-				case L > d:
-					// The source operand reaches through this level:
-					// its path index at position d is a search key
-					// (Algorithm 1's nesting case, source side).
-					ix := in.Args[1].Path[d]
-					if ix.Kind == ir.IdxValue {
-						s.key.toEnc = append(s.key.toEnc, patchPoint{instr: in, arg: 1, path: d})
-					}
+		if in.Op == ir.OpUnion && argIdx == 1 && s.key != nil {
+			L := pathLen(in.Args[1])
+			switch {
+			case L == d:
+				s.key.unions = append(s.key.unions, in)
+			case L > d:
+				// The source operand reaches through this level:
+				// its path index at position d is a search key
+				// (Algorithm 1's nesting case, source side).
+				ix := in.Args[1].Path[d]
+				if ix.Kind == ir.IdxValue {
+					s.key.toEnc = append(s.key.toEnc, patchPoint{instr: in, arg: 1, path: d})
 				}
 			}
-			return
-		case ir.OpCall:
-			// Handled by the interprocedural stage; depth > 0 cannot
-			// cross calls.
-			if d > 0 {
-				s.escape("nested level passed to call")
-			}
-			return
-		case ir.OpWrite, ir.OpInsert:
-			// The collection stored as an element of another
-			// collection: aliases we do not track.
-			s.escape("stored into another collection")
-			return
-		case ir.OpRet:
-			s.escape("returned from function")
-			return
-		case ir.OpEmit:
-			s.escape("emitted")
-			return
-		default:
-			return
 		}
+		return
 	}
 
 	L := pathLen(in.Args[0])
@@ -398,21 +406,9 @@ func analyzeInstrUse(fi *fnInfo, s *site, in *ir.Instr, argIdx int, d int) {
 		}
 		return
 	case L < d:
-		// An op on a shallower level; only for-each/read aliasing can
-		// reach deeper levels, handled below via result types.
-		if in.Op == ir.OpRead && ir.AsColl(readResultType(in)) != nil {
-			// Reading a nested collection into a value creates an
-			// alias we do not track; refuse deeper levels.
-			if L == d-1 {
-				s.escape("nested collection read into a value")
-			}
-		}
-		if in.Op == ir.OpRet && d > 0 {
-			s.escape("returned from function")
-		}
-		if in.Op == ir.OpCall && d > 0 {
-			s.escape("nested level passed to call")
-		}
+		// An op on a shallower level touches this site only through
+		// aliasing (nested reads, returns, calls) — escape territory,
+		// covered by applyEscapes.
 		return
 	}
 
@@ -448,14 +444,9 @@ func analyzeInstrUse(fi *fnInfo, s *site, in *ir.Instr, argIdx int, d int) {
 		if s.key != nil {
 			s.key.unions = append(s.key.unions, in)
 		}
-	case ir.OpRet:
-		s.escape("returned from function")
-	case ir.OpCall:
-		if d > 0 {
-			s.escape("nested level passed to call")
-		}
 	case ir.OpClear, ir.OpSize:
-		// No keys involved.
+		// No keys involved. OpRet/OpCall escapes are applyEscapes'
+		// business.
 	}
 }
 
@@ -495,21 +486,9 @@ func analyzeLoopUse(fi *fnInfo, s *site, fe *ir.ForEach, d int) {
 			s.elem.idSources = append(s.elem.idSources, fe.Val)
 		}
 		// Iterating one level above a nested collection binds the
-		// nested collection to the value: an alias we do not track.
-		if inner := ir.AsColl(fe.Val.Type); inner != nil && valueUsed(fi, fe.Val) {
-			// The deeper site must not be transformed.
-			markDeeperEscape(fi, s, "nested collection bound by for-each")
-		}
-	}
-}
-
-func valueUsed(fi *fnInfo, v *ir.Value) bool { return len(fi.ui.Uses(v)) > 0 }
-
-func markDeeperEscape(fi *fnInfo, s *site, reason string) {
-	for _, o := range fi.sites {
-		if o.depth == s.depth+1 && sameRoot(o, s) {
-			o.escape(reason)
-		}
+		// nested collection to the value: an untracked alias. The
+		// analysis package records it against the next depth
+		// (analysis.EscLoopBound) and applyEscapes imports it.
 	}
 }
 

@@ -110,9 +110,25 @@ type RunOptions struct {
 	// Matrix overrides the configuration matrix (tests); nil means
 	// Matrix().
 	Matrix []Config
+	// Check enables core's mid-pipeline invariant checking on every
+	// ADE column (adec -check). Checks never change decisions, so a
+	// -check sweep exercises the same matrix with invariants asserted.
+	Check bool
 	// Verbose, when non-nil, receives one progress line per executed
 	// cell.
 	Verbose io.Writer
+}
+
+// withCheck returns c with core's invariant checking enabled on its
+// ADE options (a copy; the matrix itself is never mutated).
+func withCheck(c Config, check bool) Config {
+	if !check || c.ADE == nil {
+		return c
+	}
+	a := *c.ADE
+	a.Check = true
+	c.ADE = &a
+	return c
 }
 
 // outcome is one execution's canonical observable output plus the
@@ -339,7 +355,7 @@ func Run(o RunOptions) (*Report, error) {
 		// op-count comparison.
 		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, got, div := runCell(s, c, ref, o.Scale)
+			e, got, div := runCell(s, withCheck(c, o.Check), ref, o.Scale)
 			if div == nil {
 				if d := twinDivergence(got, twins, c, s.Abbr, 0); d != nil {
 					e.Diverged = true

@@ -23,6 +23,9 @@ type RandomOptions struct {
 	// Matrix overrides the configuration matrix (tests); nil means
 	// Matrix().
 	Matrix []Config
+	// Check enables core's mid-pipeline invariant checking on every
+	// ADE column.
+	Check bool
 	// Verbose, when non-nil, receives one progress line per seed.
 	Verbose io.Writer
 }
@@ -84,7 +87,7 @@ func RunRandom(o RandomOptions) (*Report, error) {
 		}
 		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, got, div := runRandomCell(seed, c, ref)
+			e, got, div := runRandomCell(seed, withCheck(c, o.Check), ref)
 			if div == nil {
 				// The engine-twin count-parity assertion, mirrored from
 				// the benchmark path.

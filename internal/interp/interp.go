@@ -31,6 +31,11 @@ type Options struct {
 	// CollectProfile records per-instruction execution counts for the
 	// profile-guided benefit heuristic (the §III-C extension).
 	CollectProfile bool
+
+	// TrackReads records every non-constant SSA value the interpreter
+	// reads. The dataflow property tests use it as runtime ground
+	// truth: a value liveness declares dead must never appear here.
+	TrackReads bool
 }
 
 // DefaultOptions returns the baseline MEMOIR configuration.
@@ -65,6 +70,9 @@ type Interp struct {
 
 	// profCounts is non-nil when CollectProfile is set.
 	profCounts map[*ir.Instr]uint64
+
+	// reads is non-nil when TrackReads is set.
+	reads map[*ir.Value]bool
 
 	slotCache map[*ir.Func]int
 
@@ -134,6 +142,9 @@ func New(prog *ir.Program, opts Options) *Interp {
 		slotCache:   map[*ir.Func]int{},
 		iterLocal:   map[*ir.Instr]bool{},
 		localSlot:   map[*ir.Instr]int{},
+	}
+	if opts.TrackReads {
+		ip.reads = map[*ir.Value]bool{}
 	}
 	if opts.CollectProfile {
 		ip.profCounts = map[*ir.Instr]uint64{}
@@ -301,8 +312,15 @@ func (ip *Interp) eval(fr []Val, v *ir.Value) Val {
 	if v.Kind == ir.VConst {
 		return constVal(v)
 	}
+	if ip.reads != nil {
+		ip.reads[v] = true
+	}
 	return fr[v.Slot]
 }
+
+// ReadValues returns the values read so far when Options.TrackReads
+// was set, nil otherwise.
+func (ip *Interp) ReadValues() map[*ir.Value]bool { return ip.reads }
 
 // resolve walks an operand's nesting path, returning the addressed
 // value. Intermediate map lookups are real dynamic accesses and are

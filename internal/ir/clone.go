@@ -18,7 +18,7 @@ func CloneProgram(p *Program) *Program {
 // non-enumerated callers) before transforming them (§III-F).
 func CloneFunc(fn *Func, newName string) *Func {
 	c := &cloner{vmap: map[*Value]*Value{}}
-	out := &Func{Name: newName, Ret: fn.Ret, Exported: false, nextID: fn.nextID}
+	out := &Func{Name: newName, Ret: fn.Ret, Exported: false, Pos: fn.Pos, nextID: fn.nextID}
 	for _, p := range fn.Params {
 		np := &Value{Name: p.Name, Type: p.Type, Kind: VParam, ParamIdx: p.ParamIdx}
 		c.vmap[p] = np
@@ -63,6 +63,7 @@ func (c *cloner) instr(in *Instr) *Instr {
 	ni := &Instr{
 		Op: in.Op, Bin: in.Bin, Cmp: in.Cmp, Alloc: in.Alloc,
 		CastTo: in.CastTo, Callee: in.Callee, Dir: in.Dir, PhiRole: in.PhiRole,
+		Pos: in.Pos,
 	}
 	for _, a := range in.Args {
 		ni.Args = append(ni.Args, c.operand(a))
@@ -94,19 +95,19 @@ func (c *cloner) block(b *Block) *Block {
 		case *Instr:
 			nb.Append(c.instr(n))
 		case *If:
-			ni := &If{Cond: c.value(n.Cond)}
+			ni := &If{Cond: c.value(n.Cond), Pos: n.Pos}
 			ni.Then = c.block(n.Then)
 			ni.Else = c.block(n.Else)
 			ni.ExitPhis = c.phis(n.ExitPhis)
 			nb.Append(ni)
 		case *ForEach:
-			nf := &ForEach{Coll: c.operand(n.Coll), Key: c.value(n.Key), Val: c.value(n.Val)}
+			nf := &ForEach{Coll: c.operand(n.Coll), Key: c.value(n.Key), Val: c.value(n.Val), Pos: n.Pos}
 			nf.HeaderPhis = c.phis(n.HeaderPhis)
 			nf.Body = c.block(n.Body)
 			nf.ExitPhis = c.phis(n.ExitPhis)
 			nb.Append(nf)
 		case *DoWhile:
-			nd := &DoWhile{}
+			nd := &DoWhile{Pos: n.Pos}
 			nd.HeaderPhis = c.phis(n.HeaderPhis)
 			nd.Body = c.block(n.Body)
 			nd.Cond = c.value(n.Cond)

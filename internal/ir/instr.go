@@ -154,6 +154,11 @@ type Instr struct {
 	// PhiRole is fixed by the instruction's structural position; the
 	// verifier checks it.
 	PhiRole PhiRole
+
+	// Pos is the 1-based source line of the instruction in the `.mir`
+	// text it was parsed from; 0 for builder-created or inserted
+	// instructions. Cloning preserves it.
+	Pos int
 }
 
 func (*Instr) isNode() {}
@@ -186,6 +191,10 @@ type Directive struct {
 	ShareGroup  string   // named share group
 	Select      collections.Impl
 	Inner       *Directive // applies to the collections nested one level down
+
+	// Pos is the 1-based source line of the pragma; 0 when built
+	// programmatically.
+	Pos int
 }
 
 // Node is an element of a structured block: an instruction or a
@@ -207,6 +216,9 @@ type If struct {
 	Then     *Block
 	Else     *Block
 	ExitPhis []*Instr
+
+	// Pos is the source line of the `if` header; 0 when built.
+	Pos int
 }
 
 func (*If) isNode() {}
@@ -222,6 +234,9 @@ type ForEach struct {
 	HeaderPhis []*Instr
 	Body       *Block
 	ExitPhis   []*Instr
+
+	// Pos is the source line of the `for` header; 0 when built.
+	Pos int
 }
 
 func (*ForEach) isNode() {}
@@ -233,6 +248,9 @@ type DoWhile struct {
 	Body       *Block
 	Cond       *Value
 	ExitPhis   []*Instr
+
+	// Pos is the source line of the `do` header; 0 when built.
+	Pos int
 }
 
 func (*DoWhile) isNode() {}
@@ -248,6 +266,9 @@ type Func struct {
 	// Exported functions are externally visible: ADE must clone them
 	// rather than transform them in place (§III-F).
 	Exported bool
+
+	// Pos is the source line of the `fn` header; 0 when built.
+	Pos int
 
 	nextID int
 }

@@ -19,11 +19,28 @@ type verifier struct {
 	prog  *Program
 	fn    *Func
 	scope map[*Value]bool
+	// local suppresses cross-function checks (call argument/parameter
+	// type agreement), so a function can be verified mid-pipeline while
+	// its callees have not been rewritten yet.
+	local bool
 }
 
 // VerifyFunc checks a single function.
 func VerifyFunc(p *Program, fn *Func) error {
-	v := &verifier{prog: p, fn: fn, scope: map[*Value]bool{}}
+	return verifyFunc(p, fn, false)
+}
+
+// VerifyFuncLocal checks a single function but skips cross-function
+// type agreement at call sites. ADE's -check mode uses it between the
+// per-function transformation steps, where a transformed caller may
+// legitimately pass idx-typed arguments to a not-yet-transformed
+// callee.
+func VerifyFuncLocal(p *Program, fn *Func) error {
+	return verifyFunc(p, fn, true)
+}
+
+func verifyFunc(p *Program, fn *Func, local bool) error {
+	v := &verifier{prog: p, fn: fn, scope: map[*Value]bool{}, local: local}
 	for _, prm := range fn.Params {
 		v.scope[prm] = true
 	}
@@ -31,6 +48,25 @@ func VerifyFunc(p *Program, fn *Func) error {
 		return err
 	}
 	return nil
+}
+
+// atPos prefixes err with a source line when one is known, so verifier
+// failures on parsed programs point at real `.mir` lines.
+func atPos(pos int, err error) error {
+	if err == nil || pos == 0 {
+		return err
+	}
+	return fmt.Errorf("line %d: %w", pos, err)
+}
+
+// firstPos returns the first non-zero position.
+func firstPos(ps ...int) int {
+	for _, p := range ps {
+		if p != 0 {
+			return p
+		}
+	}
+	return 0
 }
 
 // snapshot returns an undo list boundary: values added after the call
@@ -52,18 +88,18 @@ func (v *verifier) block(b *Block) error {
 		switch n := n.(type) {
 		case *Instr:
 			if n.Op == OpPhi {
-				return fmt.Errorf("free-standing phi %v outside structural position", n.Result())
+				return atPos(n.Pos, fmt.Errorf("free-standing phi %v outside structural position", n.Result()))
 			}
 			if err := v.instr(n); err != nil {
-				return err
+				return atPos(n.Pos, err)
 			}
 			define(n.Results)
 		case *If:
 			if err := v.useValue(n.Cond); err != nil {
-				return err
+				return atPos(n.Pos, err)
 			}
 			if !IsScalar(n.Cond.Type, Bool) {
-				return fmt.Errorf("if condition %v is not bool", n.Cond)
+				return atPos(n.Pos, fmt.Errorf("if condition %v is not bool", n.Cond))
 			}
 			if err := v.block(n.Then); err != nil {
 				return err
@@ -74,33 +110,34 @@ func (v *verifier) block(b *Block) error {
 			thenDefs := blockDefs(n.Then)
 			elseDefs := blockDefs(n.Else)
 			for _, p := range n.ExitPhis {
+				pp := firstPos(p.Pos, n.Pos)
 				if p.PhiRole != PhiIfExit || len(p.Args) != 2 {
-					return fmt.Errorf("if-exit phi %v malformed", p.Result())
+					return atPos(pp, fmt.Errorf("if-exit phi %v malformed", p.Result()))
 				}
 				for i, defs := range []map[*Value]bool{thenDefs, elseDefs} {
 					x := p.Args[i].Base
 					if x.Kind != VConst && !v.scope[x] && !defs[x] {
-						return fmt.Errorf("if-exit phi %v: operand %v not available from branch %d", p.Result(), x, i)
+						return atPos(pp, fmt.Errorf("if-exit phi %v: operand %v not available from branch %d", p.Result(), x, i))
 					}
 				}
 				if err := v.phiTypes(p); err != nil {
-					return err
+					return atPos(pp, err)
 				}
 				define(p.Results)
 			}
 		case *ForEach:
 			if err := v.operand(n.Coll); err != nil {
-				return err
+				return atPos(n.Pos, err)
 			}
 			ct := AsColl(n.Coll.InnerType())
 			if ct == nil || ct.Kind == KTuple {
-				return fmt.Errorf("for-each over non-collection %v", n.Coll)
+				return atPos(n.Pos, fmt.Errorf("for-each over non-collection %v", n.Coll))
 			}
-			if err := v.loop(n.HeaderPhis, n.Body, n.ExitPhis, []*Value{n.Key, n.Val}, nil, define); err != nil {
+			if err := v.loop(n.Pos, n.HeaderPhis, n.Body, n.ExitPhis, []*Value{n.Key, n.Val}, nil, define); err != nil {
 				return err
 			}
 		case *DoWhile:
-			if err := v.loop(n.HeaderPhis, n.Body, n.ExitPhis, nil, n.Cond, define); err != nil {
+			if err := v.loop(n.Pos, n.HeaderPhis, n.Body, n.ExitPhis, nil, n.Cond, define); err != nil {
 				return err
 			}
 		default:
@@ -110,7 +147,7 @@ func (v *verifier) block(b *Block) error {
 	return nil
 }
 
-func (v *verifier) loop(hdr []*Instr, body *Block, exit []*Instr, binds []*Value, cond *Value, defineOuter func([]*Value)) error {
+func (v *verifier) loop(pos int, hdr []*Instr, body *Block, exit []*Instr, binds []*Value, cond *Value, defineOuter func([]*Value)) error {
 	var added []*Value
 	defer func() {
 		for _, x := range added {
@@ -124,18 +161,19 @@ func (v *verifier) loop(hdr []*Instr, body *Block, exit []*Instr, binds []*Value
 		}
 	}
 	for _, p := range hdr {
+		pp := firstPos(p.Pos, pos)
 		if p.Op != OpPhi || p.PhiRole != PhiLoopHeader {
-			return fmt.Errorf("loop header contains non-header-phi")
+			return atPos(pp, fmt.Errorf("loop header contains non-header-phi"))
 		}
 		if len(p.Args) != 2 {
-			return fmt.Errorf("header phi %v needs (init, latch), has %d args", p.Result(), len(p.Args))
+			return atPos(pp, fmt.Errorf("header phi %v needs (init, latch), has %d args", p.Result(), len(p.Args)))
 		}
 		// Init must be in scope now; latch is checked after the body.
 		if err := v.operand(p.Args[0]); err != nil {
-			return err
+			return atPos(pp, err)
 		}
 		if err := v.phiTypes(p); err != nil {
-			return err
+			return atPos(pp, err)
 		}
 		v.scope[p.Result()] = true
 		added = append(added, p.Result())
@@ -161,26 +199,27 @@ func (v *verifier) loop(hdr []*Instr, body *Block, exit []*Instr, binds []*Value
 	}
 	for _, p := range hdr {
 		if err := inScopeOrBody(p.Args[1].Base); err != nil {
-			return err
+			return atPos(firstPos(p.Pos, pos), err)
 		}
 	}
 	if cond != nil {
 		if err := inScopeOrBody(cond); err != nil {
-			return err
+			return atPos(pos, err)
 		}
 		if !IsScalar(cond.Type, Bool) {
-			return fmt.Errorf("do-while condition %v is not bool", cond)
+			return atPos(pos, fmt.Errorf("do-while condition %v is not bool", cond))
 		}
 	}
 	for _, p := range exit {
+		pp := firstPos(p.Pos, pos)
 		if p.Op != OpPhi || p.PhiRole != PhiLoopExit || len(p.Args) != 1 {
-			return fmt.Errorf("loop-exit phi %v malformed", p.Result())
+			return atPos(pp, fmt.Errorf("loop-exit phi %v malformed", p.Result()))
 		}
 		if err := inScopeOrBody(p.Args[0].Base); err != nil {
-			return err
+			return atPos(pp, err)
 		}
 		if err := v.phiTypes(p); err != nil {
-			return err
+			return atPos(pp, err)
 		}
 		defineOuter(p.Results)
 	}
@@ -355,10 +394,12 @@ func (v *verifier) instr(in *Instr) error {
 		if len(in.Args) != len(callee.Params) {
 			return fmt.Errorf("call @%s: %d args, want %d", in.Callee, len(in.Args), len(callee.Params))
 		}
-		for i, a := range in.Args {
-			at := a.InnerType()
-			if !TypesEqual(at, callee.Params[i].Type) {
-				return fmt.Errorf("call @%s arg %d type %v != param %v", in.Callee, i, at, callee.Params[i].Type)
+		if !v.local {
+			for i, a := range in.Args {
+				at := a.InnerType()
+				if !TypesEqual(at, callee.Params[i].Type) {
+					return fmt.Errorf("call @%s arg %d type %v != param %v", in.Callee, i, at, callee.Params[i].Type)
+				}
 			}
 		}
 	case OpCmp, OpBin:

@@ -41,7 +41,7 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 	c.i++
 	op := opTok.text
 
-	in := &ir.Instr{}
+	in := &ir.Instr{Pos: c.line}
 	var resType ir.Type // type of results[0]
 	var res2Type ir.Type
 

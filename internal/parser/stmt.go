@@ -22,7 +22,7 @@ func (p *parser) parseFunc() error {
 	if err != nil {
 		return err
 	}
-	fn := &ir.Func{Name: name, Ret: ret, Body: &ir.Block{}}
+	fn := &ir.Func{Name: name, Ret: ret, Body: &ir.Block{}, Pos: l.num}
 	p.fn = fn
 	p.vals = map[string]*ir.Value{}
 	p.defined = map[string]bool{}
@@ -193,7 +193,7 @@ func (p *parser) parseIf(indent int) (*ir.If, error) {
 	if err := c.expect(":"); err != nil {
 		return nil, err
 	}
-	n := &ir.If{Cond: cond.Base, Else: &ir.Block{}}
+	n := &ir.If{Cond: cond.Base, Else: &ir.Block{}, Pos: l.num}
 	n.Then, err = p.parseBlockAllowingPhis(indent + 1)
 	if err != nil {
 		return nil, err
@@ -281,7 +281,7 @@ func (p *parser) parseForEach(indent int) (*ir.ForEach, error) {
 	default:
 		return nil, p.errf(l, "for-each over %v", ct)
 	}
-	n := &ir.ForEach{Coll: coll}
+	n := &ir.ForEach{Coll: coll, Pos: l.num}
 	n.Key = &ir.Value{Name: kName, Type: kt, Kind: ir.VParam}
 	n.Val = &ir.Value{Name: vName, Type: vt, Kind: ir.VParam}
 	p.define(kName, n.Key)
@@ -306,7 +306,7 @@ func (p *parser) parseDoWhile(indent int) (*ir.DoWhile, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &ir.DoWhile{HeaderPhis: stripHeaderPhis(body), Body: body}
+	n := &ir.DoWhile{HeaderPhis: stripHeaderPhis(body), Body: body, Pos: l.num}
 	wl := p.peek()
 	if wl == nil || wl.indent != indent || wl.toks[0].text != "while" {
 		return nil, p.errf(l, "do block without a matching while")
@@ -331,7 +331,7 @@ func (p *parser) parsePragma(c *cursor) (*ir.Directive, error) {
 }
 
 func (p *parser) parseDirectives(c *cursor) (*ir.Directive, error) {
-	d := &ir.Directive{}
+	d := &ir.Directive{Pos: c.line}
 	for {
 		t := c.peek()
 		if t.kind != tIdent {
