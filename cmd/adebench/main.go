@@ -43,6 +43,7 @@ func main() {
 		gate   = flag.String("gate", "", "compare current op counts against this baseline, failing on regressions")
 		tol    = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
 		engine = flag.String("engine", "interp", "execution engine for -counts/-gate: interp or vm (counts are engine-invariant)")
+		jsonTo = flag.String("json", "", "write a machine-readable per-benchmark report (adebench-report/v1) to `file` (\"-\" = stdout) and exit")
 	)
 	flag.Parse()
 
@@ -62,6 +63,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *jsonTo != "" {
+		rep, err := experiments.CollectBenchReport(sc, eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := io.Writer(os.Stdout)
+		if *jsonTo != "-" {
+			f, err := os.Create(*jsonTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := experiments.WriteBenchReport(rep, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *counts != "" {
 		c, err := experiments.CollectCounts(sc, eng)

@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"memoir/internal/analysis"
 	"memoir/internal/bytecode"
@@ -23,6 +25,7 @@ import (
 	"memoir/internal/ir"
 	"memoir/internal/opt"
 	"memoir/internal/parser"
+	"memoir/internal/remarks"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 		parseOnly = flag.Bool("parse-only", false, "parse and verify only; do not transform")
 		cleanup   = flag.Bool("O", false, "run constant folding and dead-code elimination after ADE")
 		dump      = flag.Bool("dump-bytecode", false, "print the register bytecode for the (transformed) program instead of MEMOIR text")
+		remarksTo = flag.String("remarks", "", "write optimization remarks to `file` (\"-\" = stderr; .json suffix selects JSON)")
+		traceTo   = flag.String("trace", "", "write a Chrome trace_event JSON of the ADE sub-passes to `file`")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -73,9 +78,29 @@ func main() {
 	if *sparse {
 		opts.SetImpl = collections.ImplSparseBitSet
 	}
+	var em *remarks.Emitter
+	if *remarksTo != "" || *traceTo != "" {
+		em = remarks.NewEmitter()
+		opts.Remarks = em
+	}
 	rep, err := core.Apply(prog, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *remarksTo != "" {
+		if err := writeOut(*remarksTo, func(w io.Writer) error {
+			if strings.HasSuffix(*remarksTo, ".json") {
+				return em.WriteJSON(w)
+			}
+			return em.WriteText(w)
+		}); err != nil {
+			fatal(fmt.Errorf("remarks: %w", err))
+		}
+	}
+	if *traceTo != "" {
+		if err := writeOut(*traceTo, em.WriteTrace); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
 	}
 	if err := ir.Verify(prog); err != nil {
 		fatal(fmt.Errorf("verify after ADE: %w", err))
@@ -99,6 +124,23 @@ func main() {
 		return
 	}
 	fmt.Print(ir.Print(prog))
+}
+
+// writeOut streams fn to the named file, with "-" meaning stderr (so
+// remarks can interleave with -report on a terminal).
+func writeOut(name string, fn func(io.Writer) error) error {
+	if name == "-" {
+		return fn(os.Stderr)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

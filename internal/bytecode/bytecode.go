@@ -202,11 +202,16 @@ type Instr struct {
 }
 
 // AllocSite describes one OpNew allocation site of the program: the
-// allocated type (as mutated by ADE's selection) and whether the
-// interpreter's memory model classifies it iteration-local.
+// allocated type (as mutated by ADE's selection), whether the
+// interpreter's memory model classifies it iteration-local, and the
+// site's stable telemetry identity (the enclosing function plus the
+// allocation's ordinal among the function's `new` instructions in walk
+// order — the same key the compiler's remarks carry).
 type AllocSite struct {
 	Type      *ir.CollType
 	IterLocal bool
+	Fn        string
+	Alloc     int
 }
 
 // Func is one compiled function.

@@ -5,6 +5,7 @@ import (
 
 	"memoir/internal/interp"
 	"memoir/internal/ir"
+	"memoir/internal/profile"
 )
 
 // Compile lowers prog to bytecode. Functions are compiled in
@@ -89,6 +90,7 @@ type funcCompiler struct {
 
 	constReg    map[*ir.Value]int32
 	iterLocal   map[*ir.Instr]bool
+	allocOrd    map[*ir.Instr]int
 	scratchBase int
 	maxScratch  int
 	loops       []loopKind
@@ -102,6 +104,7 @@ func (p *progCompiler) compileFunc(fn *ir.Func) *Func {
 		bc:        &Func{Name: fn.Name, NumSlots: numSlots},
 		constReg:  map[*ir.Value]int32{},
 		iterLocal: ir.IterLocalAllocs(fn),
+		allocOrd:  profile.AllocOrdinals(fn),
 	}
 	for _, prm := range fn.Params {
 		c.bc.ParamRegs = append(c.bc.ParamRegs, int32(prm.Slot))
@@ -380,6 +383,8 @@ func (c *funcCompiler) genInstr(in *ir.Instr) {
 		c.p.out.AllocSites = append(c.p.out.AllocSites, AllocSite{
 			Type:      in.Alloc,
 			IterLocal: c.iterLocal[in],
+			Fn:        c.fn.Name,
+			Alloc:     c.allocOrd[in],
 		})
 		c.emit(Instr{Op: OpNewColl, Dst: dst, Aux: site, A: NoOperand, B: NoOperand, C: NoOperand})
 

@@ -66,6 +66,18 @@ func (i Impl) Dense() bool {
 	return false
 }
 
+// SparseAccess reports whether keyed accesses on the implementation
+// count as sparse (hash probes and sorted-array searches) rather than
+// dense (direct identifier indexing). This is the classification both
+// engines' measurement layers and the telemetry recorder share.
+func SparseAccess(i Impl) bool {
+	switch i {
+	case ImplHashSet, ImplSwissSet, ImplFlatSet, ImplHashMap, ImplSwissMap:
+		return true
+	}
+	return false
+}
+
 // ParseImpl resolves a selection name as written in a
 // `#pragma ade select(...)` directive.
 func ParseImpl(name string) (Impl, bool) {

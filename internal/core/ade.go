@@ -5,6 +5,7 @@ import (
 
 	"memoir/internal/ir"
 	"memoir/internal/profile"
+	"memoir/internal/remarks"
 )
 
 // adeCtx is the shared state of one ADE run.
@@ -25,6 +26,10 @@ type adeCtx struct {
 	// clone-name aliases (clones inherit their original's profile).
 	ordinals map[*ir.Func]map[*ir.Instr]int
 	fnAlias  map[string]string
+
+	// allocOrds caches per-function allocation ordinals for remark
+	// site keys (filled only when remarks are enabled).
+	allocOrds map[*ir.Func]map[*ir.Instr]int
 }
 
 func (cx *adeCtx) fiOf(fn *ir.Func) *fnInfo { return cx.fis[fn] }
@@ -160,9 +165,18 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 
 	cx := &adeCtx{
 		prog: prog, opts: opts, fis: map[*ir.Func]*fnInfo{},
-		ordinals: map[*ir.Func]map[*ir.Instr]int{},
-		fnAlias:  map[string]string{},
+		ordinals:  map[*ir.Func]map[*ir.Instr]int{},
+		fnAlias:   map[string]string{},
+		allocOrds: map[*ir.Func]map[*ir.Instr]int{},
 	}
+	em := opts.Remarks
+	sz := func() int {
+		if em == nil {
+			return 0
+		}
+		return irSize(prog)
+	}
+	em.Begin("use-analysis", sz())
 	for _, name := range prog.Order {
 		fn := prog.Funcs[name]
 		cx.fis[fn] = analyzeFunc(fn)
@@ -175,6 +189,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		return report, err
 	}
 
+	em.Begin("candidate-formation", sz())
 	cands := map[*ir.Func][]*candidate{}
 	for _, name := range prog.Order {
 		fn := prog.Funcs[name]
@@ -184,6 +199,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		return report, err
 	}
 
+	em.Begin("interprocedural-unification", sz())
 	ipc := &interproc{cx: cx, prog: prog, opts: opts, report: report, fis: cx.fis, cands: cands, clones: map[string]string{}}
 	classes, classOf, err := ipc.resolve()
 	if err != nil {
@@ -196,11 +212,14 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		return report, err
 	}
 
-	dropUnsafeUnionClasses(prog, cx.fis, classes, classOf, report)
+	em.Begin("union-safety", sz())
+	dropUnsafeUnionClasses(cx, classes, classOf, report)
 	if err := chk.classes("union-safety", classes, classOf); err != nil {
 		return report, err
 	}
+	cx.emitClassRemarks(classes, classOf)
 
+	em.Begin("transform", sz())
 	// prog.Order may have grown with clones; transform everything.
 	for _, name := range prog.Order {
 		fn := prog.Funcs[name]
@@ -208,7 +227,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		if fi == nil {
 			continue
 		}
-		if err := transformFunc(fi, opts, classOf); err != nil {
+		if err := transformFunc(cx, fi, opts, classOf); err != nil {
 			return report, fmt.Errorf("ade: @%s: %w", fn.Name, err)
 		}
 		// Mid-loop, callers and callees legitimately disagree on
@@ -225,6 +244,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 			return report, err
 		}
 	}
+	em.End(sz())
 
 	for _, ci := range classes {
 		if !classAlive(ci, classOf) {
@@ -253,7 +273,8 @@ func classAlive(ci *classInfo, classOf map[*facet]*classInfo) bool {
 // enumerated and one plain) cannot be lowered word-wise nor
 // element-wise without retranslation we do not insert; drop the
 // enumeration of both sides.
-func dropUnsafeUnionClasses(prog *ir.Program, fis map[*ir.Func]*fnInfo, classes []*classInfo, classOf map[*facet]*classInfo, report *Report) {
+func dropUnsafeUnionClasses(cx *adeCtx, classes []*classInfo, classOf map[*facet]*classInfo, report *Report) {
+	prog, fis := cx.prog, cx.fis
 	siteKeyFacet := func(fi *fnInfo, o ir.Operand) (*facet, bool) {
 		if o.Base == nil {
 			return nil, false
@@ -279,6 +300,11 @@ func dropUnsafeUnionClasses(prog *ir.Program, fis map[*ir.Func]*fnInfo, classes 
 		}
 		if alive {
 			report.Skipped = append(report.Skipped, fmt.Sprintf("class %s dropped: %s", ci.global, why))
+			cx.emit(remarks.Remark{
+				Code: remarks.CodeEnumSkip, Pass: "union-safety",
+				Site:    ci.global,
+				Message: why,
+			})
 		}
 	}
 	for changed := true; changed; {

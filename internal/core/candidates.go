@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"memoir/internal/ir"
+	"memoir/internal/remarks"
 )
 
 // candidate is a group of facets (within one function) that will share
@@ -106,10 +109,22 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 				keyFacets = append(keyFacets, s.key)
 			} else if s.escaped != "" {
 				report.Skipped = append(report.Skipped, s.name()+": "+s.escaped)
+				r := cx.siteRemark(remarks.CodeEnumSkip, "candidates", s)
+				r.Message = s.escaped
+				cx.emit(r)
+			} else if s.dir != nil && s.dir.NoEnumerate {
+				r := cx.siteRemark(remarks.CodePragma, "candidates", s)
+				r.Message = "noenumerate directive excludes site"
+				cx.emit(r)
 			}
 		}
 		if s.elem != nil && eligible(s.elem, opts) {
 			elemFacets = append(elemFacets, s.elem)
+		}
+		if cx.remarksOn() && s.dir != nil && s.dir.NoShare {
+			r := cx.siteRemark(remarks.CodePragma, "candidates", s)
+			r.Message = "noshare directive isolates site"
+			cx.emit(r)
 		}
 	}
 
@@ -145,6 +160,19 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 		for i := 1; i < len(fs); i++ {
 			mandatory.union(fs[0], fs[i])
 		}
+		if cx.remarksOn() && len(fs) > 1 {
+			var names []string
+			for _, f := range fs {
+				names = append(names, facetLabel(f))
+			}
+			r := cx.facetRemark(remarks.CodePragma, "candidates", fs[0])
+			r.Message = "share group forces joint enumeration"
+			r.Args = []remarks.Arg{
+				{Key: "group", Val: g},
+				{Key: "members", Val: strings.Join(names, ",")},
+			}
+			cx.emit(r)
+		}
 	}
 
 	used := map[*facet]bool{}
@@ -178,7 +206,8 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 					if used[b] || !ir.TypesEqual(b.domain, seed.domain) || anyBlocked(c, b) {
 						continue
 					}
-					if joinGain(cx, c, b) {
+					if ok, bSum, bCup := joinGain(cx, c, b); ok {
+						cx.emitShareJoin(seed, b, bSum, bCup)
 						add(b)
 						changed = true
 					}
@@ -188,7 +217,8 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 						if used[b] || !ir.TypesEqual(b.domain, seed.domain) || anyBlocked(c, b) {
 							continue
 						}
-						if joinGain(cx, c, b) {
+						if ok, bSum, bCup := joinGain(cx, c, b); ok {
+							cx.emitShareJoin(seed, b, bSum, bCup)
 							add(b)
 							changed = true
 						}
@@ -197,9 +227,43 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 			}
 		}
 
+		// Emission-only: explain why the remaining same-domain facets
+		// were not absorbed (declined merges and pragma blocks).
+		// joinGain is pure, so re-evaluating it cannot change the
+		// sweep's outcome.
+		if cx.remarksOn() && opts.Sharing {
+			rejects := keyFacets
+			if opts.Propagation {
+				rejects = append(append([]*facet{}, keyFacets...), elemFacets...)
+			}
+			for _, b := range rejects {
+				if used[b] || !ir.TypesEqual(b.domain, seed.domain) {
+					continue
+				}
+				r := cx.facetRemark(remarks.CodeShareReject, "candidates", b)
+				if anyBlocked(c, b) {
+					r.Message = "sharing with " + facetLabel(seed) + " blocked by noshare directive"
+				} else {
+					_, bSum, bCup := joinGain(cx, c, b)
+					r.Message = "sharing with " + facetLabel(seed) + " declined: union benefit does not beat sum"
+					r.Args = []remarks.Arg{
+						{Key: "sum", Val: fmt.Sprint(bSum)},
+						{Key: "union", Val: fmt.Sprint(bCup)},
+					}
+				}
+				cx.emit(r)
+			}
+		}
+
 		c.benefit = cx.extBenefit(c.facets)
 		if c.forced || opts.ForceAll || c.benefit > 0 {
 			cands = append(cands, c)
+			if cx.remarksOn() && c.forced && c.benefit <= 0 {
+				r := cx.facetRemark(remarks.CodePragma, "candidates", seed)
+				r.Message = "enumerate directive forces enumeration despite non-positive benefit"
+				r.Args = []remarks.Arg{{Key: "benefit", Val: fmt.Sprint(c.benefit)}}
+				cx.emit(r)
+			}
 		} else {
 			for _, f := range c.facets {
 				// Leave non-seeds available for other candidates.
@@ -208,6 +272,10 @@ func formCandidates(cx *adeCtx, fi *fnInfo, report *Report) []*candidate {
 				}
 			}
 			report.Skipped = append(report.Skipped, seed.name()+": no benefit")
+			r := cx.facetRemark(remarks.CodeEnumSkip, "candidates", seed)
+			r.Message = "no benefit"
+			r.Args = []remarks.Arg{{Key: "benefit", Val: fmt.Sprint(c.benefit)}}
+			cx.emit(r)
 		}
 	}
 	return cands
@@ -223,11 +291,27 @@ func anyBlocked(c *candidate, b *facet) bool {
 }
 
 // joinGain implements Algorithm 3's test: the union's benefit must be
-// greater than the sum of its parts.
-func joinGain(cx *adeCtx, c *candidate, b *facet) bool {
-	bSum := cx.extBenefit(c.facets) + cx.extBenefit([]*facet{b})
-	bCup := cx.extBenefit(append(append([]*facet{}, c.facets...), b))
-	return bCup > bSum
+// greater than the sum of its parts. It returns both scores so the
+// share remarks can carry the heuristic's actual inputs.
+func joinGain(cx *adeCtx, c *candidate, b *facet) (ok bool, bSum, bCup int) {
+	bSum = cx.extBenefit(c.facets) + cx.extBenefit([]*facet{b})
+	bCup = cx.extBenefit(append(append([]*facet{}, c.facets...), b))
+	return bCup > bSum, bSum, bCup
+}
+
+// emitShareJoin records one accepted Algorithm-3 merge with the
+// heuristic scores that justified it.
+func (cx *adeCtx) emitShareJoin(seed, b *facet, bSum, bCup int) {
+	if !cx.remarksOn() {
+		return
+	}
+	r := cx.facetRemark(remarks.CodeShareJoin, "candidates", b)
+	r.Message = "shares enumeration with " + facetLabel(seed)
+	r.Args = []remarks.Arg{
+		{Key: "sum", Val: fmt.Sprint(bSum)},
+		{Key: "union", Val: fmt.Sprint(bCup)},
+	}
+	cx.emit(r)
 }
 
 // facetUF is a small union-find over facets.

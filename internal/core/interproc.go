@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"memoir/internal/ir"
+	"memoir/internal/remarks"
 )
 
 // classInfo is one enumeration equivalence class: facets across
@@ -349,6 +350,16 @@ func (ip *interproc) applyClone(v violationInfo) error {
 	clone := ir.CloneFunc(v.callee, cloneName)
 	ip.prog.Add(clone)
 	ip.report.Cloned = append(ip.report.Cloned, fmt.Sprintf("@%s -> @%s", v.callee.Name, cloneName))
+	ip.cx.emit(remarks.Remark{
+		Code: remarks.CodeInterproc, Pass: "interproc",
+		Fn:      v.callee.Name,
+		Site:    "@" + cloneName,
+		Line:    v.callee.Pos,
+		Message: "callee cloned for enumerated callers",
+		Args: []remarks.Arg{
+			{Key: "calls", Val: fmt.Sprint(len(v.enumCalls))},
+		},
+	})
 	ip.clones[v.callee.Name] = cloneName
 	// Clones inherit the original's profile (identical instruction
 	// walk order).

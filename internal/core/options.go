@@ -28,6 +28,7 @@ import (
 	"memoir/internal/collections"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
+	"memoir/internal/remarks"
 )
 
 // Options configures the ADE pass. The zero value disables everything;
@@ -58,6 +59,11 @@ type Options struct {
 	// checks between every ADE sub-pass (adec -check). Checks are pure
 	// reads: enabling them never changes the decisions taken.
 	Check bool
+
+	// Remarks, when non-nil, collects structured optimization remarks
+	// and per-sub-pass timings (adec -remarks/-trace). Emission is
+	// pure observation: enabling it never changes the decisions taken.
+	Remarks *remarks.Emitter
 
 	// Profile, when non-nil, weights the benefit heuristic by dynamic
 	// execution counts instead of static use counts — the extension

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memoir/internal/core"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+	"memoir/internal/remarks"
+)
+
+var update = flag.Bool("update", false, "rewrite the remark golden files")
+
+// remarkCodes are the stable codes the corpus must cover, one fixture
+// per code (fixtures may emit additional codes).
+var remarkCodes = []string{
+	remarks.CodeEnumCreate,
+	remarks.CodeEnumSkip,
+	remarks.CodeShareJoin,
+	remarks.CodeShareReject,
+	remarks.CodeRTEElide,
+	remarks.CodeInterproc,
+	remarks.CodeSelectImpl,
+	remarks.CodePragma,
+}
+
+// TestRemarkGoldenCorpus locks the remark text and JSON formats on
+// testdata/remarks/: each fixture is named after the code it
+// demonstrates and must actually emit that code.
+func TestRemarkGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "remarks")
+	for _, code := range remarkCodes {
+		code := code
+		t.Run(code, func(t *testing.T) {
+			path := filepath.Join(dir, code+".mir")
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := ir.Verify(prog); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			em := remarks.NewEmitter()
+			opts := core.DefaultOptions()
+			opts.Remarks = em
+			if _, err := core.Apply(prog, opts); err != nil {
+				t.Fatalf("ade: %v", err)
+			}
+			if len(remarks.ByCode(em.Remarks, code)) == 0 {
+				t.Fatalf("fixture %s emitted no %q remark:\n%s",
+					filepath.Base(path), code, remarks.Text(em.Remarks))
+			}
+
+			text := []byte(remarks.Text(em.Remarks))
+			js, err := remarks.RemarksJSON(em.Remarks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			js = append(js, '\n')
+			stem := strings.TrimSuffix(path, ".mir")
+			for _, mode := range []struct {
+				golden string
+				got    []byte
+			}{
+				{stem + ".golden", text},
+				{stem + ".json.golden", js},
+			} {
+				if *update {
+					if err := os.WriteFile(mode.golden, mode.got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(mode.golden)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create)", err)
+				}
+				if !bytes.Equal(mode.got, want) {
+					t.Errorf("%s: output mismatch\n--- got ---\n%s--- want ---\n%s",
+						filepath.Base(mode.golden), mode.got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRemarksOffByDefault pins the opt-in contract: without an emitter
+// the pass runs with remark collection disabled and produces an
+// identical transformed program.
+func TestRemarksOffByDefault(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "remarks", "enum-create.mir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(em *remarks.Emitter) string {
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.Remarks = em
+		if _, err := core.Apply(prog, opts); err != nil {
+			t.Fatal(err)
+		}
+		return ir.Print(prog)
+	}
+	if got, want := build(nil), build(remarks.NewEmitter()); got != want {
+		t.Errorf("remark collection changed the transformed program:\n--- off ---\n%s--- on ---\n%s", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"memoir/internal/analysis"
 	"memoir/internal/ir"
@@ -343,7 +344,14 @@ func analyzeSite(fi *fnInfo, s *site) {
 	}
 
 	d := s.depth
+	// Deterministic patch-point order: redefs is a map, and the order
+	// toEnc/toAdd are discovered in decides remark emission order.
+	bases := make([]*ir.Value, 0, len(s.redefs))
 	for base := range s.redefs {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i].Name < bases[j].Name })
+	for _, base := range bases {
 		for _, u := range fi.ui.Uses(base) {
 			if !u.IsBase() {
 				continue

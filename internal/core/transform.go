@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"memoir/internal/collections"
 	"memoir/internal/ir"
+	"memoir/internal/remarks"
 )
 
 // transformer rewrites one function for a set of enumeration classes.
@@ -16,6 +18,7 @@ import (
 // translations that Algorithm 2 proves redundant: identifiers flowing
 // into identifier positions, and identifier-to-identifier equality.
 type transformer struct {
+	cx      *adeCtx
 	fi      *fnInfo
 	opts    Options
 	classOf map[*facet]*classInfo
@@ -72,9 +75,9 @@ type phiLocation struct {
 }
 
 // transformFunc applies the class patches to one function.
-func transformFunc(fi *fnInfo, opts Options, classOf map[*facet]*classInfo) error {
+func transformFunc(cx *adeCtx, fi *fnInfo, opts Options, classOf map[*facet]*classInfo) error {
 	tr := &transformer{
-		fi: fi, opts: opts, classOf: classOf,
+		cx: cx, fi: fi, opts: opts, classOf: classOf,
 		owner: map[*ir.Value]*classInfo{}, poison: map[*ir.Value]bool{},
 		wants: map[string]*classInfo{}, wantsAdd: map[string]bool{}, wantsPP: map[string]patchPoint{},
 		enumVal: map[*classInfo]*ir.Value{},
@@ -304,6 +307,20 @@ func (tr *transformer) rewriteTypes() {
 		if kc != nil {
 			ct.Key = ir.TIdx
 			ct.Sel = tr.enumImpl(s, ct)
+			if tr.cx.remarksOn() {
+				r := tr.cx.siteRemark(remarks.CodeSelectImpl, "select", s)
+				r.Message = "dense implementation selected"
+				src := "default"
+				if s.dir != nil && s.dir.Select != collections.ImplNone {
+					src = "pragma"
+				}
+				r.Args = []remarks.Arg{
+					{Key: "impl", Val: ct.Sel.String()},
+					{Key: "enum", Val: kc.global},
+					{Key: "source", Val: src},
+				}
+				tr.cx.emit(r)
+			}
 		}
 		if ec != nil {
 			ct.Elem = ir.TIdx
@@ -535,7 +552,13 @@ func (tr *transformer) patch() error {
 		}
 		vOwner := tr.ownerOf(v)
 		if vOwner == ci && tr.opts.RTE {
-			continue // enc∘dec / add∘dec elided (Algorithm 2)
+			// enc∘dec / add∘dec elided (Algorithm 2).
+			rule := "enc-of-dec"
+			if tr.wantsAdd[key] {
+				rule = "add-of-dec"
+			}
+			tr.emitRTE(rule, ci, ppLine(pp), "%"+v.Name)
+			continue
 		}
 		if vOwner == ci && !tr.opts.RTE {
 			// Ablation: decode then re-translate, per use position.
@@ -601,7 +624,9 @@ func (tr *transformer) patch() error {
 					if tr.opts.RTE && (in.Cmp == ir.CmpEq || in.Cmp == ir.CmpNe) {
 						other := in.Args[1-u.Arg].Base
 						if tr.ownerOf(other) == ci {
-							continue // identifier equality (injectivity)
+							// Identifier equality (injectivity).
+							tr.emitRTE("id-equality", ci, in.Pos, "%"+v.Name, "%"+other.Name)
+							continue
 						}
 					}
 				case ir.OpDecode, ir.OpEncode, ir.OpEnumAdd:
@@ -658,6 +683,33 @@ func (tr *transformer) patch() error {
 		}
 	}
 	return nil
+}
+
+// ppLine resolves the `.mir` line of a patch point's user.
+func ppLine(pp patchPoint) int {
+	if pp.instr != nil {
+		return pp.instr.Pos
+	}
+	return 0
+}
+
+// emitRTE records one redundant-translation-elimination firing with
+// its rule name and operands.
+func (tr *transformer) emitRTE(rule string, ci *classInfo, line int, operands ...string) {
+	if !tr.cx.remarksOn() {
+		return
+	}
+	tr.cx.emit(remarks.Remark{
+		Code: remarks.CodeRTEElide, Pass: "rte",
+		Fn:      tr.fi.fn.Name,
+		Site:    ci.global,
+		Line:    line,
+		Message: "redundant translation elided",
+		Args: []remarks.Arg{
+			{Key: "rule", Val: rule},
+			{Key: "operands", Val: strings.Join(operands, ",")},
+		},
+	})
 }
 
 // insertBeforePoint places instructions immediately before a use

@@ -7,6 +7,7 @@ import (
 	"memoir/internal/collections"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
+	"memoir/internal/telemetry"
 )
 
 // Options configures an execution.
@@ -36,6 +37,12 @@ type Options struct {
 	// reads. The dataflow property tests use it as runtime ground
 	// truth: a value liveness declares dead must never appear here.
 	TrackReads bool
+
+	// Telemetry, when non-nil, records per-collection-site operation
+	// histograms, occupancy samples, and enumeration translation
+	// counts. It never touches Stats, so enabling it cannot perturb
+	// the op-count measurements.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultOptions returns the baseline MEMOIR configuration.
@@ -73,6 +80,11 @@ type Interp struct {
 
 	// reads is non-nil when TrackReads is set.
 	reads map[*ir.Value]bool
+
+	// tele is non-nil when Options.Telemetry is set; allocOrds caches
+	// per-function allocation ordinals for site keys.
+	tele      *telemetry.Recorder
+	allocOrds map[*ir.Func]map[*ir.Instr]int
 
 	slotCache map[*ir.Func]int
 
@@ -149,7 +161,28 @@ func New(prog *ir.Program, opts Options) *Interp {
 	if opts.CollectProfile {
 		ip.profCounts = map[*ir.Instr]uint64{}
 	}
+	if opts.Telemetry != nil {
+		ip.tele = opts.Telemetry
+		ip.allocOrds = map[*ir.Func]map[*ir.Instr]int{}
+	}
 	return ip
+}
+
+// tcoll forwards one collection operation to the telemetry recorder.
+func (ip *Interp) tcoll(c Coll, k OpKind, n uint64) {
+	if ip.tele != nil {
+		ip.tele.CollOp(c, int(k), n)
+	}
+}
+
+// allocKey returns the stable telemetry site key of allocation in.
+func (ip *Interp) allocKey(fn *ir.Func, in *ir.Instr) telemetry.SiteKey {
+	ords, ok := ip.allocOrds[fn]
+	if !ok {
+		ords = profile.AllocOrdinals(fn)
+		ip.allocOrds[fn] = ords
+	}
+	return telemetry.SiteKey{Fn: fn.Name, Alloc: ords[in]}
 }
 
 // Profile returns the execution counts collected when
@@ -176,6 +209,9 @@ func (ip *Interp) Global(name string) *Enum {
 		e = NewEnum()
 		ip.globals[name] = e
 		ip.register(e)
+		if ip.tele != nil {
+			ip.tele.TrackEnum(e, name)
+		}
 	}
 	return e
 }
@@ -215,13 +251,22 @@ func (ip *Interp) FinalizeMem() { ip.sampleMem() }
 // scanned, not per element: a dense enumerated set iterates at ~1 word
 // per 64 elements, while a sparsely-populated one (the RQ4 hazard)
 // scans many empty words per element. Shared by both execution
-// engines so their op counts agree exactly.
-func CountIterSetup(st *Stats, c Coll) {
+// engines so their op counts agree exactly. rec may be nil; when set,
+// the word scans are also attributed to the collection's site.
+func CountIterSetup(st *Stats, rec *telemetry.Recorder, c Coll) {
 	switch c := c.(type) {
 	case *RSetBits:
-		st.Count(collections.ImplBitSet, OKIterWord, uint64(len(c.S.Words())))
+		n := uint64(len(c.S.Words()))
+		st.Count(collections.ImplBitSet, OKIterWord, n)
+		if rec != nil {
+			rec.CollOp(c, telemetry.OpIterWord, n)
+		}
 	case *RMapBit:
-		st.Count(collections.ImplBitMap, OKIterWord, uint64(c.M.WordCount()))
+		n := uint64(c.M.WordCount())
+		st.Count(collections.ImplBitMap, OKIterWord, n)
+		if rec != nil {
+			rec.CollOp(c, telemetry.OpIterWord, n)
+		}
 	}
 }
 
@@ -350,6 +395,7 @@ func (ip *Interp) resolve(fn *ir.Func, fr []Val, o ir.Operand) (Val, error) {
 			switch c := cur.Coll().(type) {
 			case RMap:
 				ip.Stats.Count(c.Impl(), OKRead, 1)
+				ip.tcoll(c, OKRead, 1)
 				v, ok := c.Get(key)
 				if !ok {
 					return Val{}, ip.errf(fn, "nested read of missing key %v", key)
@@ -361,6 +407,7 @@ func (ip *Interp) resolve(fn *ir.Func, fr []Val, o ir.Operand) (Val, error) {
 					return Val{}, ip.errf(fn, "nested seq index %d out of range [0,%d)", i, c.Len())
 				}
 				ip.Stats.Count(c.Impl(), OKRead, 1)
+				ip.tcoll(c, OKRead, 1)
 				cur = c.Get(i)
 			default:
 				return Val{}, ip.errf(fn, "indexing into a set")
@@ -452,9 +499,13 @@ func (ip *Interp) execForEach(fn *ir.Func, fr []Val, n *ir.ForEach) error {
 
 	var iterErr error
 	ip.Stats.Steps++
-	CountIterSetup(ip.Stats, collV.Coll())
+	CountIterSetup(ip.Stats, ip.tele, collV.Coll())
+	tcount := ip.tele.IterCounter(collV.Coll()) // nil on a nil recorder
 	step := func(k, v Val) bool {
 		ip.Stats.Count(collV.Coll().Impl(), OKIter, 1)
+		if tcount != nil {
+			*tcount++
+		}
 		fr[kSlot], fr[vSlot] = k, v
 		c, _, err := ip.execBlock(fn, fr, n.Body)
 		if err != nil {

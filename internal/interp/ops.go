@@ -5,6 +5,7 @@ import (
 
 	"memoir/internal/collections"
 	"memoir/internal/ir"
+	"memoir/internal/telemetry"
 )
 
 func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, error) {
@@ -27,11 +28,17 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			ip.live = ip.live[:len(ip.live)-1]
 			ip.registerAt(in, c)
 		}
+		if ip.tele != nil {
+			ip.tele.TrackColl(c, ip.allocKey(fn, in))
+		}
 		setRes(0, CollV(c))
 
 	case ir.OpNewEnum:
 		e := NewEnum()
 		ip.register(e)
+		if ip.tele != nil {
+			ip.tele.TrackEnum(e, "")
+		}
 		setRes(0, EnumV(e))
 
 	case ir.OpEnumGlobal:
@@ -49,6 +56,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		switch c := cv.Coll().(type) {
 		case RMap:
 			ip.Stats.Count(c.Impl(), OKRead, 1)
+			ip.tcoll(c, OKRead, 1)
 			v, ok := c.Get(key)
 			if !ok {
 				return ctrlNormal, Val{}, ip.errf(fn, "read of missing key %v", key)
@@ -60,6 +68,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 				return ctrlNormal, Val{}, ip.errf(fn, "seq read index %d out of range [0,%d)", i, c.Len())
 			}
 			ip.Stats.Count(c.Impl(), OKRead, 1)
+			ip.tcoll(c, OKRead, 1)
 			setRes(0, c.Get(i))
 		default:
 			return ctrlNormal, Val{}, ip.errf(fn, "read on set")
@@ -77,9 +86,11 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		switch c := cv.Coll().(type) {
 		case RSet:
 			ip.Stats.Count(c.Impl(), OKHas, 1)
+			ip.tcoll(c, OKHas, 1)
 			setRes(0, BoolV(c.Has(key)))
 		case RMap:
 			ip.Stats.Count(c.Impl(), OKHas, 1)
+			ip.tcoll(c, OKHas, 1)
 			setRes(0, BoolV(c.HasKey(key)))
 		default:
 			return ctrlNormal, Val{}, ip.errf(fn, "has on seq")
@@ -91,6 +102,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			return ctrlNormal, Val{}, err
 		}
 		ip.Stats.Count(cv.Coll().Impl(), OKSize, 1)
+		ip.tcoll(cv.Coll(), OKSize, 1)
 		setRes(0, IntV(uint64(cv.Coll().Len())))
 
 	case ir.OpWrite:
@@ -116,6 +128,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 				return ctrlNormal, Val{}, ip.errf(fn, "write to missing key %v (insert first)", key)
 			}
 			c.Put(key, val)
+			ip.tcoll(c, OKWrite, 1)
 		case RSeq:
 			i := int(key.I)
 			if i < 0 || i >= c.Len() {
@@ -123,6 +136,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			}
 			ip.Stats.Count(c.Impl(), OKWrite, 1)
 			c.Set(i, val)
+			ip.tcoll(c, OKWrite, 1)
 		default:
 			return ctrlNormal, Val{}, ip.errf(fn, "write on set")
 		}
@@ -142,6 +156,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			}
 			ip.Stats.Count(c.Impl(), OKInsert, 1)
 			c.Insert(key)
+			ip.tcoll(c, OKInsert, 1)
 		case RMap:
 			key, err := ip.resolve(fn, fr, in.Args[1])
 			if err != nil {
@@ -149,14 +164,20 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			}
 			ip.Stats.Count(c.Impl(), OKInsert, 1)
 			if !c.HasKey(key) {
-				c.Put(key, ip.zeroVal(c.ElemType()))
+				zv := ip.zeroVal(c.ElemType())
+				if ip.tele != nil {
+					ip.tele.TrackInner(zv.Ref(), c)
+				}
+				c.Put(key, zv)
 			}
+			ip.tcoll(c, OKInsert, 1)
 		case RSeq:
 			val, err := ip.resolve(fn, fr, in.Args[2])
 			if err != nil {
 				return ctrlNormal, Val{}, err
 			}
 			ip.Stats.Count(c.Impl(), OKInsert, 1)
+			ip.tcoll(c, OKInsert, 1)
 			pos := in.Args[1]
 			if pos.Base == nil && len(pos.Path) == 1 && pos.Path[0].Kind == ir.IdxEnd {
 				c.Append(val)
@@ -188,9 +209,11 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		case RSet:
 			ip.Stats.Count(c.Impl(), OKRemove, 1)
 			c.Remove(key)
+			ip.tcoll(c, OKRemove, 1)
 		case RMap:
 			ip.Stats.Count(c.Impl(), OKRemove, 1)
 			c.Remove(key)
+			ip.tcoll(c, OKRemove, 1)
 		case RSeq:
 			i := int(key.I)
 			if i < 0 || i >= c.Len() {
@@ -198,6 +221,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			}
 			ip.Stats.Count(c.Impl(), OKRemove, 1)
 			c.RemoveAt(i)
+			ip.tcoll(c, OKRemove, 1)
 		}
 		setRes(0, ip.eval(fr, in.Args[0].Base))
 
@@ -208,6 +232,7 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		}
 		ip.Stats.Count(cv.Coll().Impl(), OKClear, 1)
 		cv.Coll().Clear()
+		ip.tcoll(cv.Coll(), OKClear, 1)
 		setRes(0, ip.eval(fr, in.Args[0].Base))
 
 	case ir.OpUnion:
@@ -223,6 +248,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			return ctrlNormal, Val{}, err
 		}
 		ip.Stats.Count(ImplEnum, OKEnc, 1)
+		if ip.tele != nil {
+			ip.tele.EnumOp(e.Enum(), telemetry.OpEnc, false)
+		}
 		id, ok := e.Enum().Enc(v)
 		if !ok {
 			// Behaviour for values outside the enumeration is undefined
@@ -242,6 +270,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			return ctrlNormal, Val{}, err
 		}
 		ip.Stats.Count(ImplEnum, OKDec, 1)
+		if ip.tele != nil {
+			ip.tele.EnumOp(e.Enum(), telemetry.OpDec, false)
+		}
 		if int(idv.I) >= e.Enum().Len() {
 			return ctrlNormal, Val{}, ip.errf(fn, "dec of identifier %d outside [0,%d)", idv.I, e.Enum().Len())
 		}
@@ -255,6 +286,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		}
 		ip.Stats.Count(ImplEnum, OKAdd, 1)
 		id, added := e.Enum().Add(v)
+		if ip.tele != nil {
+			ip.tele.EnumOp(e.Enum(), telemetry.OpAdd, added)
+		}
 		if added {
 			ip.grew()
 		}
@@ -386,27 +420,36 @@ func (ip *Interp) execUnion(fn *ir.Func, fr []Val, in *ir.Instr) error {
 		return ip.errf(fn, "union on non-sets")
 	}
 	defer ip.grew()
-	UnionInto(ip.Stats, dst, src)
+	UnionInto(ip.Stats, ip.tele, dst, src)
 	return nil
 }
 
 // UnionInto merges src into dst with implementation-specific fast
 // paths, accounting the work proportionally into st (Table III's
 // union row). Shared by both execution engines so the OKUnionWord
-// counts agree exactly; callers handle memory-growth sampling.
-func UnionInto(st *Stats, dst, src RSet) {
+// counts agree exactly; callers handle memory-growth sampling. rec may
+// be nil; when set, the union work is attributed to the operand sites.
+func UnionInto(st *Stats, rec *telemetry.Recorder, dst, src RSet) {
+	tc := func(c any, k OpKind, n uint64) {
+		if rec != nil {
+			rec.CollOp(c, int(k), n)
+		}
+	}
 	switch dd := dst.(type) {
 	case *RSetBits:
 		if sd, ok := src.(*RSetBits); ok {
 			dd.S.UnionWith(sd.S)
 			words := uint64(len(dd.S.Words()))
 			st.Count(collections.ImplBitSet, OKUnionWord, words)
+			tc(dd, OKUnionWord, words)
 			return
 		}
 	case *RSetSparse:
 		if sd, ok := src.(*RSetSparse); ok {
 			dd.S.UnionWith(sd.S)
-			st.Count(collections.ImplSparseBitSet, OKUnionWord, uint64(sd.S.Len()+1))
+			n := uint64(sd.S.Len() + 1)
+			st.Count(collections.ImplSparseBitSet, OKUnionWord, n)
+			tc(dd, OKUnionWord, n)
 			return
 		}
 	}
@@ -417,6 +460,7 @@ func UnionInto(st *Stats, dst, src RSet) {
 					n := uint64(df.Len() + sf.Len())
 					df.UnionWith(sf)
 					st.Count(collections.ImplFlatSet, OKUnionWord, n)
+					tc(dg, OKUnionWord, n)
 					return
 				}
 			}
@@ -426,6 +470,8 @@ func UnionInto(st *Stats, dst, src RSet) {
 	src.Iterate(func(v Val) bool {
 		st.Count(src.Impl(), OKIter, 1)
 		st.Count(dst.Impl(), OKInsert, 1)
+		tc(src, OKIter, 1)
+		tc(dst, OKInsert, 1)
 		dst.Insert(v)
 		return true
 	})

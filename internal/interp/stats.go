@@ -1,6 +1,9 @@
 package interp
 
-import "memoir/internal/collections"
+import (
+	"memoir/internal/collections"
+	"memoir/internal/telemetry"
+)
 
 // OpKind classifies dynamic collection work for the cost model,
 // Figure 4's operation breakdown, and Table II's sparse/dense counts.
@@ -24,12 +27,11 @@ const (
 	nOpKinds
 )
 
-var opKindNames = [...]string{
-	"read", "write", "insert", "remove", "has", "size", "clear",
-	"iterate", "iterword", "union", "enc", "dec", "add", "scalar",
-}
+// The telemetry package owns the canonical op-name table; assert at
+// compile time that its index space matches OpKind's.
+var _ = [1]struct{}{}[int(nOpKinds)-telemetry.NOps]
 
-func (k OpKind) String() string { return opKindNames[k] }
+func (k OpKind) String() string { return telemetry.OpName(int(k)) }
 
 // NImpls bounds the implementation axis of the count matrix.
 const NImpls = int(collections.ImplBitMap) + 2 // +1 for enum pseudo-impl
@@ -63,14 +65,7 @@ type Stats struct {
 }
 
 // sparseImpl classifies implementations whose keyed accesses search.
-func sparseImpl(i collections.Impl) bool {
-	switch i {
-	case collections.ImplHashSet, collections.ImplSwissSet, collections.ImplFlatSet,
-		collections.ImplHashMap, collections.ImplSwissMap:
-		return true
-	}
-	return false
-}
+func sparseImpl(i collections.Impl) bool { return collections.SparseAccess(i) }
 
 // Count records n dynamic operations of kind k on implementation i,
 // classifying them as sparse or dense accesses.

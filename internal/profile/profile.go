@@ -30,6 +30,24 @@ func Ordinals(fn *ir.Func) map[*ir.Instr]int {
 	return out
 }
 
+// AllocOrdinals returns each `new` instruction's ordinal among fn's
+// allocations, in ir.WalkInstrs order. Unlike the all-instruction
+// ordinal, the allocation ordinal survives the ADE transform (which
+// inserts translations but never allocations), so it serves as the
+// stable half of the telemetry site key shared by the compiler's
+// remarks and both engines' runtime recorders.
+func AllocOrdinals(fn *ir.Func) map[*ir.Instr]int {
+	out := map[*ir.Instr]int{}
+	i := 0
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		if in.Op == ir.OpNew {
+			out[in] = i
+			i++
+		}
+	})
+	return out
+}
+
 // Collect converts raw per-instruction counts into a stable profile.
 func Collect(prog *ir.Program, counts map[*ir.Instr]uint64) Profile {
 	p := Profile{}

@@ -1,0 +1,125 @@
+package profile_test
+
+import (
+	"os"
+	"testing"
+
+	"memoir/internal/core"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+	"memoir/internal/profile"
+)
+
+func parseFixture(t *testing.T) *ir.Program {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/histogram.mir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// ordinalSeq renders a function's instruction stream as (ordinal, op)
+// in walk order, the identity a Key is meant to preserve.
+func ordinalSeq(fn *ir.Func, ords map[*ir.Instr]int) []ir.Opcode {
+	out := make([]ir.Opcode, len(ords))
+	ir.WalkInstrs(fn, func(in *ir.Instr) {
+		if o, ok := ords[in]; ok {
+			out[o] = in.Op
+		}
+	})
+	return out
+}
+
+// TestKeyStableAcrossReparse pins the contract Key is named for: a
+// profile collected on one parse applies to a print/re-parse roundtrip
+// of the same program, because ordinals depend only on walk order.
+func TestKeyStableAcrossReparse(t *testing.T) {
+	p1 := parseFixture(t)
+	p2, err := parser.Parse(ir.Print(p1))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	for _, name := range p1.Order {
+		f1, f2 := p1.Funcs[name], p2.Funcs[name]
+		if f2 == nil {
+			t.Fatalf("function @%s lost in roundtrip", name)
+		}
+		s1 := ordinalSeq(f1, profile.Ordinals(f1))
+		s2 := ordinalSeq(f2, profile.Ordinals(f2))
+		if len(s1) != len(s2) {
+			t.Fatalf("@%s: ordinal count %d vs %d", name, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("@%s ordinal %d: %v vs %v", name, i, s1[i], s2[i])
+			}
+		}
+		a1 := ordinalSeq(f1, profile.AllocOrdinals(f1))
+		a2 := ordinalSeq(f2, profile.AllocOrdinals(f2))
+		if len(a1) != len(a2) {
+			t.Fatalf("@%s: alloc ordinal count %d vs %d", name, len(a1), len(a2))
+		}
+	}
+}
+
+// TestKeyStableAcrossClone pins the clone half of the contract:
+// ir.CloneFunc preserves walk order, so a clone inherits the
+// original's ordinals (how interprocedural clones reuse profiles).
+func TestKeyStableAcrossClone(t *testing.T) {
+	prog := parseFixture(t)
+	for _, name := range prog.Order {
+		fn := prog.Funcs[name]
+		cl := ir.CloneFunc(fn, name+"$enum")
+		s1 := ordinalSeq(fn, profile.Ordinals(fn))
+		s2 := ordinalSeq(cl, profile.Ordinals(cl))
+		if len(s1) != len(s2) {
+			t.Fatalf("@%s: clone ordinal count %d vs %d", name, len(s1), len(s2))
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("@%s clone ordinal %d: %v vs %v", name, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+// TestAllocOrdinalsSurviveADE pins the property the telemetry site key
+// depends on: the ADE transform inserts translations but never
+// allocations, so each allocation instruction keeps its ordinal.
+func TestAllocOrdinalsSurviveADE(t *testing.T) {
+	prog := parseFixture(t)
+	before := map[*ir.Instr]int{}
+	for _, name := range prog.Order {
+		for in, o := range profile.AllocOrdinals(prog.Funcs[name]) {
+			before[in] = o
+		}
+	}
+	if len(before) == 0 {
+		t.Fatal("fixture has no allocations")
+	}
+	if _, err := core.Apply(prog, core.DefaultOptions()); err != nil {
+		t.Fatalf("ade: %v", err)
+	}
+	after := map[*ir.Instr]int{}
+	nAllocs := 0
+	for _, name := range prog.Order {
+		ords := profile.AllocOrdinals(prog.Funcs[name])
+		nAllocs += len(ords)
+		for in, o := range ords {
+			after[in] = o
+		}
+	}
+	if nAllocs != len(before) {
+		t.Fatalf("allocation count changed: %d -> %d", len(before), nAllocs)
+	}
+	for in, o := range before {
+		if after[in] != o {
+			t.Fatalf("allocation ordinal moved: %d -> %d", o, after[in])
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package remarks implements LLVM-style optimization remarks and
+// pipeline tracing for the ADE compiler: every sub-pass decision
+// (enumerate, skip, share, RTE elision, interprocedural clone,
+// implementation selection, pragma override) is emitted as a
+// structured record with a stable code, the enclosing function, the
+// `.mir` source line, and the decision's inputs; phase boundaries
+// record per-sub-pass wall time and IR size deltas.
+//
+// Remarks export as human-readable text, JSON, and Chrome
+// `trace_event` JSON (loadable in Perfetto or chrome://tracing) via
+// `adec -remarks=<file> -trace=<file>`. Remarks that concern a
+// collection allocation site carry a telemetry.SiteKey, which is the
+// join key cmd/adereport uses to pair each compile-time decision with
+// the runtime behaviour observed at that site.
+package remarks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"memoir/internal/telemetry"
+)
+
+// Remark codes. Each code is stable and golden-tested; tools may key
+// on them.
+const (
+	// CodeEnumCreate: an enumeration class was created for a set of
+	// allocation sites (carries the class's benefit score and global).
+	CodeEnumCreate = "enum-create"
+	// CodeEnumSkip: a site or class was considered and rejected
+	// (escape, no benefit, union safety).
+	CodeEnumSkip = "enum-skip"
+	// CodeShareJoin: Algorithm 3's greedy sweep merged two facets
+	// because the union's benefit beat the sum (carries both scores).
+	CodeShareJoin = "share-join"
+	// CodeShareReject: a same-domain merge was evaluated and declined.
+	CodeShareReject = "share-reject"
+	// CodeRTEElide: redundant translation elimination removed a
+	// translation pair (carries the rule name and operands).
+	CodeRTEElide = "rte-elide"
+	// CodeInterproc: interprocedural unification cloned a callee or
+	// unified a class across functions.
+	CodeInterproc = "interproc"
+	// CodeSelectImpl: the selection verdict for an enumerated site.
+	CodeSelectImpl = "select-impl"
+	// CodePragma: a `#pragma ade` directive overrode the heuristics.
+	CodePragma = "pragma"
+)
+
+// Arg is one named decision input (benefit scores, rule operands,
+// chosen implementation, ...). Args keep their emission order.
+type Arg struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Remark is one structured compiler decision.
+type Remark struct {
+	Code string `json:"code"`
+	// Pass is the sub-pass that made the decision.
+	Pass string `json:"pass"`
+	// Fn is the enclosing function's name, without '@'.
+	Fn string `json:"fn,omitempty"`
+	// Site names the subject value or class (e.g. "%h" or "ade0").
+	Site string `json:"site,omitempty"`
+	// Line is the 1-based `.mir` source line, 0 when unknown.
+	Line int   `json:"line,omitempty"`
+	Args []Arg `json:"args,omitempty"`
+	// Message is the human-readable sentence.
+	Message string `json:"message"`
+	// Key, when set, is the allocation-site join key shared with
+	// runtime telemetry.
+	Key *telemetry.SiteKey `json:"siteKey,omitempty"`
+
+	// at orders the remark on the trace timeline. It is deliberately
+	// unexported and excluded from text/JSON output so golden files
+	// stay byte-stable.
+	at time.Time
+}
+
+// Phase is one timed sub-pass: wall time plus the IR size (instruction
+// count) entering and leaving it.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"durationNs"`
+	IRBefore int           `json:"irBefore"`
+	IRAfter  int           `json:"irAfter"`
+
+	start time.Time
+}
+
+// Emitter collects remarks and phase timings during one compiler run.
+// All methods are safe on a nil receiver, so the pass code can emit
+// unconditionally; a nil emitter makes every call a no-op.
+type Emitter struct {
+	Remarks []Remark
+	Phases  []Phase
+
+	origin time.Time
+	open   int // index of the open phase, -1 if none
+}
+
+// NewEmitter returns an empty emitter.
+func NewEmitter() *Emitter {
+	return &Emitter{origin: time.Now(), open: -1}
+}
+
+// Begin opens a timed phase. irSize is the program's instruction count
+// entering the phase. Phases do not nest; Begin closes any open phase.
+func (e *Emitter) Begin(name string, irSize int) {
+	if e == nil {
+		return
+	}
+	e.End(irSize)
+	e.Phases = append(e.Phases, Phase{Name: name, IRBefore: irSize, start: time.Now()})
+	e.open = len(e.Phases) - 1
+}
+
+// End closes the open phase, recording its duration and the program's
+// instruction count leaving it. No-op when no phase is open.
+func (e *Emitter) End(irSize int) {
+	if e == nil || e.open < 0 {
+		return
+	}
+	p := &e.Phases[e.open]
+	p.Duration = time.Since(p.start)
+	p.IRAfter = irSize
+	e.open = -1
+}
+
+// Emit records one remark, filling Pass from the open phase when the
+// remark leaves it empty.
+func (e *Emitter) Emit(r Remark) {
+	if e == nil {
+		return
+	}
+	if r.Pass == "" && e.open >= 0 {
+		r.Pass = e.Phases[e.open].Name
+	}
+	r.at = time.Now()
+	e.Remarks = append(e.Remarks, r)
+}
+
+// Enabled reports whether remarks are being collected.
+func (e *Emitter) Enabled() bool { return e != nil }
+
+// line renders one remark in the stable text form
+//
+//	pass: CODE @fn:line site: message [k=v ...]
+func line(r Remark) string {
+	var b strings.Builder
+	b.WriteString(r.Pass)
+	b.WriteString(": ")
+	b.WriteString(r.Code)
+	if r.Fn != "" {
+		fmt.Fprintf(&b, " @%s", r.Fn)
+		if r.Line > 0 {
+			fmt.Fprintf(&b, ":%d", r.Line)
+		}
+	}
+	if r.Site != "" {
+		fmt.Fprintf(&b, " %s", r.Site)
+	}
+	b.WriteString(": ")
+	b.WriteString(r.Message)
+	for _, a := range r.Args {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+	}
+	return b.String()
+}
+
+// Text renders remarks alone (no phase timings) as stable,
+// golden-testable text, one remark per line.
+func Text(rs []Remark) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(line(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteText writes the full human-readable report: remarks followed by
+// the phase table (timings are inherently unstable, so golden tests
+// use Text instead).
+func (e *Emitter) WriteText(w io.Writer) error {
+	if e == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, Text(e.Remarks)); err != nil {
+		return err
+	}
+	for _, p := range e.Phases {
+		delta := p.IRAfter - p.IRBefore
+		if _, err := fmt.Fprintf(w, "phase %-28s %10v  ir %d -> %d (%+d)\n",
+			p.Name, p.Duration.Round(time.Microsecond), p.IRBefore, p.IRAfter, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDoc is the `adec -remarks=x.json` schema.
+type jsonDoc struct {
+	Schema  string   `json:"schema"`
+	Remarks []Remark `json:"remarks"`
+	Phases  []Phase  `json:"phases,omitempty"`
+}
+
+// Schema identifies the remarks JSON document format.
+const Schema = "ade-remarks/v1"
+
+// WriteJSON writes remarks and phases as indented JSON.
+func (e *Emitter) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{Schema: Schema}
+	if e != nil {
+		doc.Remarks = e.Remarks
+		doc.Phases = e.Phases
+	}
+	if doc.Remarks == nil {
+		doc.Remarks = []Remark{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// RemarksJSON renders remarks alone as stable, golden-testable
+// indented JSON (no phases: their durations vary run to run).
+func RemarksJSON(rs []Remark) ([]byte, error) {
+	doc := jsonDoc{Schema: Schema, Remarks: rs}
+	if doc.Remarks == nil {
+		doc.Remarks = []Remark{}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// traceEvent is one Chrome trace_event record (the JSON Array Format
+// understood by Perfetto and chrome://tracing).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace writes the run as Chrome trace_event JSON: each phase is
+// a complete ("X") event on the pipeline track and each remark an
+// instant ("i") event at its emission time.
+func (e *Emitter) WriteTrace(w io.Writer) error {
+	var evs []traceEvent
+	if e != nil {
+		for _, p := range e.Phases {
+			evs = append(evs, traceEvent{
+				Name: p.Name, Cat: "pass", Ph: "X",
+				TS:  p.start.Sub(e.origin).Microseconds(),
+				Dur: p.Duration.Microseconds(),
+				PID: 1, TID: 1,
+				Args: map[string]any{"irBefore": p.IRBefore, "irAfter": p.IRAfter},
+			})
+		}
+		for _, r := range e.Remarks {
+			args := map[string]any{"message": r.Message}
+			if r.Fn != "" {
+				args["fn"] = r.Fn
+			}
+			if r.Line > 0 {
+				args["line"] = r.Line
+			}
+			for _, a := range r.Args {
+				args[a.Key] = a.Val
+			}
+			evs = append(evs, traceEvent{
+				Name: r.Code + " " + r.Site, Cat: "remark", Ph: "i",
+				TS:  r.at.Sub(e.origin).Microseconds(),
+				PID: 1, TID: 2, S: "t",
+				Args: args,
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	if evs == nil {
+		evs = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
+// ByCode returns the remarks carrying the given code.
+func ByCode(rs []Remark, code string) []Remark {
+	var out []Remark
+	for _, r := range rs {
+		if r.Code == code {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ArgVal returns the value of the named arg, or "".
+func (r *Remark) ArgVal(key string) string {
+	for _, a := range r.Args {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}

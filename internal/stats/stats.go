@@ -5,6 +5,8 @@
 package stats
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -21,18 +23,47 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// geoMeanClamp is the substitute for non-positive entries in GeoMean.
+// A geometric mean is undefined at zero and below; plotting code wants
+// a defined (if meaningless) bar rather than a crash, so GeoMean
+// clamps and carries on. Code that must not silently average away a
+// bad measurement uses GeoMeanStrict instead.
+const geoMeanClamp = 1e-12
+
 // GeoMean returns the geometric mean of xs (the GEO bar). Panics on
-// empty input; non-positive entries are clamped to a tiny positive
-// value to keep the mean defined.
+// empty input; non-positive entries are clamped to geoMeanClamp to
+// keep the mean defined, which drags the mean toward zero — callers
+// that need to detect that case should use GeoMeanStrict.
 func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty slice")
+	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			x = 1e-12
+			x = geoMeanClamp
 		}
 		sum += math.Log(x)
 	}
 	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeoMeanStrict returns the geometric mean of xs, or an error naming
+// the first offending entry when xs is empty or contains a
+// non-positive value. Aggregation reports use this so a zeroed
+// measurement surfaces instead of skewing the suite mean.
+func GeoMeanStrict(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean undefined: entry %d is %v (must be > 0)", i, x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Min and Max over a slice.

@@ -70,3 +70,40 @@ func TestMedianBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The clamp contract: non-positive entries do not crash GeoMean but
+// drag the mean toward zero, bounded below by the clamp itself.
+func TestGeoMeanClamp(t *testing.T) {
+	g := GeoMean([]float64{0, 4})
+	if math.Abs(g-math.Sqrt(geoMeanClamp*4)) > 1e-15 {
+		t.Fatalf("clamped geomean=%g", g)
+	}
+	if g := GeoMean([]float64{-3}); math.Abs(g/geoMeanClamp-1) > 1e-9 {
+		t.Fatalf("all-negative geomean=%g", g)
+	}
+}
+
+func TestGeoMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	GeoMean(nil)
+}
+
+func TestGeoMeanStrict(t *testing.T) {
+	g, err := GeoMeanStrict([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Fatalf("strict geomean=%f err=%v", g, err)
+	}
+	if _, err := GeoMeanStrict(nil); err == nil {
+		t.Fatal("no error on empty input")
+	}
+	if _, err := GeoMeanStrict([]float64{2, 0, 3}); err == nil {
+		t.Fatal("no error on zero entry")
+	}
+	if _, err := GeoMeanStrict([]float64{2, -1}); err == nil {
+		t.Fatal("no error on negative entry")
+	}
+}

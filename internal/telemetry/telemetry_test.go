@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"testing"
+
+	"memoir/internal/collections"
+)
+
+// fakeColl is a controllable measurable: tests mutate ln directly to
+// model a collection growing between recorded operations.
+type fakeColl struct {
+	ln   int
+	impl collections.Impl
+}
+
+func (f *fakeColl) Len() int               { return f.ln }
+func (f *fakeColl) Impl() collections.Impl { return f.impl }
+
+// fakeEnum models a runtime enumeration's Len.
+type fakeEnum struct{ ln int }
+
+func (f *fakeEnum) Len() int { return f.ln }
+
+func TestSiteKeyString(t *testing.T) {
+	for _, tc := range []struct {
+		key  SiteKey
+		want string
+	}{
+		{SiteKey{Fn: "main", Alloc: 0}, "@main#0"},
+		{SiteKey{Fn: "main", Alloc: 2, Depth: 1}, "@main#2/1"},
+		{SiteKey{Fn: "(input Array)", Alloc: -1}, "(input Array)"},
+	} {
+		if got := tc.key.String(); got != tc.want {
+			t.Errorf("%+v: got %q, want %q", tc.key, got, tc.want)
+		}
+	}
+}
+
+// TestNilRecorderSafe pins the engines' calling convention: every
+// method is callable on a nil recorder (telemetry off) without
+// panicking or allocating state.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	c := &fakeColl{impl: collections.ImplHashSet}
+	r.TrackColl(c, SiteKey{Fn: "f"})
+	r.TrackInner(c, c)
+	r.TrackEnum(c, "ade0")
+	r.CollOp(c, OpRead, 1)
+	r.EnumOp(c, OpEnc, false)
+	if p := r.IterCounter(c); p != nil {
+		t.Errorf("nil recorder IterCounter = %p, want nil", p)
+	}
+	res := r.Result()
+	if res == nil || len(res.Sites) != 0 || len(res.Enums) != 0 {
+		t.Errorf("nil recorder Result = %+v, want empty", res)
+	}
+}
+
+func TestCollOpAttribution(t *testing.T) {
+	r := NewRecorder()
+	sparse := &fakeColl{impl: collections.ImplHashSet}
+	dense := &fakeColl{impl: collections.ImplBitSet}
+	r.TrackColl(sparse, SiteKey{Fn: "main", Alloc: 0})
+	r.TrackColl(dense, SiteKey{Fn: "main", Alloc: 1})
+	r.CollOp(sparse, OpRead, 3)
+	r.CollOp(dense, OpHas, 2)
+
+	// An untracked collection (a benchmark input) lazily lands in a
+	// per-implementation pseudo-site with Alloc = -1.
+	input := &fakeColl{impl: collections.ImplArray}
+	r.CollOp(input, OpRead, 5)
+
+	res := r.Result()
+	if len(res.Sites) != 3 {
+		t.Fatalf("got %d sites, want 3", len(res.Sites))
+	}
+	// Result sorts by (Fn, Alloc, Depth): the "(input Array)"
+	// pseudo-site precedes "main".
+	in, s0, s1 := res.Sites[0], res.Sites[1], res.Sites[2]
+	if in.Key.Alloc != -1 || in.Key.String() != "(input Array)" || in.Ops[OpRead] != 5 {
+		t.Errorf("input pseudo-site wrong: %+v", in)
+	}
+	if s0.Sparse != 3 || s0.Dense != 0 || s0.Impl != "HashSet" {
+		t.Errorf("sparse site: sparse=%d dense=%d impl=%s", s0.Sparse, s0.Dense, s0.Impl)
+	}
+	if s1.Sparse != 0 || s1.Dense != 2 || s1.Impl != "BitSet" {
+		t.Errorf("dense site: sparse=%d dense=%d impl=%s", s1.Sparse, s1.Dense, s1.Impl)
+	}
+}
+
+// TestOccupancySampling pins the engine-invariant sampling rule: an
+// occupancy sample is taken exactly when the site's cumulative
+// mutation count crosses a power of two.
+func TestOccupancySampling(t *testing.T) {
+	r := NewRecorder()
+	c := &fakeColl{impl: collections.ImplHashSet}
+	r.TrackColl(c, SiteKey{Fn: "f", Alloc: 0})
+	for i := 0; i < 10; i++ {
+		c.ln = i + 1
+		r.CollOp(c, OpInsert, 1)
+	}
+	c.ln = 4 // shrink before Result: peak must stay at the max observed
+	res := r.Result()
+	ss := res.Sites[0]
+	wantMuts := []uint64{1, 2, 4, 8}
+	if len(ss.Samples) != len(wantMuts) {
+		t.Fatalf("got %d samples %+v, want muts %v", len(ss.Samples), ss.Samples, wantMuts)
+	}
+	for i, s := range ss.Samples {
+		if s.Muts != wantMuts[i] || s.Len != int(wantMuts[i]) {
+			t.Errorf("sample %d = %+v, want muts=len=%d", i, s, wantMuts[i])
+		}
+	}
+	if ss.PeakLen != 10 {
+		t.Errorf("PeakLen = %d, want 10", ss.PeakLen)
+	}
+	if ss.Muts != 10 {
+		t.Errorf("Muts = %d, want 10", ss.Muts)
+	}
+}
+
+// TestResultFoldsFinalLength: a collection that only grew after its
+// last sampled mutation is still reported at its true final size.
+func TestResultFoldsFinalLength(t *testing.T) {
+	r := NewRecorder()
+	c := &fakeColl{impl: collections.ImplBitSet}
+	r.TrackColl(c, SiteKey{Fn: "f", Alloc: 0})
+	r.CollOp(c, OpInsert, 1)
+	c.ln = 99
+	if got := r.Result().Sites[0].PeakLen; got != 99 {
+		t.Errorf("PeakLen = %d, want 99 (final length folded in)", got)
+	}
+}
+
+func TestTrackInnerDepth(t *testing.T) {
+	r := NewRecorder()
+	outer := &fakeColl{impl: collections.ImplBitMap}
+	inner := &fakeColl{impl: collections.ImplBitSet}
+	inner2 := &fakeColl{impl: collections.ImplBitSet}
+	r.TrackColl(outer, SiteKey{Fn: "main", Alloc: 3})
+	r.TrackInner(inner, outer)
+	r.TrackInner(inner2, inner)
+	r.CollOp(inner, OpInsert, 1)
+	r.CollOp(inner2, OpInsert, 1)
+
+	res := r.Result()
+	if len(res.Sites) != 3 {
+		t.Fatalf("got %d sites, want 3", len(res.Sites))
+	}
+	if k := res.Sites[1].Key; k.String() != "@main#3/1" {
+		t.Errorf("inner key = %s, want @main#3/1", k)
+	}
+	if k := res.Sites[2].Key; k.String() != "@main#3/2" {
+		t.Errorf("inner-of-inner key = %s, want @main#3/2", k)
+	}
+
+	// An inner of an untracked outer stays untracked (it would only
+	// surface via the lazy input bucket if operated on).
+	r2 := NewRecorder()
+	r2.TrackInner(inner, outer)
+	if res := r2.Result(); len(res.Sites) != 0 {
+		t.Errorf("inner of untracked outer created %d sites, want 0", len(res.Sites))
+	}
+}
+
+func TestEnumOps(t *testing.T) {
+	r := NewRecorder()
+	e := &fakeEnum{}
+	r.TrackEnum(e, "ade0")
+	r.TrackEnum(e, "ade0") // duplicate registration is a no-op
+	r.EnumOp(e, OpEnc, false)
+	r.EnumOp(e, OpDec, false)
+	e.ln = 1
+	r.EnumOp(e, OpAdd, true)
+	e.ln = 1
+	r.EnumOp(e, OpAdd, false) // re-add of a present key: Add but not Added
+
+	anon := &fakeEnum{ln: 7}
+	r.EnumOp(anon, OpAdd, true) // never tracked: auto-registers as anonymous
+
+	res := r.Result()
+	if len(res.Enums) != 2 {
+		t.Fatalf("got %d enums, want 2", len(res.Enums))
+	}
+	// Sorted by global name: "(enum 0)" < "ade0".
+	a, n := res.Enums[0], res.Enums[1]
+	if a.Global != "(enum 0)" || a.Add != 1 || a.FinalLen != 7 {
+		t.Errorf("anonymous enum = %+v", a)
+	}
+	if n.Global != "ade0" || n.Enc != 1 || n.Dec != 1 || n.Add != 2 || n.Added != 1 || n.FinalLen != 1 {
+		t.Errorf("named enum = %+v", n)
+	}
+	if got, want := n.Trans(), uint64(4); got != want {
+		t.Errorf("Trans = %d, want %d", got, want)
+	}
+}
+
+func TestIterCounter(t *testing.T) {
+	r := NewRecorder()
+	c := &fakeColl{impl: collections.ImplArray}
+	r.TrackColl(c, SiteKey{Fn: "f", Alloc: 0})
+	p := r.IterCounter(c)
+	if p == nil {
+		t.Fatal("IterCounter returned nil on a live recorder")
+	}
+	*p += 12
+	if got := r.Result().Sites[0].Ops[OpIter]; got != 12 {
+		t.Errorf("OpIter = %d, want 12", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"memoir/internal/collections"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
+	"memoir/internal/telemetry"
 )
 
 // VM executes a compiled MEMOIR program. Mirrors interp.Interp's
@@ -46,6 +47,9 @@ type VM struct {
 	// localSlot[site] is the reusable live-registry slot of an
 	// iteration-local allocation site (-1 until first allocation).
 	localSlot []int32
+
+	// tele is non-nil when Options.Telemetry is set.
+	tele *telemetry.Recorder
 
 	// Output holds emitted values when RecordOutput is set.
 	Output []interp.Val
@@ -75,6 +79,7 @@ func New(prog *bytecode.Prog, opts interp.Options) *VM {
 		globals:     make([]*interp.Enum, len(prog.Globals)),
 		untilSample: opts.MemSampleEvery,
 		localSlot:   make([]int32, len(prog.AllocSites)),
+		tele:        opts.Telemetry,
 	}
 	for i := range m.localSlot {
 		m.localSlot[i] = -1
@@ -144,8 +149,18 @@ func (m *VM) global(idx int32) *interp.Enum {
 		e = interp.NewEnum()
 		m.globals[idx] = e
 		m.register(e)
+		if m.tele != nil {
+			m.tele.TrackEnum(e, m.Prog.Globals[idx])
+		}
 	}
 	return e
+}
+
+// tcoll forwards one collection operation to the telemetry recorder.
+func (m *VM) tcoll(c any, k interp.OpKind, n uint64) {
+	if m.tele != nil {
+		m.tele.CollOp(c, int(k), n)
+	}
 }
 
 func (m *VM) errf(f *bytecode.Func, format string, args ...any) error {
@@ -213,6 +228,7 @@ func (m *VM) walkPath(f *bytecode.Func, fr []interp.Val, cur interp.Val, path in
 			switch c := cur.Ref().(type) {
 			case *interp.RMapBit:
 				m.Stats.Count(collections.ImplBitMap, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok := c.M.Get(uint32(key.I))
 				if !ok {
 					return interp.Val{}, m.errf(f, "nested read of missing key %v", key)
@@ -220,6 +236,7 @@ func (m *VM) walkPath(f *bytecode.Func, fr []interp.Val, cur interp.Val, path in
 				cur = v
 			case *interp.RMapHash:
 				m.Stats.Count(collections.ImplHashMap, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok := c.Get(key)
 				if !ok {
 					return interp.Val{}, m.errf(f, "nested read of missing key %v", key)
@@ -227,6 +244,7 @@ func (m *VM) walkPath(f *bytecode.Func, fr []interp.Val, cur interp.Val, path in
 				cur = v
 			case interp.RMap:
 				m.Stats.Count(c.Impl(), interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok := c.Get(key)
 				if !ok {
 					return interp.Val{}, m.errf(f, "nested read of missing key %v", key)
@@ -238,6 +256,7 @@ func (m *VM) walkPath(f *bytecode.Func, fr []interp.Val, cur interp.Val, path in
 					return interp.Val{}, m.errf(f, "nested seq index %d out of range [0,%d)", i, c.S.Len())
 				}
 				m.Stats.Count(collections.ImplArray, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				cur = c.S.Get(i)
 			case interp.RSeq:
 				i := int(key.I)
@@ -245,6 +264,7 @@ func (m *VM) walkPath(f *bytecode.Func, fr []interp.Val, cur interp.Val, path in
 					return interp.Val{}, m.errf(f, "nested seq index %d out of range [0,%d)", i, c.Len())
 				}
 				m.Stats.Count(c.Impl(), interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				cur = c.Get(i)
 			default:
 				return interp.Val{}, m.errf(f, "indexing into a set")
@@ -289,6 +309,7 @@ type iterState struct {
 	contPC int32 // resume pc once the loop completes
 	retHi  int32 // enclosing segment's hi to restore
 	count  *uint64
+	tcount *uint64      // telemetry per-element counter, nil when off
 	idx    int          // seq position / hash slot cursor
 	wi     int          // dense word index
 	w      uint64       // remaining bits of the current word
@@ -345,6 +366,9 @@ dispatch:
 			case itSeq:
 				if it.idx < len(it.elems) {
 					*it.count++
+					if it.tcount != nil {
+						*it.tcount++
+					}
 					fr[it.kReg], fr[it.vReg] = interp.IntV(uint64(it.idx)), it.elems[it.idx]
 					it.idx++
 					pc = it.bodyLo
@@ -360,6 +384,9 @@ dispatch:
 					it.w &= it.w - 1
 					k := uint32(it.wi*64 + t)
 					*it.count++
+					if it.tcount != nil {
+						*it.tcount++
+					}
 					kv := interp.IntV(uint64(k))
 					if it.bm != nil {
 						fr[it.kReg], fr[it.vReg] = kv, it.bm.At(k)
@@ -375,6 +402,9 @@ dispatch:
 					it.idx++
 					if it.state[i] == interp.SlotFull {
 						*it.count++
+						if it.tcount != nil {
+							*it.tcount++
+						}
 						fr[it.kReg], fr[it.vReg] = it.vmap.SlotAt(i)
 						pc = it.bodyLo
 						continue dispatch
@@ -386,6 +416,9 @@ dispatch:
 					it.idx++
 					if it.state[i] == interp.SlotFull {
 						*it.count++
+						if it.tcount != nil {
+							*it.tcount++
+						}
 						k := it.vset.SlotAt(i)
 						fr[it.kReg], fr[it.vReg] = k, k
 						pc = it.bodyLo
@@ -443,8 +476,9 @@ dispatch:
 				goto out
 			}
 			coll := cv.Coll()
-			interp.CountIterSetup(st, coll)
+			interp.CountIterSetup(st, m.tele, coll)
 			iterCount := &st.Counts[coll.Impl()][interp.OKIter]
+			tcount := m.tele.IterCounter(coll) // nil on a nil recorder
 			kReg, vReg := in.Dst, in.Dst2
 			bodyLo, bodyHi := in.Aux, in.Aux2
 			// Pausable containers iterate inline: push an iterState over
@@ -455,23 +489,23 @@ dispatch:
 			switch c := coll.(type) {
 			case *interp.RSeqArr:
 				iters = append(iters, iterState{kind: itSeq, kReg: kReg, vReg: vReg,
-					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, elems: c.S.Slice()})
+					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, tcount: tcount, elems: c.S.Slice()})
 				pc, hi = bodyHi, bodyHi
 			case *interp.RSetBits:
 				iters = append(iters, iterState{kind: itDense, kReg: kReg, vReg: vReg,
-					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, wi: -1, words: c.S.Words()})
+					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, tcount: tcount, wi: -1, words: c.S.Words()})
 				pc, hi = bodyHi, bodyHi
 			case *interp.RMapBit:
 				iters = append(iters, iterState{kind: itDense, kReg: kReg, vReg: vReg,
-					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, wi: -1, words: c.M.Words(), bm: c.M})
+					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, tcount: tcount, wi: -1, words: c.M.Words(), bm: c.M})
 				pc, hi = bodyHi, bodyHi
 			case *interp.RMapHash:
 				iters = append(iters, iterState{kind: itHashMap, kReg: kReg, vReg: vReg,
-					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, state: c.States(), vmap: &c.ValMap})
+					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, tcount: tcount, state: c.States(), vmap: &c.ValMap})
 				pc, hi = bodyHi, bodyHi
 			case *interp.RSetHash:
 				iters = append(iters, iterState{kind: itHashSet, kReg: kReg, vReg: vReg,
-					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, state: c.States(), vset: &c.ValSet})
+					bodyLo: bodyLo, contPC: bodyHi, retHi: hi, count: iterCount, tcount: tcount, state: c.States(), vset: &c.ValSet})
 				pc, hi = bodyHi, bodyHi
 			default:
 				// Callback path: the body runs in nested frames
@@ -484,6 +518,9 @@ dispatch:
 				var iterErr error
 				step := func(k, v interp.Val) bool {
 					*iterCount++
+					if tcount != nil {
+						*tcount++
+					}
 					fr[kReg], fr[vReg] = k, v
 					_, ret2, err2 := m.run(f, fr, bodyLo, bodyHi)
 					if err2 != nil {
@@ -592,11 +629,17 @@ dispatch:
 					m.register(c)
 				}
 			}
+			if m.tele != nil {
+				m.tele.TrackColl(c, telemetry.SiteKey{Fn: site.Fn, Alloc: site.Alloc})
+			}
 			fr[in.Dst] = interp.CollV(c)
 
 		case bytecode.OpNewEnum:
 			e := interp.NewEnum()
 			m.register(e)
+			if m.tele != nil {
+				m.tele.TrackEnum(e, "")
+			}
 			fr[in.Dst] = interp.EnumV(e)
 
 		case bytecode.OpEnumGlobal:
@@ -620,12 +663,15 @@ dispatch:
 			switch c := cv.Ref().(type) {
 			case *interp.RMapBit:
 				st.Count(collections.ImplBitMap, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok = c.M.Get(uint32(key.I))
 			case *interp.RMapHash:
 				st.Count(collections.ImplHashMap, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok = c.Get(key)
 			case interp.RMap:
 				st.Count(c.Impl(), interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				v, ok = c.Get(key)
 			default:
 				err = m.errf(f, "read on set")
@@ -658,6 +704,7 @@ dispatch:
 					goto out
 				}
 				st.Count(collections.ImplArray, interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				fr[in.Dst] = c.S.Get(i)
 			case interp.RSeq:
 				i := int(key.I)
@@ -666,6 +713,7 @@ dispatch:
 					goto out
 				}
 				st.Count(c.Impl(), interp.OKRead, 1)
+				m.tcoll(c, interp.OKRead, 1)
 				fr[in.Dst] = c.Get(i)
 			default:
 				err = m.errf(f, "read on set")
@@ -689,15 +737,19 @@ dispatch:
 			switch c := cv.Ref().(type) {
 			case *interp.RSetBits:
 				st.Count(collections.ImplBitSet, interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.S.Has(uint32(key.I))
 			case *interp.RSetSparse:
 				st.Count(collections.ImplSparseBitSet, interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.S.Has(uint32(key.I))
 			case *interp.RSetHash:
 				st.Count(collections.ImplHashSet, interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.Has(key)
 			case interp.RSet:
 				st.Count(c.Impl(), interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.Has(key)
 			default:
 				err = m.errf(f, "has on seq")
@@ -723,12 +775,15 @@ dispatch:
 			switch c := cv.Ref().(type) {
 			case *interp.RMapBit:
 				st.Count(collections.ImplBitMap, interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.M.Has(uint32(key.I))
 			case *interp.RMapHash:
 				st.Count(collections.ImplHashMap, interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.Has(key)
 			case interp.RMap:
 				st.Count(c.Impl(), interp.OKHas, 1)
+				m.tcoll(c, interp.OKHas, 1)
 				has = c.HasKey(key)
 			default:
 				err = m.errf(f, "has on seq")
@@ -746,6 +801,7 @@ dispatch:
 			}
 			c := cv.Coll()
 			st.Count(c.Impl(), interp.OKSize, 1)
+			m.tcoll(c, interp.OKSize, 1)
 			d := &fr[in.Dst]
 			d.K, d.I = interp.VInt, uint64(c.Len())
 
@@ -776,6 +832,7 @@ dispatch:
 					goto out
 				}
 				c.M.Put(uint32(key.I), val)
+				m.tcoll(c, interp.OKWrite, 1)
 			case *interp.RMapHash:
 				st.Count(collections.ImplHashMap, interp.OKWrite, 1)
 				if !c.Has(key) {
@@ -783,6 +840,7 @@ dispatch:
 					goto out
 				}
 				c.Put(key, val)
+				m.tcoll(c, interp.OKWrite, 1)
 			case interp.RMap:
 				st.Count(c.Impl(), interp.OKWrite, 1)
 				if !c.HasKey(key) {
@@ -790,6 +848,7 @@ dispatch:
 					goto out
 				}
 				c.Put(key, val)
+				m.tcoll(c, interp.OKWrite, 1)
 			default:
 				err = m.errf(f, "write on set")
 				goto out
@@ -828,6 +887,7 @@ dispatch:
 			}
 			st.Count(c.Impl(), interp.OKWrite, 1)
 			c.Set(i, val)
+			m.tcoll(c, interp.OKWrite, 1)
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -848,15 +908,19 @@ dispatch:
 			case *interp.RSetBits:
 				st.Count(collections.ImplBitSet, interp.OKInsert, 1)
 				c.S.Insert(uint32(key.I))
+				m.tcoll(c, interp.OKInsert, 1)
 			case *interp.RSetSparse:
 				st.Count(collections.ImplSparseBitSet, interp.OKInsert, 1)
 				c.S.Insert(uint32(key.I))
+				m.tcoll(c, interp.OKInsert, 1)
 			case *interp.RSetHash:
 				st.Count(collections.ImplHashSet, interp.OKInsert, 1)
 				c.Insert(key)
+				m.tcoll(c, interp.OKInsert, 1)
 			case interp.RSet:
 				st.Count(c.Impl(), interp.OKInsert, 1)
 				c.Insert(key)
+				m.tcoll(c, interp.OKInsert, 1)
 			}
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
@@ -878,18 +942,33 @@ dispatch:
 			case *interp.RMapBit:
 				st.Count(collections.ImplBitMap, interp.OKInsert, 1)
 				if !c.M.Has(uint32(key.I)) {
-					c.M.Put(uint32(key.I), interp.ZeroVal(c.ElemType(), m.NewColl))
+					zv := interp.ZeroVal(c.ElemType(), m.NewColl)
+					if m.tele != nil {
+						m.tele.TrackInner(zv.Ref(), c)
+					}
+					c.M.Put(uint32(key.I), zv)
 				}
+				m.tcoll(c, interp.OKInsert, 1)
 			case *interp.RMapHash:
 				st.Count(collections.ImplHashMap, interp.OKInsert, 1)
 				if !c.Has(key) {
-					c.Put(key, interp.ZeroVal(c.ElemType(), m.NewColl))
+					zv := interp.ZeroVal(c.ElemType(), m.NewColl)
+					if m.tele != nil {
+						m.tele.TrackInner(zv.Ref(), c)
+					}
+					c.Put(key, zv)
 				}
+				m.tcoll(c, interp.OKInsert, 1)
 			case interp.RMap:
 				st.Count(c.Impl(), interp.OKInsert, 1)
 				if !c.HasKey(key) {
-					c.Put(key, interp.ZeroVal(c.ElemType(), m.NewColl))
+					zv := interp.ZeroVal(c.ElemType(), m.NewColl)
+					if m.tele != nil {
+						m.tele.TrackInner(zv.Ref(), c)
+					}
+					c.Put(key, zv)
 				}
+				m.tcoll(c, interp.OKInsert, 1)
 			}
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
@@ -910,9 +989,11 @@ dispatch:
 			switch c := cv.Ref().(type) {
 			case *interp.RSeqArr:
 				st.Count(collections.ImplArray, interp.OKInsert, 1)
+				m.tcoll(c, interp.OKInsert, 1)
 				c.S.Append(val)
 			case interp.RSeq:
 				st.Count(c.Impl(), interp.OKInsert, 1)
+				m.tcoll(c, interp.OKInsert, 1)
 				c.Append(val)
 			}
 			m.grew()
@@ -933,6 +1014,7 @@ dispatch:
 			}
 			if c, ok := cv.Coll().(interp.RSeq); ok {
 				st.Count(c.Impl(), interp.OKInsert, 1)
+				m.tcoll(c, interp.OKInsert, 1)
 				var pv interp.Val
 				if pv, err = m.get(f, fr, in.B); err != nil {
 					goto out
@@ -963,6 +1045,7 @@ dispatch:
 			if c, ok := cv.Coll().(interp.RSet); ok {
 				st.Count(c.Impl(), interp.OKRemove, 1)
 				c.Remove(key)
+				m.tcoll(c, interp.OKRemove, 1)
 			}
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -982,6 +1065,7 @@ dispatch:
 			if c, ok := cv.Coll().(interp.RMap); ok {
 				st.Count(c.Impl(), interp.OKRemove, 1)
 				c.Remove(key)
+				m.tcoll(c, interp.OKRemove, 1)
 			}
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -1006,6 +1090,7 @@ dispatch:
 				}
 				st.Count(c.Impl(), interp.OKRemove, 1)
 				c.RemoveAt(i)
+				m.tcoll(c, interp.OKRemove, 1)
 			}
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -1019,6 +1104,7 @@ dispatch:
 			c := cv.Coll()
 			st.Count(c.Impl(), interp.OKClear, 1)
 			c.Clear()
+			m.tcoll(c, interp.OKClear, 1)
 			fr[in.Dst] = fr[in.A.Reg]
 
 		case bytecode.OpUnion:
@@ -1040,7 +1126,7 @@ dispatch:
 				err = m.errf(f, "union on non-sets")
 				goto out
 			}
-			interp.UnionInto(st, dst, src)
+			interp.UnionInto(st, m.tele, dst, src)
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -1053,6 +1139,9 @@ dispatch:
 				}
 			}
 			st.Count(interp.ImplEnum, interp.OKEnc, 1)
+			if m.tele != nil {
+				m.tele.EnumOp(e.Enum(), telemetry.OpEnc, false)
+			}
 			id, ok := e.Enum().Enc(v)
 			d := &fr[in.Dst]
 			if !ok {
@@ -1072,6 +1161,9 @@ dispatch:
 				}
 			}
 			st.Count(interp.ImplEnum, interp.OKDec, 1)
+			if m.tele != nil {
+				m.tele.EnumOp(e.Enum(), telemetry.OpDec, false)
+			}
 			if int(idv.I) >= e.Enum().Len() {
 				err = m.errf(f, "dec of identifier %d outside [0,%d)", idv.I, e.Enum().Len())
 				goto out
@@ -1088,6 +1180,9 @@ dispatch:
 			}
 			st.Count(interp.ImplEnum, interp.OKAdd, 1)
 			id, added := e.Enum().Add(v)
+			if m.tele != nil {
+				m.tele.EnumOp(e.Enum(), telemetry.OpAdd, added)
+			}
 			if added {
 				m.grew()
 			}

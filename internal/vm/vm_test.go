@@ -2,6 +2,8 @@ package vm_test
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 
 	"memoir/internal/bench"
@@ -10,6 +12,7 @@ import (
 	"memoir/internal/core"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
+	"memoir/internal/telemetry"
 	"memoir/internal/vm"
 )
 
@@ -60,9 +63,10 @@ func (c parityConfig) opts() interp.Options {
 
 // runOn builds a fresh program via build, transforms it per cfg, and
 // executes it on the requested engine with input from inputFor.
+// Telemetry is always on so parity covers the per-site recorder too.
 func runOn(t *testing.T, eng bench.Engine, build func() *ir.Program,
 	inputFor func(bench.Allocator) []interp.Val, cfg parityConfig,
-) (interp.Val, []interp.Val, *interp.Stats, error) {
+) (interp.Val, []interp.Val, *interp.Stats, *telemetry.Telemetry, error) {
 	t.Helper()
 	prog := build()
 	if cfg.ade != nil {
@@ -70,14 +74,16 @@ func runOn(t *testing.T, eng bench.Engine, build func() *ir.Program,
 			t.Fatalf("%s: ade: %v", cfg.name, err)
 		}
 	}
-	m, err := bench.NewMachine(prog, cfg.opts(), eng)
+	opts := cfg.opts()
+	opts.Telemetry = telemetry.NewRecorder()
+	m, err := bench.NewMachine(prog, opts, eng)
 	if err != nil {
 		t.Fatalf("%s: new %v machine: %v", cfg.name, eng, err)
 	}
 	args := inputFor(m)
 	ret, runErr := m.Run("main", args...)
 	m.FinalizeMem()
-	return ret, m.RecordedOutput(), m.Stats(), runErr
+	return ret, m.RecordedOutput(), m.Stats(), opts.Telemetry.Result(), runErr
 }
 
 // assertParity runs the program on both engines and requires the full
@@ -88,8 +94,8 @@ func assertParity(t *testing.T, build func() *ir.Program,
 	inputFor func(bench.Allocator) []interp.Val, cfg parityConfig,
 ) {
 	t.Helper()
-	iRet, iOut, iStats, iErr := runOn(t, bench.EngineInterp, build, inputFor, cfg)
-	vRet, vOut, vStats, vErr := runOn(t, bench.EngineVM, build, inputFor, cfg)
+	iRet, iOut, iStats, iTele, iErr := runOn(t, bench.EngineInterp, build, inputFor, cfg)
+	vRet, vOut, vStats, vTele, vErr := runOn(t, bench.EngineVM, build, inputFor, cfg)
 	if (iErr == nil) != (vErr == nil) {
 		t.Fatalf("%s: error divergence: interp=%v vm=%v", cfg.name, iErr, vErr)
 	}
@@ -123,6 +129,12 @@ func assertParity(t *testing.T, build func() *ir.Program,
 				}
 			}
 		}
+	}
+	if !reflect.DeepEqual(iTele, vTele) {
+		ib, vb := new(strings.Builder), new(strings.Builder)
+		iTele.WriteText(ib)
+		vTele.WriteText(vb)
+		t.Errorf("%s: telemetry divergence:\n--- interp ---\n%s--- vm ---\n%s", cfg.name, ib, vb)
 	}
 }
 
@@ -244,5 +256,45 @@ func TestDisasmDeterministic(t *testing.T) {
 	}
 	if bytecode.Disasm(a) != bytecode.Disasm(b) {
 		t.Fatal("disassembly not deterministic across identical builds")
+	}
+}
+
+// TestTelemetryZeroStatsDelta verifies that enabling telemetry leaves
+// the measurement surface (Stats) bit-identical on both engines: the
+// recorder observes but never counts.
+func TestTelemetryZeroStatsDelta(t *testing.T) {
+	for _, abbr := range []string{"BFS", "PTA", "FIM"} {
+		s := bench.Get(abbr)
+		if s == nil {
+			t.Fatalf("missing benchmark %s", abbr)
+		}
+		build := func() *ir.Program {
+			prog := s.Build("")
+			o := core.DefaultOptions()
+			if _, err := core.Apply(prog, o); err != nil {
+				t.Fatalf("%s: ade: %v", abbr, err)
+			}
+			return prog
+		}
+		for _, eng := range []bench.Engine{bench.EngineInterp, bench.EngineVM} {
+			run := func(rec *telemetry.Recorder) *interp.Stats {
+				opts := interp.DefaultOptions()
+				opts.Telemetry = rec
+				m, err := bench.NewMachine(build(), opts, eng)
+				if err != nil {
+					t.Fatalf("%s/%v: new machine: %v", abbr, eng, err)
+				}
+				if _, err := m.Run("main", s.Input(m, bench.ScaleTest)...); err != nil {
+					t.Fatalf("%s/%v: run: %v", abbr, eng, err)
+				}
+				m.FinalizeMem()
+				return m.Stats()
+			}
+			off := run(nil)
+			on := run(telemetry.NewRecorder())
+			if *off != *on {
+				t.Errorf("%s/%v: telemetry changed Stats:\n  off: %+v\n  on:  %+v", abbr, eng, off, on)
+			}
+		}
 	}
 }
