@@ -44,8 +44,13 @@ func main() {
 		tol    = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
 		engine = flag.String("engine", "interp", "execution engine for -counts/-gate: interp or vm (counts are engine-invariant)")
 		jsonTo = flag.String("json", "", "write a machine-readable per-benchmark report (adebench-report/v1) to `file` (\"-\" = stdout) and exit")
+
+		maxSteps = flag.Uint64("max-steps", 0, "per-execution step budget; exhausting it fails with a structured error (0 = unlimited)")
+		maxMem   = flag.Int64("max-mem", 0, "per-execution modeled live-memory budget in bytes (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "per-execution wall-clock deadline (0 = none)")
 	)
 	flag.Parse()
+	bud := experiments.Budget{MaxSteps: *maxSteps, MaxBytes: *maxMem, Timeout: *timeout}
 
 	var sc bench.Scale
 	switch *scale {
@@ -65,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonTo != "" {
-		rep, err := experiments.CollectBenchReport(sc, eng)
+		rep, err := experiments.CollectBenchReport(sc, eng, bud)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -87,7 +92,7 @@ func main() {
 		return
 	}
 	if *counts != "" {
-		c, err := experiments.CollectCounts(sc, eng)
+		c, err := experiments.CollectCounts(sc, eng, bud)
 		if err == nil {
 			err = experiments.WriteCounts(c, *counts)
 		}
@@ -99,14 +104,14 @@ func main() {
 		return
 	}
 	if *gate != "" {
-		if err := experiments.Gate(sc, *gate, *tol, eng, os.Stdout); err != nil {
+		if err := experiments.Gate(sc, *gate, *tol, eng, bud, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	cfg := experiments.Config{Scale: sc, Trials: *trials, Out: os.Stdout}
+	cfg := experiments.Config{Scale: sc, Trials: *trials, Out: os.Stdout, Budget: bud}
 
 	type job struct {
 		name string

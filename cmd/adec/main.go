@@ -8,7 +8,10 @@
 //	adec -no-rte -report program.mir
 //
 // Flags mirror the artifact's compiler configurations: -no-rte,
-// -no-propagation, -no-sharing, -sparse.
+// -no-propagation, -no-sharing, -sparse. The robustness flags:
+// -sandbox contains sub-pass failures by rolling the program back to
+// its untransformed state, and -fuel N stops after the first N rewrite
+// units, which bisects miscompiles to a single rewrite.
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 		sparse    = flag.Bool("sparse", false, "select SparseBitSet for enumerated sets")
 		report    = flag.Bool("report", false, "print the enumeration report to stderr")
 		check     = flag.Bool("check", false, "re-run the IR verifier and ADE invariant checks between every ADE sub-pass")
+		sandbox   = flag.Bool("sandbox", false, "contain sub-pass failures: roll the program back to its untransformed state and continue instead of failing")
+		fuel      = flag.Int("fuel", -1, "stop after N rewrite units, for bisecting miscompiles (-1 = unlimited, 0 = none)")
 		parseOnly = flag.Bool("parse-only", false, "parse and verify only; do not transform")
 		cleanup   = flag.Bool("O", false, "run constant folding and dead-code elimination after ADE")
 		dump      = flag.Bool("dump-bytecode", false, "print the register bytecode for the (transformed) program instead of MEMOIR text")
@@ -75,6 +80,8 @@ func main() {
 	opts.Propagation = !*noProp && !*noShare
 	opts.Sharing = !*noShare
 	opts.Check = *check
+	opts.Sandbox = *sandbox
+	opts.Fuel = core.FuelFromFlag(*fuel)
 	if *sparse {
 		opts.SetImpl = collections.ImplSparseBitSet
 	}
@@ -86,6 +93,14 @@ func main() {
 	rep, err := core.Apply(prog, opts)
 	if err != nil {
 		fatal(err)
+	}
+	// A sandboxed rollback still compiles successfully, but the user
+	// should hear that the output is the unoptimized program.
+	for _, d := range rep.Degraded {
+		fmt.Fprintf(os.Stderr, "adec: warning: degraded: %s\n", d)
+	}
+	if *fuel >= 0 {
+		fmt.Fprintf(os.Stderr, "adec: fuel: %d rewrite unit(s) performed\n", rep.Rewrites)
 	}
 	if *remarksTo != "" {
 		if err := writeOut(*remarksTo, func(w io.Writer) error {

@@ -10,7 +10,17 @@
 //	adediff -scale test -shard 1/4       # CI smoke slice
 //	adediff -bench BFS,PTA -configs ade,ade-sparse
 //	adediff -seed 1 -count 50            # random-program mode
+//	adediff -faults                      # fault-injection sweep, full registry
+//	adediff -fault enum-corrupt:100 -bench BFS
+//	adediff -fuel 3 -bench BFS           # cap ADE at 3 rewrites (bisection)
 //	adediff -list                        # print the matrix and exit
+//	adediff -list-faults                 # print the fault registry and exit
+//
+// The fault sweep injects each registered fault — one at a time, with
+// a fresh deterministic injector per cell — and requires every fault
+// to be rolled back, crash as a structured error, or surface as a
+// "degraded" divergence triaged by fuel bisection to the first faulty
+// rewrite; a fault that escapes containment fails the run.
 //
 // The JSON report lands in -out (default difftest-report.json); the
 // exit status is 1 when any cell diverged or errored.
@@ -23,21 +33,27 @@ import (
 	"os"
 	"strings"
 
+	"memoir/internal/core"
 	"memoir/internal/difftest"
+	"memoir/internal/faults"
 )
 
 func main() {
 	var (
-		scale   = flag.String("scale", "test", "workload scale: test, small, full")
-		shard   = flag.String("shard", "", "run shard i/n of the work list (0-based)")
-		benchs  = flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
-		configs = flag.String("configs", "", "comma-separated config names (default: the full matrix)")
-		seed    = flag.Int64("seed", 0, "random-program mode: first generator seed (0 = benchmark mode)")
-		count   = flag.Int("count", 25, "random-program mode: number of seeds")
-		out     = flag.String("out", "difftest-report.json", "JSON report path (empty = don't write)")
-		list    = flag.Bool("list", false, "print the configuration matrix and exit")
-		check   = flag.Bool("check", false, "enable core's mid-pipeline invariant checking on every ADE column")
-		verbose = flag.Bool("v", false, "log each cell as it runs")
+		scale      = flag.String("scale", "test", "workload scale: test, small, full")
+		shard      = flag.String("shard", "", "run shard i/n of the work list (0-based)")
+		benchs     = flag.String("bench", "", "comma-separated benchmark abbreviations (default: all)")
+		configs    = flag.String("configs", "", "comma-separated config names (default: the full matrix)")
+		seed       = flag.Int64("seed", 0, "random-program mode: first generator seed (0 = benchmark mode)")
+		count      = flag.Int("count", 25, "random-program mode: number of seeds")
+		out        = flag.String("out", "difftest-report.json", "JSON report path (empty = don't write)")
+		list       = flag.Bool("list", false, "print the configuration matrix and exit")
+		check      = flag.Bool("check", false, "enable core's mid-pipeline invariant checking on every ADE column")
+		fuel       = flag.Int("fuel", -1, "cap every ADE column at N rewrite units, for bisecting a diverging cell (-1 = unlimited, 0 = none)")
+		faultSweep = flag.Bool("faults", false, "fault-injection mode: sweep every registered injection point")
+		fault      = flag.String("fault", "", "fault-injection mode: comma-separated injection point names (see -list-faults)")
+		listFaults = flag.Bool("list-faults", false, "print the fault-injection registry and exit")
+		verbose    = flag.Bool("v", false, "log each cell as it runs")
 	)
 	flag.Parse()
 
@@ -48,6 +64,12 @@ func main() {
 				kind = "ade"
 			}
 			fmt.Printf("%-22s %-8s engine=%s\n", c.Name, kind, c.Engine)
+		}
+		return
+	}
+	if *listFaults {
+		for _, p := range faults.Registry() {
+			fmt.Printf("%-28s kind=%s\n", p.Name, p.Kind)
 		}
 		return
 	}
@@ -62,12 +84,23 @@ func main() {
 	}
 
 	var rpt *difftest.Report
-	if *seed != 0 {
+	switch {
+	case *faultSweep || *fault != "":
+		sc, perr := difftest.ParseScale(*scale)
+		if perr != nil {
+			fatal(perr)
+		}
+		rpt, err = difftest.RunFaults(difftest.FaultOptions{
+			Scale: sc, Shard: sh,
+			Benchmarks: splitList(*benchs), Configs: splitList(*configs),
+			Faults: splitList(*fault), Verbose: progress,
+		})
+	case *seed != 0:
 		rpt, err = difftest.RunRandom(difftest.RandomOptions{
 			Seed: *seed, Count: *count, Shard: sh,
 			Configs: splitList(*configs), Check: *check, Verbose: progress,
 		})
-	} else {
+	default:
 		sc, perr := difftest.ParseScale(*scale)
 		if perr != nil {
 			fatal(perr)
@@ -75,7 +108,7 @@ func main() {
 		rpt, err = difftest.Run(difftest.RunOptions{
 			Scale: sc, Shard: sh,
 			Benchmarks: splitList(*benchs), Configs: splitList(*configs),
-			Check: *check, Verbose: progress,
+			Check: *check, Fuel: core.FuelFromFlag(*fuel), Verbose: progress,
 		})
 	}
 	if err != nil {

@@ -10,9 +10,18 @@
 //	memoir-run -ade -args 10,20 program.mir   # scalar u64 args
 //	memoir-run -engine vm program.mir         # bytecode VM engine
 //	memoir-run -dump-bytecode program.mir     # print bytecode, don't run
+//	memoir-run -max-steps 100000 program.mir  # resource-budgeted run
+//	memoir-run -max-mem 1048576 -timeout 5s program.mir
+//
+// A run that exhausts a budget (-max-steps, -max-mem, -timeout) stops
+// with a structured error, prints the partial statistics accumulated
+// up to the interruption point — identical on either engine — and
+// exits 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +45,10 @@ func main() {
 		entry  = flag.String("entry", "main", "entry function")
 		engine = flag.String("engine", "interp", "execution engine: interp or vm (identical measurements)")
 		dump   = flag.Bool("dump-bytecode", false, "print the compiled bytecode and exit without running")
+
+		maxSteps = flag.Uint64("max-steps", 0, "stop with a structured error after this many interpreted steps (0 = unlimited)")
+		maxMem   = flag.Int64("max-mem", 0, "stop with a structured error when modeled live bytes exceed this (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "stop with a structured error after this wall-clock duration (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -75,7 +88,15 @@ func main() {
 		fmt.Print(bytecode.Disasm(bc))
 		return
 	}
-	m, err := bench.NewMachine(prog, interp.DefaultOptions(), eng)
+	iopts := interp.DefaultOptions()
+	iopts.MaxSteps = *maxSteps
+	iopts.MaxBytes = *maxMem
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		iopts.Context = ctx
+	}
+	m, err := bench.NewMachine(prog, iopts, eng)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,24 +112,41 @@ func main() {
 	}
 	start := time.Now()
 	ret, err := m.Run(*entry, vals...)
-	if err != nil {
-		fatal(err)
-	}
 	elapsed := time.Since(start)
+	if err != nil {
+		var le *interp.LimitError
+		if !errors.As(err, &le) {
+			fatal(err)
+		}
+		// A budget interruption is a structured stop, not a crash: the
+		// partial statistics up to the interruption point are valid (and
+		// engine-identical), so report them before exiting nonzero.
+		m.FinalizeMem()
+		st := m.Stats()
+		fmt.Printf("interrupted: %v\n", err)
+		fmt.Printf("output: count=%d checksum=%d (partial)\n", st.EmitCount, st.EmitSum)
+		printStats(*stats, eng, elapsed, st)
+		os.Exit(1)
+	}
 	m.FinalizeMem()
 	st := m.Stats()
 	fmt.Printf("result: %s\n", ret)
 	fmt.Printf("output: count=%d checksum=%d\n", st.EmitCount, st.EmitSum)
-	if *stats {
-		fmt.Printf("engine: %s\n", eng)
-		fmt.Printf("wall: %v\n", elapsed)
-		fmt.Printf("steps: %d  sparse: %d  dense: %d  peak: %d bytes\n",
-			st.Steps, st.Sparse, st.Dense, st.PeakBytes)
-		fmt.Printf("modeled: intel=%.0fns aarch64=%.0fns\n",
-			st.ModeledNanos(interp.ArchIntelX64), st.ModeledNanos(interp.ArchAArch64))
-		for op, n := range st.ByOpKind() {
-			fmt.Printf("  %-9s %d\n", op, n)
-		}
+	printStats(*stats, eng, elapsed, st)
+}
+
+func printStats(on bool, eng bench.Engine, elapsed time.Duration, st *interp.Stats) {
+	if !on {
+		return
+	}
+	fmt.Printf("engine: %s\n", eng)
+	fmt.Printf("wall: %v\n", elapsed)
+	fmt.Printf("steps: %d  sparse: %d  dense: %d  peak: %d bytes\n",
+		st.Steps, st.Sparse, st.Dense, st.PeakBytes)
+	fmt.Printf("modeled: intel=%.0fns aarch64=%.0fns\n",
+		st.ModeledNanos(interp.ArchIntelX64), st.ModeledNanos(interp.ArchAArch64))
+	for op, n := range st.ByOpKind() {
+		fmt.Printf("  %-9s %d\n", op, n)
 	}
 }
 

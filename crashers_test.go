@@ -1,0 +1,197 @@
+package memoir
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memoir/internal/bench"
+	"memoir/internal/core"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+	"memoir/internal/parser"
+)
+
+// TestCrasherCorpus replays the checked-in crash/budget regression
+// corpus (testdata/crashers) on both engines. Each .mir file carries
+// its expectation in leading comment directives:
+//
+//	// expect: parse-error | verify-error | step-budget | mem-budget | runtime-error | ok
+//	// ade                (apply the full ADE pipeline before running)
+//	// max-steps: N       (step budget for the run)
+//	// max-mem: N         (modeled live-memory budget, bytes)
+//
+// Every entry was once a live finding — a fuzz-discovered parser
+// panic, or a budget/interruption shape the engines must contain —
+// and the replay asserts the fixed behavior: no panics anywhere, the
+// expected structured outcome, and engine-identical diagnostics and
+// partial telemetry.
+func TestCrasherCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "crashers", "*.mir"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no crasher corpus found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(strings.TrimSuffix(filepath.Base(f), ".mir"), func(t *testing.T) {
+			replayCrasher(t, f)
+		})
+	}
+}
+
+type crasherSpec struct {
+	expect   string
+	ade      bool
+	maxSteps uint64
+	maxBytes int64
+}
+
+var crasherDirective = regexp.MustCompile(`^// (expect|ade|max-steps|max-mem)(?::\s*(\S+))?\s*$`)
+
+func parseCrasherSpec(src string) (crasherSpec, error) {
+	var spec crasherSpec
+	for _, line := range strings.Split(src, "\n") {
+		m := crasherDirective.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		switch m[1] {
+		case "expect":
+			spec.expect = m[2]
+		case "ade":
+			spec.ade = true
+		case "max-steps":
+			n, err := strconv.ParseUint(m[2], 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad max-steps: %v", err)
+			}
+			spec.maxSteps = n
+		case "max-mem":
+			n, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad max-mem: %v", err)
+			}
+			spec.maxBytes = n
+		}
+	}
+	switch spec.expect {
+	case "parse-error", "verify-error", "step-budget", "mem-budget", "runtime-error", "ok":
+		return spec, nil
+	}
+	return spec, fmt.Errorf("missing or unknown `// expect:` directive (got %q)", spec.expect)
+}
+
+var positionedErr = regexp.MustCompile(`^line \d+: `)
+
+func replayCrasher(t *testing.T, path string) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped the toolchain: %v", r)
+		}
+	}()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(raw)
+	spec, err := parseCrasherSpec(src)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+
+	prog, err := parser.Parse(src)
+	if spec.expect == "parse-error" {
+		if err == nil {
+			t.Fatalf("expected a parse error, got none")
+		}
+		if !positionedErr.MatchString(err.Error()) {
+			t.Fatalf("parse error not positioned: %q", err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	err = ir.Verify(prog)
+	if spec.expect == "verify-error" {
+		if err == nil {
+			t.Fatalf("expected a verify error, got none")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if spec.ade {
+		if _, err := core.Apply(prog, core.DefaultOptions()); err != nil {
+			t.Fatalf("ade: %v", err)
+		}
+		if err := ir.Verify(prog); err != nil {
+			t.Fatalf("verify after ade: %v", err)
+		}
+	}
+
+	type outcome struct {
+		kind     string
+		errStr   string
+		steps    uint64
+		ret      uint64
+		checksum uint64
+	}
+	runOn := func(eng bench.Engine) (o outcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("engine %s panicked: %v", eng, r)
+			}
+		}()
+		iopts := interp.DefaultOptions()
+		iopts.MaxSteps = spec.maxSteps
+		iopts.MaxBytes = spec.maxBytes
+		m, err := bench.NewMachine(prog, iopts, eng)
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		ret, err := m.Run("main")
+		m.FinalizeMem()
+		st := m.Stats()
+		o.steps, o.ret, o.checksum = st.Steps, ret.I, st.EmitSum
+		switch {
+		case err == nil:
+			o.kind = "ok"
+		case errors.Is(err, interp.ErrStepBudget):
+			o.kind = "step-budget"
+		case errors.Is(err, interp.ErrMemBudget):
+			o.kind = "mem-budget"
+		default:
+			o.kind = "runtime-error"
+		}
+		if err != nil {
+			o.errStr = err.Error()
+		}
+		return o
+	}
+
+	oi := runOn(bench.EngineInterp)
+	ov := runOn(bench.EngineVM)
+	for _, o := range []outcome{oi, ov} {
+		if o.kind != spec.expect {
+			t.Fatalf("outcome %q (err %q), want %q", o.kind, o.errStr, spec.expect)
+		}
+	}
+	// Engine parity: identical diagnostics, identical partial (or
+	// final) telemetry.
+	if oi.errStr != ov.errStr {
+		t.Fatalf("engine error divergence:\n  interp: %q\n  vm:     %q", oi.errStr, ov.errStr)
+	}
+	if oi.steps != ov.steps {
+		t.Fatalf("engine step divergence at interruption: interp %d vs vm %d", oi.steps, ov.steps)
+	}
+	if spec.expect == "ok" && (oi.ret != ov.ret || oi.checksum != ov.checksum) {
+		t.Fatalf("engine output divergence: interp (ret %d, sum %d) vs vm (ret %d, sum %d)",
+			oi.ret, oi.checksum, ov.ret, ov.checksum)
+	}
+}

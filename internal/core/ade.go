@@ -30,6 +30,10 @@ type adeCtx struct {
 	// allocOrds caches per-function allocation ordinals for remark
 	// site keys (filled only when remarks are enabled).
 	allocOrds map[*ir.Func]map[*ir.Instr]int
+
+	// fuel meters Options.Fuel across the whole run: enumeration
+	// classes first, then RTE elisions (see sandbox.go).
+	fuel *fuelState
 }
 
 func (cx *adeCtx) fiOf(fn *ir.Func) *fnInfo { return cx.fis[fn] }
@@ -155,9 +159,19 @@ func (cx *adeCtx) extBenefit(facets []*facet) int {
 
 // Apply runs Automatic Data Enumeration over the whole program,
 // mutating it in place, and returns a report of the decisions taken.
+//
+// Each sub-pass runs inside a sandbox step (see sandbox.go): with
+// Options.Sandbox a failing sub-pass rolls the program back to the
+// untransformed state and Apply still returns successfully, with the
+// failure recorded in Report.Degraded; otherwise failures surface as
+// errors exactly as before, except that a sub-pass panic becomes an
+// error instead of crashing the process.
 func Apply(prog *ir.Program, opts Options) (*Report, error) {
 	report := &Report{}
 
+	// Pragma validation stays outside the sandbox: it inspects the
+	// untransformed input, and a malformed pragma is a caller mistake
+	// the caller must hear about even in sandboxed runs.
 	chk := &checkCtx{on: opts.Check, prog: prog}
 	if err := chk.pragmas(); err != nil {
 		return report, err
@@ -168,6 +182,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		ordinals:  map[*ir.Func]map[*ir.Instr]int{},
 		fnAlias:   map[string]string{},
 		allocOrds: map[*ir.Func]map[*ir.Instr]int{},
+		fuel:      newFuel(opts.Fuel),
 	}
 	em := opts.Remarks
 	sz := func() int {
@@ -176,73 +191,99 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		}
 		return irSize(prog)
 	}
-	em.Begin("use-analysis", sz())
-	for _, name := range prog.Order {
-		fn := prog.Funcs[name]
-		cx.fis[fn] = analyzeFunc(fn)
-	}
-	cx.rebuildLinkage()
-	if err := chk.program("use-analysis"); err != nil {
-		return report, err
-	}
-	if err := chk.sites("use-analysis", cx.fis); err != nil {
+	sb := newSandbox(prog, opts, report, em, sz)
+
+	if err := sb.step("use-analysis", func() error {
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			cx.fis[fn] = analyzeFunc(fn)
+		}
+		cx.rebuildLinkage()
+		if err := chk.program("use-analysis"); err != nil {
+			return err
+		}
+		return chk.sites("use-analysis", cx.fis)
+	}); err != nil {
 		return report, err
 	}
 
-	em.Begin("candidate-formation", sz())
 	cands := map[*ir.Func][]*candidate{}
-	for _, name := range prog.Order {
-		fn := prog.Funcs[name]
-		cands[fn] = formCandidates(cx, cx.fis[fn], report)
-	}
-	if err := chk.candidates("candidate-formation", cands, opts); err != nil {
+	if err := sb.step("candidate-formation", func() error {
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			cands[fn] = formCandidates(cx, cx.fis[fn], report)
+		}
+		return chk.candidates("candidate-formation", cands, opts)
+	}); err != nil {
 		return report, err
 	}
 
-	em.Begin("interprocedural-unification", sz())
-	ipc := &interproc{cx: cx, prog: prog, opts: opts, report: report, fis: cx.fis, cands: cands, clones: map[string]string{}}
-	classes, classOf, err := ipc.resolve()
-	if err != nil {
-		return report, err
-	}
-	if err := chk.program("interprocedural-unification"); err != nil {
-		return report, err
-	}
-	if err := chk.classes("interprocedural-unification", classes, classOf); err != nil {
+	var classes []*classInfo
+	var classOf map[*facet]*classInfo
+	if err := sb.step("interprocedural-unification", func() error {
+		ipc := &interproc{cx: cx, prog: prog, opts: opts, report: report, fis: cx.fis, cands: cands, clones: map[string]string{}}
+		var err error
+		classes, classOf, err = ipc.resolve()
+		if err != nil {
+			return err
+		}
+		if err := chk.program("interprocedural-unification"); err != nil {
+			return err
+		}
+		return chk.classes("interprocedural-unification", classes, classOf)
+	}); err != nil {
 		return report, err
 	}
 
-	em.Begin("union-safety", sz())
-	dropUnsafeUnionClasses(cx, classes, classOf, report)
-	if err := chk.classes("union-safety", classes, classOf); err != nil {
+	if err := sb.step("union-safety", func() error {
+		dropUnsafeUnionClasses(cx, classes, classOf, report)
+		applyFuelToClasses(cx, classes, classOf, report)
+		if err := chk.classes("union-safety", classes, classOf); err != nil {
+			return err
+		}
+		cx.emitClassRemarks(classes, classOf)
+		return nil
+	}); err != nil {
 		return report, err
 	}
-	cx.emitClassRemarks(classes, classOf)
 
-	em.Begin("transform", sz())
-	// prog.Order may have grown with clones; transform everything.
-	for _, name := range prog.Order {
-		fn := prog.Funcs[name]
-		fi := cx.fis[fn]
-		if fi == nil {
-			continue
+	if err := sb.step("transform", func() error {
+		// prog.Order may have grown with clones; transform everything.
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			fi := cx.fis[fn]
+			if fi == nil {
+				continue
+			}
+			if err := transformFunc(cx, fi, opts, classOf); err != nil {
+				return fmt.Errorf("ade: @%s: %w", fn.Name, err)
+			}
+			// Mid-loop, callers and callees legitimately disagree on
+			// collection argument types; check each function locally.
+			if err := chk.funcLocal("transform", fn); err != nil {
+				return err
+			}
 		}
-		if err := transformFunc(cx, fi, opts, classOf); err != nil {
-			return report, fmt.Errorf("ade: @%s: %w", fn.Name, err)
+		if err := chk.program("transform"); err != nil {
+			return err
 		}
-		// Mid-loop, callers and callees legitimately disagree on
-		// collection argument types; check each function locally.
-		if err := chk.funcLocal("transform", fn); err != nil {
-			return report, err
+		if opts.RTE && !cx.fuel.limited {
+			// Fuel-limited runs legitimately leave residual
+			// translations wherever an elision was denied.
+			return chk.residuals("redundant-translation elimination")
 		}
-	}
-	if err := chk.program("transform"); err != nil {
+		return nil
+	}); err != nil {
 		return report, err
 	}
-	if opts.RTE {
-		if err := chk.residuals("redundant-translation elimination"); err != nil {
-			return report, err
-		}
+
+	report.Rewrites = cx.fuel.used
+	if sb.dead {
+		// Rolled back: the program is the untransformed input; any
+		// classes computed before the failure no longer describe it.
+		report.Classes = nil
+		report.Rewrites = 0
+		return report, nil
 	}
 	em.End(sz())
 

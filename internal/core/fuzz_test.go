@@ -15,7 +15,13 @@ import (
 
 func runFuzzProgram(t testing.TB, p *ir.Program, seed int64) (uint64, uint64) {
 	t.Helper()
-	ip := interp.New(p, interp.DefaultOptions())
+	opts := interp.DefaultOptions()
+	// Generous step/mem budgets: a pathological generated program fails
+	// fast with a structured budget error (reported below) instead of
+	// stalling a coverage-guided fuzz run.
+	opts.MaxSteps = 20_000_000
+	opts.MaxBytes = 1 << 30
+	ip := interp.New(p, opts)
 	c := ip.NewColl(ir.SeqOf(ir.TU64)).(interp.RSeq)
 	for _, k := range FuzzInput(seed) {
 		c.Append(interp.IntV(k))

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"memoir/internal/collections"
+	"memoir/internal/faults"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
 	"memoir/internal/remarks"
@@ -71,6 +72,43 @@ type Options struct {
 	// like FIM's disabled verbose output) then contributes no benefit,
 	// avoiding the enumeration of cold collections.
 	Profile profile.Profile
+
+	// Sandbox runs every sub-pass against a pristine-IR snapshot with
+	// panic recovery: a sub-pass that panics or fails a -check
+	// invariant is rolled back wholesale — the program reverts to its
+	// untransformed state, a `degrade` remark is emitted, and Apply
+	// returns successfully with Report.Degraded filled. Off, the same
+	// failures surface as errors (a panic becomes an
+	// "ade: panic in <pass>" error rather than crashing the process).
+	Sandbox bool
+
+	// Fuel bounds the number of rewrites the pass may perform, for
+	// bisecting miscompiles: 0 is unlimited (the zero-value default),
+	// N > 0 stops after N rewrite units (enumeration classes in
+	// deterministic id order, then RTE elisions in transform order),
+	// and any negative value permits none. Report.Rewrites records how
+	// many units a run actually performed.
+	Fuel int
+
+	// Faults, when non-nil, drives deterministic compile-time fault
+	// injection (force a sub-pass panic) for testing the sandbox. Each
+	// injector is single-run state: never share one across Apply calls.
+	Faults *faults.Injector
+}
+
+// FuelFromFlag maps the CLI -fuel convention (-1 unlimited — the flag
+// default — 0 permits no rewrites, N > 0 permits N) onto Options.Fuel,
+// whose zero value must stay "unlimited" for compatibility (0
+// unlimited, negative none).
+func FuelFromFlag(n int) int {
+	switch {
+	case n < 0:
+		return 0
+	case n == 0:
+		return -1
+	default:
+		return n
+	}
 }
 
 // DefaultOptions returns the paper's full ADE configuration.
@@ -93,6 +131,14 @@ type Report struct {
 	Skipped []string
 	// Cloned lists functions cloned for transformation (§III-F).
 	Cloned []string
+	// Degraded lists sandboxed sub-passes that failed and were rolled
+	// back ("<pass>: <reason>"); non-empty means the program ran
+	// unoptimized (Options.Sandbox).
+	Degraded []string
+	// Rewrites counts the rewrite units performed, in the same units
+	// Options.Fuel is budgeted in; the unlimited-fuel count is the
+	// bisection upper bound.
+	Rewrites int
 }
 
 // ClassReport describes one enumeration equivalence class.
@@ -116,6 +162,9 @@ func (r *Report) String() string {
 	}
 	for _, c := range r.Cloned {
 		fmt.Fprintf(&sb, "cloned: %s\n", c)
+	}
+	for _, d := range r.Degraded {
+		fmt.Fprintf(&sb, "degraded: %s\n", d)
 	}
 	return sb.String()
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"memoir/internal/core"
+	"memoir/internal/faults"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
 	"memoir/internal/remarks"
@@ -27,6 +28,7 @@ var remarkCodes = []string{
 	remarks.CodeInterproc,
 	remarks.CodeSelectImpl,
 	remarks.CodePragma,
+	remarks.CodeDegrade,
 }
 
 // TestRemarkGoldenCorpus locks the remark text and JSON formats on
@@ -52,6 +54,17 @@ func TestRemarkGoldenCorpus(t *testing.T) {
 			em := remarks.NewEmitter()
 			opts := core.DefaultOptions()
 			opts.Remarks = em
+			if code == remarks.CodeDegrade {
+				// The degrade remark only fires when a sandboxed
+				// sub-pass fails; inject a deterministic transform
+				// panic for the sandbox to contain.
+				pt, err := faults.ByName("pass-panic:transform")
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Sandbox = true
+				opts.Faults = faults.NewInjector(pt)
+			}
 			if _, err := core.Apply(prog, opts); err != nil {
 				t.Fatalf("ade: %v", err)
 			}

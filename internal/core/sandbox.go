@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"memoir/internal/faults"
+	"memoir/internal/ir"
+	"memoir/internal/remarks"
+)
+
+// sandbox runs the ADE sub-passes with crash containment. With
+// Options.Sandbox set, a sub-pass that panics or returns an error
+// (including a -check invariant failure) rolls the whole program back
+// to the pristine pre-ADE snapshot, emits a `degrade` remark, and
+// marks the pipeline dead — later sub-passes are skipped and Apply
+// returns successfully with the unoptimized program, which is always a
+// sound result (it is exactly the no-ADE baseline). The rollback is
+// whole-program rather than per-pass because analysis state is
+// pointer-keyed into the IR and enumeration classes span functions: a
+// partial revert would leave the remaining pipeline reading dangling
+// state, trading one crash for a subtler one.
+//
+// Without Sandbox, errors propagate unchanged and a panic is converted
+// to an "ade: panic in <pass>" error — still no process crash, but no
+// rollback either.
+type sandbox struct {
+	prog     *ir.Program
+	pristine *ir.Program // nil unless Options.Sandbox
+	opts     Options
+	report   *Report
+	em       *remarks.Emitter
+	sz       func() int
+
+	// dead is set after a rollback: the pipeline is over.
+	dead bool
+}
+
+func newSandbox(prog *ir.Program, opts Options, report *Report, em *remarks.Emitter, sz func() int) *sandbox {
+	s := &sandbox{prog: prog, opts: opts, report: report, em: em, sz: sz}
+	if opts.Sandbox {
+		s.pristine = ir.CloneProgram(prog)
+	}
+	return s
+}
+
+// step runs one sub-pass. It owns the remark phase span (so spans stay
+// balanced when a pass dies mid-flight), the fault-injection hook (the
+// forced panic is raised inside the recovery scope, like a real one),
+// and the recover/rollback policy described on sandbox.
+func (s *sandbox) step(pass string, body func() error) (err error) {
+	if s.dead {
+		return nil
+	}
+	s.em.Begin(pass, s.sz())
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("ade: panic in %s: %v", pass, r)
+			}
+		}()
+		if s.opts.Faults.PassPanics(pass) {
+			panic(&faults.InjectedFault{P: s.opts.Faults.Point()})
+		}
+		err = body()
+	}()
+	if err == nil {
+		return nil
+	}
+	if !s.opts.Sandbox {
+		return err
+	}
+	s.rollback(pass, err)
+	return nil
+}
+
+// rollback restores the pristine program, records the degradation, and
+// kills the pipeline.
+func (s *sandbox) rollback(pass string, cause error) {
+	*s.prog = *s.pristine
+	s.dead = true
+	s.report.Degraded = append(s.report.Degraded, pass+": "+cause.Error())
+	if s.em.Enabled() {
+		s.em.Emit(remarks.Remark{
+			Code: remarks.CodeDegrade, Pass: pass,
+			Message: "sub-pass rolled back, program left unoptimized: " + cause.Error(),
+		})
+	}
+	s.em.End(s.sz())
+}
+
+// fuelState meters Options.Fuel. One unit of fuel buys one rewrite
+// unit; take() reports whether the unit may proceed and counts the
+// units actually performed (Report.Rewrites). The rewrite sequence is
+// deterministic — classes in id order, then RTE elisions in transform
+// order — so `-fuel k` reproduces the first k rewrites of the
+// unlimited run exactly, which is what makes bisection meaningful.
+type fuelState struct {
+	limited bool
+	left    int
+	used    int
+}
+
+// newFuel maps the Options.Fuel convention: 0 unlimited, N > 0 permits
+// N units, negative permits none.
+func newFuel(n int) *fuelState {
+	switch {
+	case n == 0:
+		return &fuelState{}
+	case n < 0:
+		return &fuelState{limited: true}
+	default:
+		return &fuelState{limited: true, left: n}
+	}
+}
+
+func (f *fuelState) take() bool {
+	if f == nil {
+		return true
+	}
+	if f.limited {
+		if f.left == 0 {
+			return false
+		}
+		f.left--
+	}
+	f.used++
+	return true
+}
+
+// applyFuelToClasses is the first fuel gate: each live enumeration
+// class, visited in deterministic id order, consumes one unit; classes
+// beyond the budget are dropped whole. Whole-class granularity keeps
+// the rewrite prefix sound — a class is the unit over which functions
+// must agree on enumerated types, so a partially-rewritten class is
+// never produced no matter where the fuel runs out.
+func applyFuelToClasses(cx *adeCtx, classes []*classInfo, classOf map[*facet]*classInfo, report *Report) {
+	if !cx.fuel.limited {
+		for _, ci := range classes {
+			if classAlive(ci, classOf) {
+				cx.fuel.take()
+			}
+		}
+		return
+	}
+	live := make([]*classInfo, 0, len(classes))
+	for _, ci := range classes {
+		if classAlive(ci, classOf) {
+			live = append(live, ci)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, ci := range live {
+		if cx.fuel.take() {
+			continue
+		}
+		for _, f := range ci.facets {
+			if classOf[f] == ci {
+				delete(classOf, f)
+			}
+		}
+		report.Skipped = append(report.Skipped, fmt.Sprintf("class %s dropped: optimization fuel exhausted", ci.global))
+		cx.emit(remarks.Remark{
+			Code: remarks.CodeEnumSkip, Pass: "union-safety",
+			Site:    ci.global,
+			Message: "optimization fuel exhausted",
+		})
+	}
+}

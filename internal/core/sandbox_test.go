@@ -1,0 +1,216 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"memoir/internal/faults"
+	"memoir/internal/ir"
+	"memoir/internal/remarks"
+)
+
+var sandboxInput = []uint64{3, 1, 3, 7, 1, 3, 9, 9, 1, 3}
+
+// TestPassNamesMatchFaultRegistry drives an injected panic through
+// every pass name the fault registry knows: if core ever renames a
+// sub-pass without updating faults.Passes, the injection never fires
+// and this test catches the drift.
+func TestPassNamesMatchFaultRegistry(t *testing.T) {
+	for _, pass := range faults.Passes {
+		inj := faults.NewInjector(faults.Point{Name: "pass-panic:" + pass, Kind: faults.PassPanic, Pass: pass})
+		opts := DefaultOptions()
+		opts.Sandbox = true
+		opts.Faults = inj
+		if _, err := Apply(buildHistogram(), opts); err != nil {
+			t.Fatalf("%s: sandboxed Apply returned error: %v", pass, err)
+		}
+		if !inj.Fired() {
+			t.Errorf("pass-panic:%s never fired — faults.Passes disagrees with core's pipeline phases", pass)
+		}
+	}
+}
+
+// TestSandboxRollback injects a panic into each sub-pass and requires
+// full rollback: Apply succeeds, the program is byte-identical to the
+// untransformed input, it still runs correctly, and the degradation is
+// recorded in both the report and a degrade remark.
+func TestSandboxRollback(t *testing.T) {
+	wantRet, wantStats := runCount(t, buildHistogram(), sandboxInput)
+	for _, pass := range faults.Passes {
+		pass := pass
+		t.Run(pass, func(t *testing.T) {
+			prog := buildHistogram()
+			pristine := ir.Print(buildHistogram())
+			em := remarks.NewEmitter()
+			opts := DefaultOptions()
+			opts.Sandbox = true
+			opts.Check = true
+			opts.Remarks = em
+			opts.Faults = faults.NewInjector(faults.Point{Name: "pass-panic:" + pass, Kind: faults.PassPanic, Pass: pass})
+			rep, err := Apply(prog, opts)
+			if err != nil {
+				t.Fatalf("sandboxed Apply: %v", err)
+			}
+			if len(rep.Degraded) != 1 || !strings.HasPrefix(rep.Degraded[0], pass+":") {
+				t.Fatalf("Degraded = %q, want one entry for %s", rep.Degraded, pass)
+			}
+			if len(rep.Classes) != 0 || rep.Rewrites != 0 {
+				t.Fatalf("rolled-back report still claims work: classes=%d rewrites=%d", len(rep.Classes), rep.Rewrites)
+			}
+			if got := ir.Print(prog); got != pristine {
+				t.Fatalf("program not restored to pristine input:\n%s", got)
+			}
+			if err := ir.Verify(prog); err != nil {
+				t.Fatalf("restored program fails verification: %v", err)
+			}
+			if len(remarks.ByCode(em.Remarks, remarks.CodeDegrade)) != 1 {
+				t.Fatalf("no degrade remark emitted:\n%s", remarks.Text(em.Remarks))
+			}
+			ret, stats := runCount(t, prog, sandboxInput)
+			if ret != wantRet || stats.EmitSum != wantStats.EmitSum || stats.EmitCount != wantStats.EmitCount {
+				t.Fatalf("rolled-back program diverges from baseline: ret=%d want %d", ret, wantRet)
+			}
+		})
+	}
+}
+
+// TestUnsandboxedPanicBecomesError: without the sandbox, an injected
+// sub-pass panic must surface as an error — never a process crash.
+func TestUnsandboxedPanicBecomesError(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Faults = faults.NewInjector(faults.Point{Name: "pass-panic:transform", Kind: faults.PassPanic, Pass: "transform"})
+	_, err := Apply(buildHistogram(), opts)
+	if err == nil {
+		t.Fatal("unsandboxed injected panic returned nil error")
+	}
+	if !strings.Contains(err.Error(), "ade: panic in transform") {
+		t.Fatalf("error does not name the panicking pass: %v", err)
+	}
+	if !strings.Contains(err.Error(), "pass-panic:transform") {
+		t.Fatalf("error does not name the injection point: %v", err)
+	}
+}
+
+// TestSandboxCheckFailureRollsBack: the sandbox must also catch
+// -check invariant failures, not just panics. A Mutate-style breakage
+// is hard to stage from outside, so this uses the fault injector's
+// panic point with Check on — the rollback path through checkCtx
+// errors is exercised by the difftest fault sweep; here we pin that a
+// clean program under Sandbox+Check transforms normally (no spurious
+// degradation).
+func TestSandboxCleanRunNotDegraded(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Sandbox = true
+	opts.Check = true
+	rep, err := Apply(buildHistogram(), opts)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("clean run degraded: %q", rep.Degraded)
+	}
+	if len(rep.Classes) == 0 || rep.Rewrites == 0 {
+		t.Fatalf("clean sandboxed run did no work: classes=%d rewrites=%d", len(rep.Classes), rep.Rewrites)
+	}
+}
+
+// TestFuelSemantics pins the Options.Fuel convention and the fuel
+// soundness property: every fuel level yields a program with baseline
+// behaviour, and the rewrite counts are monotone up to the
+// unlimited-run total.
+func TestFuelSemantics(t *testing.T) {
+	wantRet, wantStats := runCount(t, buildHistogram(), sandboxInput)
+
+	// Unlimited (the zero value): establishes the rewrite total.
+	full, err := Apply(buildHistogram(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rewrites == 0 {
+		t.Fatal("unlimited run reports zero rewrites")
+	}
+
+	// Negative: no rewrites at all — the program must be untouched.
+	prog := buildHistogram()
+	pristine := ir.Print(buildHistogram())
+	opts := DefaultOptions()
+	opts.Fuel = -1
+	rep, err := Apply(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rewrites != 0 || len(rep.Classes) != 0 {
+		t.Fatalf("fuel -1 still rewrote: rewrites=%d classes=%d", rep.Rewrites, len(rep.Classes))
+	}
+	if ir.Print(prog) != pristine {
+		t.Fatal("fuel -1 modified the program")
+	}
+
+	// Every intermediate level: sound, monotone, deterministic.
+	for k := 1; k <= full.Rewrites; k++ {
+		prog := buildHistogram()
+		opts := DefaultOptions()
+		opts.Fuel = k
+		opts.Check = true
+		rep, err := Apply(prog, opts)
+		if err != nil {
+			t.Fatalf("fuel %d: %v", k, err)
+		}
+		if rep.Rewrites > k || rep.Rewrites > full.Rewrites {
+			t.Fatalf("fuel %d: performed %d rewrites", k, rep.Rewrites)
+		}
+		if err := ir.Verify(prog); err != nil {
+			t.Fatalf("fuel %d: transformed program fails verification: %v", k, err)
+		}
+		ret, stats := runCount(t, prog, sandboxInput)
+		if ret != wantRet || stats.EmitSum != wantStats.EmitSum || stats.EmitCount != wantStats.EmitCount {
+			t.Fatalf("fuel %d: output diverges from baseline: ret=%d want %d (emit %d/%d want %d/%d)",
+				k, ret, wantRet, stats.EmitCount, stats.EmitSum, wantStats.EmitCount, wantStats.EmitSum)
+		}
+	}
+
+	// Exactly enough fuel reproduces the full run's rewrite count.
+	prog = buildHistogram()
+	opts = DefaultOptions()
+	opts.Fuel = full.Rewrites
+	rep, err = Apply(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rewrites != full.Rewrites {
+		t.Fatalf("fuel %d performed %d rewrites, want all %d", full.Rewrites, rep.Rewrites, full.Rewrites)
+	}
+}
+
+// TestFuelDeterministic: the same fuel level twice gives byte-identical
+// programs — the property bisection relies on.
+func TestFuelDeterministic(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		run := func() string {
+			prog := buildHistogram()
+			opts := DefaultOptions()
+			opts.Fuel = k
+			if _, err := Apply(prog, opts); err != nil {
+				t.Fatalf("fuel %d: %v", k, err)
+			}
+			return ir.Print(prog)
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("fuel %d not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", k, a, b)
+		}
+	}
+}
+
+// TestSandboxOffByDefault: the zero-value Options and DefaultOptions
+// keep the historical non-sandboxed, unlimited-fuel behaviour, so no
+// existing caller changes meaning.
+func TestSandboxOffByDefault(t *testing.T) {
+	var zero Options
+	if zero.Sandbox || zero.Fuel != 0 || zero.Faults != nil {
+		t.Fatal("zero-value Options enables robustness features")
+	}
+	d := DefaultOptions()
+	if d.Sandbox || d.Fuel != 0 || d.Faults != nil {
+		t.Fatal("DefaultOptions enables robustness features")
+	}
+}

@@ -551,7 +551,7 @@ func (tr *transformer) patch() error {
 			continue
 		}
 		vOwner := tr.ownerOf(v)
-		if vOwner == ci && tr.opts.RTE {
+		if vOwner == ci && tr.opts.RTE && tr.cx.fuel.take() {
 			// enc∘dec / add∘dec elided (Algorithm 2).
 			rule := "enc-of-dec"
 			if tr.wantsAdd[key] {
@@ -560,8 +560,9 @@ func (tr *transformer) patch() error {
 			tr.emitRTE(rule, ci, ppLine(pp), "%"+v.Name)
 			continue
 		}
-		if vOwner == ci && !tr.opts.RTE {
-			// Ablation: decode then re-translate, per use position.
+		if vOwner == ci {
+			// Ablation (or out of fuel): decode then re-translate, per
+			// use position.
 			dec, dv := tr.mkDec(ci, v)
 			var tin *ir.Instr
 			var id *ir.Value
@@ -623,8 +624,11 @@ func (tr *transformer) patch() error {
 				case ir.OpCmp:
 					if tr.opts.RTE && (in.Cmp == ir.CmpEq || in.Cmp == ir.CmpNe) {
 						other := in.Args[1-u.Arg].Base
-						if tr.ownerOf(other) == ci {
-							// Identifier equality (injectivity).
+						if tr.ownerOf(other) == ci && tr.cx.fuel.take() {
+							// Identifier equality (injectivity). Out of
+							// fuel, fall through to the generic decode —
+							// value equality agrees with identifier
+							// equality by injectivity.
 							tr.emitRTE("id-equality", ci, in.Pos, "%"+v.Name, "%"+other.Name)
 							continue
 						}

@@ -114,19 +114,31 @@ type RunOptions struct {
 	// ADE column (adec -check). Checks never change decisions, so a
 	// -check sweep exercises the same matrix with invariants asserted.
 	Check bool
+	// Fuel, when non-zero, caps every ADE column's rewrite budget
+	// (core.Options.Fuel convention: negative permits none). Combined
+	// with -bench/-configs filters this is the manual bisection
+	// workflow: rerun a diverging cell at shrinking fuel levels until
+	// the divergence disappears.
+	Fuel int
 	// Verbose, when non-nil, receives one progress line per executed
 	// cell.
 	Verbose io.Writer
 }
 
-// withCheck returns c with core's invariant checking enabled on its
-// ADE options (a copy; the matrix itself is never mutated).
-func withCheck(c Config, check bool) Config {
-	if !check || c.ADE == nil {
+// withCheck returns c with core's invariant checking and/or a rewrite
+// fuel cap applied to its ADE options (a copy; the matrix itself is
+// never mutated).
+func withCheck(c Config, check bool, fuel int) Config {
+	if (!check && fuel == 0) || c.ADE == nil {
 		return c
 	}
 	a := *c.ADE
-	a.Check = true
+	if check {
+		a.Check = true
+	}
+	if fuel != 0 {
+		a.Fuel = fuel
+	}
 	c.ADE = &a
 	return c
 }
@@ -355,7 +367,7 @@ func Run(o RunOptions) (*Report, error) {
 		// op-count comparison.
 		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, got, div := runCell(s, withCheck(c, o.Check), ref, o.Scale)
+			e, got, div := runCell(s, withCheck(c, o.Check, o.Fuel), ref, o.Scale)
 			if div == nil {
 				if d := twinDivergence(got, twins, c, s.Abbr, 0); d != nil {
 					e.Diverged = true

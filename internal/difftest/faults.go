@@ -1,0 +1,289 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+
+	"memoir/internal/bench"
+	"memoir/internal/core"
+	"memoir/internal/faults"
+	"memoir/internal/ir"
+)
+
+// Fault-sweep cell outcomes. Every outcome except FaultUnexpected is a
+// contained fault; FaultUnexpected (a panic that escaped every
+// recovery layer, or the sandbox returning an error it should have
+// absorbed) fails the run.
+const (
+	FaultRolledBack   = "rolled-back"
+	FaultCrash        = "crash"
+	FaultDegraded     = "degraded"
+	FaultNotTriggered = "not-triggered"
+	FaultUnexpected   = "unexpected"
+)
+
+// FaultOptions configures one fault-injection sweep (adediff -faults).
+type FaultOptions struct {
+	Scale bench.Scale
+	Shard Shard
+	// Benchmarks and Configs filter like RunOptions; empty means all.
+	Benchmarks []string
+	Configs    []string
+	// Matrix overrides the configuration matrix (tests); nil means
+	// Matrix().
+	Matrix []Config
+	// Faults selects injection points by name (faults.ByName syntax);
+	// empty sweeps the whole registry.
+	Faults []string
+	// Verbose, when non-nil, receives one progress line per cell.
+	Verbose io.Writer
+}
+
+// RunFaults injects every selected fault point — one at a time, with a
+// fresh deterministic injector per cell — into every benchmark ×
+// matrix-column cell and classifies how the system contained it:
+//
+//   - a compile-time pass panic must be rolled back by the sandbox
+//     (output identical to the reference, Report.Degraded recorded);
+//   - a runtime allocation failure must surface as a structured
+//     ErrRuntimePanic, never a process panic ("crash");
+//   - a silent enumeration corruption may reach the output
+//     ("degraded") — the miscompile shape — in which case the cell is
+//     triaged by fuel bisection to the first faulty rewrite index.
+//
+// "crash" and "degraded" cells are recorded as informative
+// Divergences; only a fault that escapes containment ("unexpected")
+// makes the report fail. A non-nil error means the harness itself
+// failed before sweeping.
+func RunFaults(o FaultOptions) (*Report, error) {
+	matrix := o.Matrix
+	if matrix == nil {
+		matrix = Matrix()
+	}
+	cfgs, err := selectConfigs(matrix, o.Configs)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := selectBenchmarks(RunOptions{Shard: o.Shard, Benchmarks: o.Benchmarks})
+	if err != nil {
+		return nil, err
+	}
+	var pts []faults.Point
+	if len(o.Faults) == 0 {
+		pts = faults.Registry()
+	} else {
+		for _, name := range o.Faults {
+			pt, err := faults.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, pt)
+		}
+	}
+
+	rpt := NewReport(o.Scale, o.Shard, ConfigNames(cfgs))
+	fr := &FaultReport{}
+	for _, pt := range pts {
+		fr.Points = append(fr.Points, pt.Name)
+	}
+	rpt.FaultSweep = fr
+
+	for _, s := range specs {
+		// The healthy reference: untransformed program, baseline hash
+		// implementations, interpreter, no faults.
+		ref, err := execute(s, s.Build(""), interpOpts(Config{}), o.Scale, bench.EngineInterp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: reference run: %w", s.Abbr, err)
+		}
+		for _, pt := range pts {
+			for _, c := range cfgs {
+				cell := runFaultCell(s, c, pt, ref, o.Scale)
+				fr.Cells = append(fr.Cells, cell)
+				if cell.Outcome == FaultCrash || cell.Outcome == FaultDegraded {
+					d := Divergence{
+						Bench: s.Abbr, Config: c.Name,
+						Kind: cell.Outcome, Fault: pt.Name, Detail: cell.Detail,
+					}
+					if cell.FirstBadRewrite >= 0 {
+						k := cell.FirstBadRewrite
+						d.FirstBadRewrite = &k
+					}
+					rpt.Divergences = append(rpt.Divergences, d)
+				}
+				if o.Verbose != nil {
+					extra := ""
+					if cell.FirstBadRewrite >= 0 {
+						extra = fmt.Sprintf(" first-bad-rewrite=%d", cell.FirstBadRewrite)
+					}
+					fmt.Fprintf(o.Verbose, "%-5s %-22s %-20s %s%s\n", s.Abbr, c.Name, pt.Name, cell.Outcome, extra)
+				}
+			}
+		}
+	}
+	rpt.Finish()
+	return rpt, nil
+}
+
+// runFaultCell runs one (benchmark, config) cell with pt injected and
+// classifies the outcome. The whole cell runs under its own recover:
+// an injected allocation failure can fire while the harness itself is
+// building the benchmark input through the engine's Allocator — before
+// the engine's Run-boundary recovery exists — and that containment is
+// the harness's job. Any non-injected payload reaching this recover is
+// a genuine containment escape and classifies as "unexpected".
+func runFaultCell(s *bench.Spec, c Config, pt faults.Point, ref *outcome, sc bench.Scale) (cell FaultCell) {
+	cell = FaultCell{Fault: pt.Name, Bench: s.Abbr, Config: c.Name, FirstBadRewrite: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*faults.InjectedFault); ok {
+				cell.Outcome = FaultCrash
+				cell.Detail = "injected fault panicked during input construction"
+				return
+			}
+			cell.Outcome = FaultUnexpected
+			cell.Detail = fmt.Sprintf("escaped panic: %v", r)
+		}
+	}()
+
+	if pt.Kind == faults.PassPanic && c.ADE == nil {
+		cell.Outcome = FaultNotTriggered
+		cell.Detail = "baseline column runs no compiler pipeline"
+		return cell
+	}
+
+	prog, rep, compileInj, err := buildFaulted(s, c, pt, 0)
+	if err != nil {
+		// The sandbox is on for every fault-sweep ADE column; an error
+		// here means it failed to absorb the fault.
+		cell.Outcome = FaultUnexpected
+		cell.Detail = err.Error()
+		return cell
+	}
+
+	iopts := interpOpts(c)
+	var runInj *faults.Injector
+	if pt.Kind != faults.PassPanic {
+		runInj = faults.NewInjector(pt)
+		iopts.Faults = runInj
+	}
+	got, err := execute(s, prog, iopts, sc, c.Engine)
+	if err != nil {
+		cell.Outcome = FaultCrash
+		cell.Detail = err.Error()
+		cell.FirstBadRewrite = bisectFault(s, c, pt, ref, sc)
+		return cell
+	}
+
+	if equalOutput(ref, got) {
+		switch {
+		case rep != nil && len(rep.Degraded) > 0:
+			cell.Outcome = FaultRolledBack
+			cell.Detail = rep.Degraded[0]
+		case compileInj.Fired() || runInj.Fired():
+			cell.Outcome = FaultRolledBack
+			cell.Detail = "fault fired; output unaffected"
+		default:
+			cell.Outcome = FaultNotTriggered
+		}
+		return cell
+	}
+	cell.Outcome = FaultDegraded
+	cell.Detail = fmt.Sprintf("ret %d vs %d, emits (%d,%d) vs (%d,%d)",
+		got.ret, ref.ret, got.emitCount, got.emitSum, ref.emitCount, ref.emitSum)
+	cell.FirstBadRewrite = bisectFault(s, c, pt, ref, sc)
+	return cell
+}
+
+// buildFaulted builds and transforms the cell's program with the
+// compile-time half of the fault applied. Every ADE column runs
+// sandboxed — the sweep's claim is that faults degrade, not crash.
+// fuel is passed through to Options.Fuel for bisection probes: 0 means
+// unlimited (the cell itself), negative means no rewrites at all.
+func buildFaulted(s *bench.Spec, c Config, pt faults.Point, fuel int) (*ir.Program, *core.Report, *faults.Injector, error) {
+	prog := s.Build("")
+	if err := ir.Verify(prog); err != nil {
+		return nil, nil, nil, fmt.Errorf("build verify: %w", err)
+	}
+	if c.ADE == nil {
+		return prog, nil, nil, nil
+	}
+	a := *c.ADE
+	a.Sandbox = true
+	a.Fuel = fuel
+	var inj *faults.Injector
+	if pt.Kind == faults.PassPanic {
+		inj = faults.NewInjector(pt)
+		a.Faults = inj
+	}
+	rep, err := core.Apply(prog, a)
+	if err != nil {
+		return nil, rep, inj, fmt.Errorf("sandboxed ade: %w", err)
+	}
+	if err := ir.Verify(prog); err != nil {
+		return nil, rep, inj, fmt.Errorf("post-ade verify: %w", err)
+	}
+	return prog, rep, inj, nil
+}
+
+// bisectFault triages a "crash" or "degraded" cell on an ADE column:
+// because the rewrite sequence under -fuel is a deterministic prefix
+// of the unlimited run, binary search over the fuel level finds the
+// smallest rewrite count at which the fault's effect appears. Returns
+// the first faulty rewrite index, 0 if even the untransformed program
+// misbehaves under this fault, or -1 when bisection does not apply
+// (baseline column, or the healthy run performs no rewrites).
+func bisectFault(s *bench.Spec, c Config, pt faults.Point, ref *outcome, sc bench.Scale) int {
+	if c.ADE == nil {
+		return -1
+	}
+	// The healthy unlimited run bounds the search: its rewrite count is
+	// the bisection's upper end.
+	healthy := s.Build("")
+	rep, err := core.Apply(healthy, *c.ADE)
+	if err != nil || rep.Rewrites == 0 {
+		return -1
+	}
+	if faultProbe(s, c, pt, ref, sc, 0) {
+		return 0
+	}
+	// Invariant: probe(lo) is good, probe(hi) is bad. hi starts at the
+	// full rewrite count — the observed faulty cell itself.
+	lo, hi := 0, rep.Rewrites
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if faultProbe(s, c, pt, ref, sc, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// faultProbe replays the cell with the first k rewrites only and a
+// fresh injector, reporting whether the fault's effect (crash or wrong
+// output) appears. Panics during input construction count as bad.
+func faultProbe(s *bench.Spec, c Config, pt faults.Point, ref *outcome, sc bench.Scale, k int) (bad bool) {
+	defer func() {
+		if recover() != nil {
+			bad = true
+		}
+	}()
+	fuel := k
+	if k == 0 {
+		fuel = -1 // core convention: negative fuel permits no rewrites
+	}
+	prog, _, _, err := buildFaulted(s, c, pt, fuel)
+	if err != nil {
+		return true
+	}
+	iopts := interpOpts(c)
+	if pt.Kind != faults.PassPanic {
+		iopts.Faults = faults.NewInjector(pt)
+	}
+	got, err := execute(s, prog, iopts, sc, c.Engine)
+	if err != nil {
+		return true
+	}
+	return !equalOutput(ref, got)
+}

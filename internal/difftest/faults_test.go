@@ -1,0 +1,184 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memoir/internal/bench"
+	"memoir/internal/faults"
+)
+
+// TestFaultSweepContainment runs the full fault registry against one
+// benchmark on baseline, ADE and ADE@vm columns and pins the
+// containment contract: every injected fault is rolled back, crashes
+// as a structured error, or degrades the output — never escapes — and
+// both engines classify every fault identically.
+func TestFaultSweepContainment(t *testing.T) {
+	rpt, err := RunFaults(FaultOptions{
+		Scale:      bench.ScaleTest,
+		Benchmarks: []string{"BFS"},
+		Configs:    []string{"baseline-hash", "ade", "ade@vm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rpt.FaultSweep
+	if fs == nil {
+		t.Fatal("no fault sweep in report")
+	}
+	if !rpt.OK() || fs.Unexpected != 0 {
+		var buf bytes.Buffer
+		rpt.Summary(&buf)
+		t.Fatalf("fault escaped containment:\n%s", buf.String())
+	}
+	if want := len(faults.Registry()) * 3; len(fs.Cells) != want {
+		t.Fatalf("sweep ran %d cells, want %d", len(fs.Cells), want)
+	}
+
+	cell := func(fault, cfg string) FaultCell {
+		for _, c := range fs.Cells {
+			if c.Fault == fault && c.Config == cfg {
+				return c
+			}
+		}
+		t.Fatalf("no cell for %s under %s", fault, cfg)
+		return FaultCell{}
+	}
+
+	// Compile-time pass panics: the sandbox rolls every one back on
+	// ADE columns; baseline columns run no compiler pipeline.
+	for _, pass := range faults.Passes {
+		name := "pass-panic:" + pass
+		for _, cfg := range []string{"ade", "ade@vm"} {
+			if c := cell(name, cfg); c.Outcome != FaultRolledBack {
+				t.Errorf("%s under %s: %s (%s), want rolled-back", name, cfg, c.Outcome, c.Detail)
+			}
+		}
+		if c := cell(name, "baseline-hash"); c.Outcome != FaultNotTriggered {
+			t.Errorf("%s under baseline-hash: %s, want not-triggered", name, c.Outcome)
+		}
+	}
+
+	// A failing allocation must crash with a structured error on every
+	// column — containment, not a process panic.
+	for _, cfg := range []string{"baseline-hash", "ade", "ade@vm"} {
+		if c := cell("alloc-fail:1", cfg); c.Outcome != FaultCrash {
+			t.Errorf("alloc-fail:1 under %s: %s (%s), want crash", cfg, c.Outcome, c.Detail)
+		}
+	}
+	// alloc-fail:7 fires inside Run: the crash detail is the
+	// structured ErrRuntimePanic message naming the point, and fuel
+	// bisection finds the crash present even untransformed.
+	for _, cfg := range []string{"ade", "ade@vm"} {
+		c := cell("alloc-fail:7", cfg)
+		if c.Outcome != FaultCrash || !strings.Contains(c.Detail, "runtime panic: injected fault alloc-fail:7") {
+			t.Errorf("alloc-fail:7 under %s: %s (%s)", cfg, c.Outcome, c.Detail)
+		}
+		if c.FirstBadRewrite != 0 {
+			t.Errorf("alloc-fail:7 under %s: first bad rewrite %d, want 0 (crashes even untransformed)", cfg, c.FirstBadRewrite)
+		}
+	}
+
+	// Enumeration corruption cannot fire without enumerations.
+	for _, n := range []string{"enum-corrupt:1", "enum-corrupt:100"} {
+		if c := cell(n, "baseline-hash"); c.Outcome != FaultNotTriggered {
+			t.Errorf("%s under baseline-hash: %s, want not-triggered", n, c.Outcome)
+		}
+	}
+	// On BFS, corrupting the 100th enumeration add reaches the output:
+	// the miscompile shape. Bisection must attribute it to a real
+	// rewrite (not the untransformed program, which has no enums).
+	for _, cfg := range []string{"ade", "ade@vm"} {
+		c := cell("enum-corrupt:100", cfg)
+		if c.Outcome != FaultDegraded {
+			t.Errorf("enum-corrupt:100 under %s: %s (%s), want degraded", cfg, c.Outcome, c.Detail)
+		}
+		if c.FirstBadRewrite < 1 {
+			t.Errorf("enum-corrupt:100 under %s: first bad rewrite %d, want >= 1", cfg, c.FirstBadRewrite)
+		}
+	}
+
+	// Engine parity: the VM column classifies every fault exactly like
+	// its interpreter twin, bisection index included.
+	for _, pt := range faults.Registry() {
+		i, v := cell(pt.Name, "ade"), cell(pt.Name, "ade@vm")
+		if i.Outcome != v.Outcome || i.FirstBadRewrite != v.FirstBadRewrite {
+			t.Errorf("%s: engines disagree: interp %s/%d vs vm %s/%d",
+				pt.Name, i.Outcome, i.FirstBadRewrite, v.Outcome, v.FirstBadRewrite)
+		}
+	}
+
+	// Contained-but-visible faults land as informative divergences that
+	// never fail the report.
+	for _, d := range rpt.Divergences {
+		if d.Kind != FaultCrash && d.Kind != FaultDegraded {
+			t.Errorf("fault sweep produced a non-fault divergence: %+v", d)
+		}
+		if d.Fault == "" {
+			t.Errorf("fault divergence does not name its point: %+v", d)
+		}
+		if d.Kind == FaultDegraded && (d.FirstBadRewrite == nil || *d.FirstBadRewrite < 1) {
+			t.Errorf("degraded divergence not bisected: %+v", d)
+		}
+	}
+	if fs.Crashed == 0 || fs.Degraded == 0 || fs.RolledBack == 0 {
+		t.Errorf("sweep did not exercise every containment path: %+v", fs)
+	}
+}
+
+// TestFaultSweepUnknownPoint: a bad -fault name is a harness error,
+// not a swept cell.
+func TestFaultSweepUnknownPoint(t *testing.T) {
+	_, err := RunFaults(FaultOptions{
+		Scale:      bench.ScaleTest,
+		Benchmarks: []string{"BFS"},
+		Faults:     []string{"no-such-fault"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown injection point") {
+		t.Fatalf("err = %v, want unknown-point error", err)
+	}
+}
+
+// TestFaultReportRoundTrip: the fault sweep survives the JSON round
+// trip, and an unexpected cell fails OK().
+func TestFaultReportRoundTrip(t *testing.T) {
+	rpt := NewReport(bench.ScaleTest, Shard{}, []string{"ade"})
+	k := 3
+	rpt.FaultSweep = &FaultReport{
+		Points: []string{"enum-corrupt:1"},
+		Cells: []FaultCell{
+			{Fault: "enum-corrupt:1", Bench: "BFS", Config: "ade", Outcome: FaultDegraded, FirstBadRewrite: 3},
+			{Fault: "enum-corrupt:1", Bench: "TC", Config: "ade", Outcome: FaultRolledBack, FirstBadRewrite: -1},
+		},
+	}
+	rpt.Divergences = []Divergence{{Bench: "BFS", Config: "ade", Kind: FaultDegraded, Fault: "enum-corrupt:1", FirstBadRewrite: &k}}
+	rpt.Finish()
+	if !rpt.OK() || rpt.Cells != 2 || rpt.FaultSweep.Degraded != 1 || rpt.FaultSweep.RolledBack != 1 {
+		t.Fatalf("summary wrong: %+v", rpt.FaultSweep)
+	}
+
+	var buf bytes.Buffer
+	if err := rpt.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FaultSweep == nil || len(got.FaultSweep.Cells) != 2 {
+		t.Fatalf("fault sweep lost in round trip: %+v", got.FaultSweep)
+	}
+	if c := got.FaultSweep.Cells[0]; c.Outcome != FaultDegraded || c.FirstBadRewrite != 3 {
+		t.Fatalf("cell round trip: %+v", c)
+	}
+	if d := got.Divergences[0]; d.FirstBadRewrite == nil || *d.FirstBadRewrite != 3 {
+		t.Fatalf("divergence round trip: %+v", d)
+	}
+
+	got.FaultSweep.Cells[0].Outcome = FaultUnexpected
+	got.Finish()
+	if got.OK() || got.FaultSweep.Unexpected != 1 {
+		t.Fatal("unexpected cell must fail the report")
+	}
+}

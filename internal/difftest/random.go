@@ -87,7 +87,7 @@ func RunRandom(o RandomOptions) (*Report, error) {
 		}
 		twins := map[string]*outcome{}
 		for _, c := range cfgs {
-			e, got, div := runRandomCell(seed, withCheck(c, o.Check), ref)
+			e, got, div := runRandomCell(seed, withCheck(c, o.Check, 0), ref)
 			if div == nil {
 				// The engine-twin count-parity assertion, mirrored from
 				// the benchmark path.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"memoir/internal/bench"
 )
@@ -12,8 +13,10 @@ import (
 // Schema identifies the report format; bump when fields change
 // incompatibly so downstream tooling can refuse stale baselines.
 // v2 added the execution-engine axis: per-entry "engine" fields and
-// "op-counts" divergences between engine twins.
-const Schema = "adediff/v2"
+// "op-counts" divergences between engine twins. v3 added the
+// fault-injection sweep ("faultSweep", "crash"/"degraded" divergence
+// kinds and their fuel-bisected first-bad-rewrite index).
+const Schema = "adediff/v3"
 
 // Report is the machine-readable result of one harness run
 // (difftest-report.json).
@@ -25,6 +28,7 @@ type Report struct {
 
 	Benchmarks []BenchReport `json:"benchmarks,omitempty"`
 	Random     *RandomReport `json:"random,omitempty"`
+	FaultSweep *FaultReport  `json:"faultSweep,omitempty"`
 
 	Divergences []Divergence `json:"divergences,omitempty"`
 
@@ -71,16 +75,27 @@ type Entry struct {
 }
 
 // Divergence records one mismatch: an output divergence against the
-// reference (Kind ""), or an op-count divergence between an engine
-// twin pair (Kind "op-counts").
+// reference (Kind ""), an op-count divergence between an engine twin
+// pair (Kind "op-counts"), or — in fault-sweep mode — a contained
+// injected-fault effect (Kind "crash" or "degraded"). Fault-sweep
+// divergences are informative: an injected fault is supposed to be
+// visible, so they never fail the run.
 type Divergence struct {
 	Bench  string `json:"bench,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
 	Config string `json:"config"`
 	Kind   string `json:"kind,omitempty"`
 	// Detail narrates which deterministic counters drifted for
-	// op-count divergences.
+	// op-count divergences, or the fault and its effect for
+	// fault-sweep divergences.
 	Detail string `json:"detail,omitempty"`
+	// Fault names the injection point for "crash"/"degraded" kinds.
+	Fault string `json:"fault,omitempty"`
+	// FirstBadRewrite, for a fuel-bisected "degraded"/"crash"
+	// divergence on an ADE column, is the smallest rewrite count at
+	// which the fault's effect appears: the first faulty rewrite. 0
+	// means the program misbehaves even untransformed.
+	FirstBadRewrite *int `json:"firstBadRewrite,omitempty"`
 
 	WantRet       uint64 `json:"wantRet"`
 	GotRet        uint64 `json:"gotRet"`
@@ -88,6 +103,45 @@ type Divergence struct {
 	GotEmitSum    uint64 `json:"gotEmitSum"`
 	WantEmitCount uint64 `json:"wantEmitCount"`
 	GotEmitCount  uint64 `json:"gotEmitCount"`
+}
+
+// FaultReport summarizes the fault-injection sweep (adediff -faults):
+// every selected injection point crossed with the benchmark × config
+// matrix, each cell classified by how the system contained the fault.
+type FaultReport struct {
+	// Points lists the injection-point names the sweep covered.
+	Points []string    `json:"points"`
+	Cells  []FaultCell `json:"cells"`
+
+	// Tallies by outcome, filled by Finish. Unexpected must be zero
+	// for the run to pass: every other outcome is a contained fault.
+	RolledBack   int `json:"rolledBack"`
+	Crashed      int `json:"crashed"`
+	Degraded     int `json:"degraded"`
+	NotTriggered int `json:"notTriggered"`
+	Unexpected   int `json:"unexpected"`
+}
+
+// FaultCell is one (injection point, benchmark, config) cell of the
+// fault sweep.
+type FaultCell struct {
+	Fault  string `json:"fault"`
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+	// Outcome is one of the Fault* constants: "rolled-back" (the fault
+	// fired and was fully contained — compile-time rollback or a
+	// runtime fault that never reached the output), "crash" (the run
+	// stopped with a structured error instead of a process panic),
+	// "degraded" (wrong output, no crash — the miscompile shape),
+	// "not-triggered" (the point's ordinal or pass was never reached),
+	// or "unexpected" (a panic escaped containment; fails the run).
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+	// FirstBadRewrite is the fuel-bisected first faulty rewrite index
+	// for "degraded"/"crash" cells on ADE columns; -1 when bisection
+	// does not apply. 0 means even the untransformed program
+	// misbehaves under this fault.
+	FirstBadRewrite int `json:"firstBadRewrite"`
 }
 
 // RandomReport summarizes the -seed random-program mode.
@@ -169,10 +223,35 @@ func (r *Report) Finish() {
 			count(e.Diverged, e.Error)
 		}
 	}
+	if fs := r.FaultSweep; fs != nil {
+		fs.RolledBack, fs.Crashed, fs.Degraded, fs.NotTriggered, fs.Unexpected = 0, 0, 0, 0, 0
+		for _, c := range fs.Cells {
+			r.Cells++
+			switch c.Outcome {
+			case FaultRolledBack:
+				fs.RolledBack++
+			case FaultCrash:
+				fs.Crashed++
+			case FaultDegraded:
+				fs.Degraded++
+			case FaultNotTriggered:
+				fs.NotTriggered++
+			default:
+				fs.Unexpected++
+			}
+		}
+	}
 }
 
-// OK reports whether the run found no divergences and no cell errors.
-func (r *Report) OK() bool { return r.Diverged == 0 && r.ErrorCells == 0 }
+// OK reports whether the run found no divergences, no cell errors, and
+// — in fault-sweep mode — no fault that escaped containment.
+// Contained faults ("crash"/"degraded" sweep outcomes) do not fail the
+// run: an injected fault is supposed to be visible; what must never
+// happen is an unrecovered panic.
+func (r *Report) OK() bool {
+	return r.Diverged == 0 && r.ErrorCells == 0 &&
+		(r.FaultSweep == nil || r.FaultSweep.Unexpected == 0)
+}
 
 // Encode writes the report as indented JSON.
 func (r *Report) Encode(w io.Writer) error {
@@ -215,14 +294,31 @@ func (r *Report) Summary(w io.Writer) {
 		if where == "" {
 			where = fmt.Sprintf("seed %d", d.Seed)
 		}
-		if d.Kind == "op-counts" {
+		switch d.Kind {
+		case "op-counts":
 			fmt.Fprintf(w, "  DIVERGED %s under %s: op counts vs engine twin: %s\n",
 				where, d.Config, d.Detail)
-			continue
+		case FaultCrash, FaultDegraded:
+			bisect := ""
+			if d.FirstBadRewrite != nil {
+				bisect = fmt.Sprintf(" (first bad rewrite %d)", *d.FirstBadRewrite)
+			}
+			fmt.Fprintf(w, "  %s %s under %s: fault %s: %s%s\n",
+				strings.ToUpper(d.Kind), where, d.Config, d.Fault, d.Detail, bisect)
+		default:
+			fmt.Fprintf(w, "  DIVERGED %s under %s: ret %d vs %d, emits (%d,%d) vs (%d,%d)\n",
+				where, d.Config, d.GotRet, d.WantRet,
+				d.GotEmitCount, d.GotEmitSum, d.WantEmitCount, d.WantEmitSum)
 		}
-		fmt.Fprintf(w, "  DIVERGED %s under %s: ret %d vs %d, emits (%d,%d) vs (%d,%d)\n",
-			where, d.Config, d.GotRet, d.WantRet,
-			d.GotEmitCount, d.GotEmitSum, d.WantEmitCount, d.WantEmitSum)
+	}
+	if fs := r.FaultSweep; fs != nil {
+		fmt.Fprintf(w, "  fault sweep: points=%d cells=%d rolled-back=%d crash=%d degraded=%d not-triggered=%d unexpected=%d\n",
+			len(fs.Points), len(fs.Cells), fs.RolledBack, fs.Crashed, fs.Degraded, fs.NotTriggered, fs.Unexpected)
+		for _, c := range fs.Cells {
+			if c.Outcome == FaultUnexpected {
+				fmt.Fprintf(w, "  UNEXPECTED %s under %s: fault %s: %s\n", c.Bench, c.Config, c.Fault, c.Detail)
+			}
+		}
 	}
 	errs := 0
 	report := func(where, cfg, msg string) {

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -34,6 +35,35 @@ type Config struct {
 	Scale  bench.Scale
 	Trials int
 	Out    io.Writer
+	// Budget bounds every benchmark execution; the zero value imposes
+	// no limits.
+	Budget Budget
+}
+
+// Budget bounds benchmark executions (adebench -max-steps, -max-mem,
+// -timeout): a step budget, a modeled-peak-memory budget, and a
+// wall-clock deadline, enforced inside both engines' dispatch loops. A
+// run that exhausts its budget fails with a structured
+// interp.LimitError instead of running away on an oversized scale. The
+// zero value imposes no limits.
+type Budget struct {
+	MaxSteps uint64
+	MaxBytes int64
+	Timeout  time.Duration
+}
+
+// apply installs the budget on one execution's engine options and
+// returns the deadline's cancel function, which the caller must invoke
+// once the run finishes.
+func (b Budget) apply(o *interp.Options) context.CancelFunc {
+	o.MaxSteps = b.MaxSteps
+	o.MaxBytes = b.MaxBytes
+	if b.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), b.Timeout)
+		o.Context = ctx
+		return cancel
+	}
+	return func() {}
 }
 
 func (c Config) trials() int {
@@ -165,7 +195,7 @@ func RunConfigsFor(specs []*bench.Spec, cfgs []CompilerConfig, c Config) ([]map[
 		last := make([]*bench.Result, len(cfgs))
 		for t := 0; t < c.trials(); t++ {
 			for i, cfg := range cfgs {
-				res, err := bench.Execute(s, progs[i], interpOpts(cfg, false), c.Scale)
+				res, err := executeBudgeted(s, progs[i], interpOpts(cfg, false), c)
 				if err != nil {
 					return nil, err
 				}
@@ -176,7 +206,7 @@ func RunConfigsFor(specs []*bench.Spec, cfgs []CompilerConfig, c Config) ([]map[
 			}
 		}
 		for i, cfg := range cfgs {
-			mem, err := bench.Execute(s, progs[i], interpOpts(cfg, true), c.Scale)
+			mem, err := executeBudgeted(s, progs[i], interpOpts(cfg, true), c)
 			if err != nil {
 				return nil, err
 			}
@@ -198,6 +228,13 @@ func RunConfigsFor(specs []*bench.Spec, cfgs []CompilerConfig, c Config) ([]map[
 		}
 	}
 	return out, nil
+}
+
+// executeBudgeted runs one benchmark execution under the run's budget.
+func executeBudgeted(s *bench.Spec, prog *ir.Program, o interp.Options, c Config) (*bench.Result, error) {
+	cancel := c.Budget.apply(&o)
+	defer cancel()
+	return bench.Execute(s, prog, o, c.Scale)
 }
 
 // RunConfigs measures the full suite under several configurations with

@@ -9,6 +9,7 @@ import (
 
 	"memoir/internal/bench"
 	"memoir/internal/interp"
+	"memoir/internal/ir"
 )
 
 // The benchmark regression gate compares deterministic interpreter
@@ -48,8 +49,11 @@ func gateConfigs() []CompilerConfig {
 // CollectCounts runs every benchmark under the gate configurations
 // once on the chosen engine and records the whole-program op counts.
 // The counts are engine-invariant — both engines produce the same
-// deterministic totals — so one baseline file gates both engines.
-func CollectCounts(sc bench.Scale, eng bench.Engine) (*CountsFile, error) {
+// deterministic totals — so one baseline file gates both engines. bud
+// bounds each execution (the zero value imposes no limits); a budgeted
+// run that exhausts its budget fails with a structured error rather
+// than hanging CI.
+func CollectCounts(sc bench.Scale, eng bench.Engine, bud Budget) (*CountsFile, error) {
 	out := &CountsFile{
 		Schema: CountsSchema,
 		Scale:  scaleName(sc),
@@ -62,7 +66,7 @@ func CollectCounts(sc bench.Scale, eng bench.Engine) (*CountsFile, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := bench.ExecuteOn(s, prog, interpOpts(cfg, false), sc, eng)
+			res, err := executeBudgetedOn(s, prog, interpOpts(cfg, false), sc, eng, bud)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", s.Abbr, cfg.Name, err)
 			}
@@ -176,13 +180,14 @@ func CompareCounts(baseline, current *CountsFile, tol float64) []string {
 // Gate collects the current counts at sc on the chosen engine and
 // compares them against the baseline file, writing a verdict to w. The
 // baseline is engine-neutral: a baseline collected on either engine
-// gates runs on either engine.
-func Gate(sc bench.Scale, baselinePath string, tol float64, eng bench.Engine, w io.Writer) error {
+// gates runs on either engine. bud bounds each execution (zero = no
+// limits).
+func Gate(sc bench.Scale, baselinePath string, tol float64, eng bench.Engine, bud Budget, w io.Writer) error {
 	baseline, err := ReadCounts(baselinePath)
 	if err != nil {
 		return err
 	}
-	current, err := CollectCounts(sc, eng)
+	current, err := CollectCounts(sc, eng, bud)
 	if err != nil {
 		return err
 	}
@@ -196,6 +201,14 @@ func Gate(sc bench.Scale, baselinePath string, tol float64, eng bench.Engine, w 
 	fmt.Fprintf(w, "op-count gate: %d benchmarks x %d configs within %.0f%% of %s\n",
 		len(current.Counts), len(gateConfigs()), 100*tol, baselinePath)
 	return nil
+}
+
+// executeBudgetedOn is executeBudgeted with an explicit engine, for
+// the gate and report collectors.
+func executeBudgetedOn(s *bench.Spec, prog *ir.Program, o interp.Options, sc bench.Scale, eng bench.Engine, bud Budget) (*bench.Result, error) {
+	cancel := bud.apply(&o)
+	defer cancel()
+	return bench.ExecuteOn(s, prog, o, sc, eng)
 }
 
 func scaleName(sc bench.Scale) string {

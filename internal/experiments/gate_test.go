@@ -74,11 +74,11 @@ func TestCollectCountsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite double run")
 	}
-	a, err := CollectCounts(bench.ScaleTest, bench.EngineInterp)
+	a, err := CollectCounts(bench.ScaleTest, bench.EngineInterp, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CollectCounts(bench.ScaleTest, bench.EngineInterp)
+	b, err := CollectCounts(bench.ScaleTest, bench.EngineInterp, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestCollectCountsDeterministic(t *testing.T) {
 	if fails := CompareCounts(b, a, 0); len(fails) != 0 {
 		t.Fatalf("op counts nondeterministic: %v", fails)
 	}
-	v, err := CollectCounts(bench.ScaleTest, bench.EngineVM)
+	v, err := CollectCounts(bench.ScaleTest, bench.EngineVM, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,8 +40,8 @@ type BenchReport struct {
 
 // CollectBenchReport runs every benchmark under the gate
 // configurations (memoir baseline and full ADE) once and records one
-// row per cell.
-func CollectBenchReport(sc bench.Scale, eng bench.Engine) (*BenchReport, error) {
+// row per cell. bud bounds each execution (zero = no limits).
+func CollectBenchReport(sc bench.Scale, eng bench.Engine, bud Budget) (*BenchReport, error) {
 	out := &BenchReport{
 		Schema: BenchReportSchema,
 		Scale:  scaleName(sc),
@@ -53,7 +53,7 @@ func CollectBenchReport(sc bench.Scale, eng bench.Engine) (*BenchReport, error) 
 			if err != nil {
 				return nil, err
 			}
-			res, err := bench.ExecuteOn(s, prog, interpOpts(cfg, false), sc, eng)
+			res, err := executeBudgetedOn(s, prog, interpOpts(cfg, false), sc, eng, bud)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", s.Abbr, cfg.Name, err)
 			}

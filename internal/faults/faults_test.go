@@ -1,0 +1,77 @@
+package faults
+
+import "testing"
+
+func TestRegistryNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Registry() {
+		if p.Name == "" {
+			t.Fatalf("registry point with empty name: %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate registry point %q", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := ByName(p.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", p.Name, err)
+		}
+		if got != p {
+			t.Errorf("ByName(%q) = %+v, want %+v", p.Name, got, p)
+		}
+	}
+}
+
+func TestByNameOffGrid(t *testing.T) {
+	p, err := ByName("alloc-fail:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != AllocFail || p.N != 42 {
+		t.Fatalf("got %+v", p)
+	}
+	for _, bad := range []string{"", "alloc-fail:", "alloc-fail:0", "alloc-fail:-1", "pass-panic:nonexistent", "bogus"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestInjectorOrdinals(t *testing.T) {
+	inj := NewInjector(Point{Name: "alloc-fail:3", Kind: AllocFail, N: 3})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if inj.FailAlloc() {
+			fires++
+			if i != 2 {
+				t.Fatalf("fired at allocation %d, want 3rd", i+1)
+			}
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("fired %d times, want exactly once", fires)
+	}
+	if !inj.Fired() {
+		t.Fatal("Fired() = false after firing")
+	}
+	// Wrong-kind hooks never fire.
+	if inj.CorruptAdd() || inj.PassPanics("transform") {
+		t.Fatal("wrong-kind hook fired")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var inj *Injector
+	if inj.FailAlloc() || inj.CorruptAdd() || inj.PassPanics("transform") || inj.Fired() {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestFromSeedStable(t *testing.T) {
+	if FromSeed(5) != FromSeed(5) {
+		t.Fatal("FromSeed not deterministic")
+	}
+	if FromSeed(-3).Name == "" {
+		t.Fatal("negative seed produced empty point")
+	}
+}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"memoir/internal/collections"
+	"memoir/internal/faults"
 	"memoir/internal/ir"
 )
 
@@ -209,6 +210,9 @@ func (r *RSeqArr) Iterate(f func(int, Val) bool) { r.S.Iterate(f) }
 // selection annotation (unselected types fall back to the configured
 // defaults) and registering it for memory accounting.
 func (ip *Interp) NewColl(ct *ir.CollType) Coll {
+	if fa := ip.opts.Faults; fa != nil && fa.FailAlloc() {
+		panic(&faults.InjectedFault{P: fa.Point()})
+	}
 	c := NewCollFor(ct, ip.opts.DefaultSet, ip.opts.DefaultMap)
 	ip.register(c)
 	return c

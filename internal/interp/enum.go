@@ -55,3 +55,18 @@ func (e *Enum) Add(v Val) (uint32, bool) {
 
 // Bytes models the footprint of both halves of the enumeration.
 func (e *Enum) Bytes() int64 { return e.enc.Bytes() + e.dec.Bytes() }
+
+// CorruptSlot deliberately breaks the enc/dec bijection — it
+// overwrites dec slot 0 with the most recently added value — and
+// reports whether it did (a single-entry enumeration has no distinct
+// slot to corrupt). It exists only for fault injection
+// (internal/faults EnumCorrupt): the silent-miscompile failure mode,
+// wrong decoded values without any crash, made reachable on demand.
+func (e *Enum) CorruptSlot() bool {
+	n := e.dec.Len()
+	if n < 2 {
+		return false
+	}
+	e.dec.Set(0, e.dec.Get(n-1))
+	return true
+}

@@ -1,10 +1,12 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"memoir/internal/collections"
+	"memoir/internal/faults"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
 	"memoir/internal/telemetry"
@@ -18,8 +20,31 @@ type Options struct {
 	DefaultSet collections.Impl
 	DefaultMap collections.Impl
 
-	// MaxSteps aborts runaway programs (0 = no limit).
+	// MaxSteps aborts runaway programs (0 = no limit). Exhaustion
+	// returns a *LimitError wrapping ErrStepBudget.
 	MaxSteps uint64
+
+	// MaxBytes aborts the run once the sampled live footprint exceeds
+	// this many bytes (0 = no limit). Detection happens at the next
+	// footprint sample after the budget is crossed (see
+	// MemSampleEvery), and the abort surfaces at the next step
+	// checkpoint — the same dynamic point on both engines, so partial
+	// Stats and telemetry stay engine-identical. Returns a *LimitError
+	// wrapping ErrMemBudget.
+	MaxBytes int64
+
+	// Context, when non-nil, is polled at deterministic step
+	// checkpoints; cancellation or deadline expiry aborts the run with
+	// a *LimitError wrapping ErrDeadline. The polling points are
+	// engine-identical, but which poll observes an expired wall-clock
+	// deadline is inherently timing-dependent.
+	Context context.Context
+
+	// Faults, when non-nil, drives deterministic runtime fault
+	// injection (fail the Nth collection allocation, corrupt the Nth
+	// enumeration add). Each injector is single-run state: never share
+	// one across executions.
+	Faults *faults.Injector
 
 	// MemSampleEvery recomputes the live footprint every N growth
 	// operations; lower is more precise, higher is faster.
@@ -66,6 +91,16 @@ type Interp struct {
 
 	live        []interface{ Bytes() int64 }
 	untilSample int
+
+	// limited is true when any interruption source (step budget,
+	// memory budget, context) is configured; the dispatch fast path
+	// checks this single bool before the full interruption test.
+	limited bool
+
+	// stop holds a pending memory-budget violation detected during a
+	// footprint sample; it surfaces at the next step checkpoint so
+	// both engines abort at the same dynamic point.
+	stop *LimitError
 
 	// Iteration-local allocations (a fresh collection per loop
 	// iteration that is never carried across iterations) occupy one
@@ -155,6 +190,7 @@ func New(prog *ir.Program, opts Options) *Interp {
 		iterLocal:   map[*ir.Instr]bool{},
 		localSlot:   map[*ir.Instr]int{},
 	}
+	ip.limited = opts.MaxSteps > 0 || opts.MaxBytes > 0 || opts.Context != nil
 	if opts.TrackReads {
 		ip.reads = map[*ir.Value]bool{}
 	}
@@ -241,6 +277,9 @@ func (ip *Interp) sampleMem() {
 	if total > ip.Stats.PeakBytes {
 		ip.Stats.PeakBytes = total
 	}
+	if ip.opts.MaxBytes > 0 && total > ip.opts.MaxBytes && ip.stop == nil {
+		ip.stop = &LimitError{Kind: ErrMemBudget, Bytes: total}
+	}
 }
 
 // FinalizeMem folds a final footprint sample into the stats.
@@ -281,13 +320,43 @@ func (ip *Interp) errf(fn *ir.Func, format string, args ...any) error {
 	return &execErr{fn: fn.Name, msg: fmt.Sprintf(format, args...)}
 }
 
+// interrupted runs the full interruption test at a step checkpoint.
+// The order is fixed and shared with the VM — step budget, then any
+// pending memory-budget stop, then the context — so both engines
+// report the same error kind with the same partial Stats when several
+// limits trip at once. The context is polled only when
+// Steps&1023 == 1: a cheap deterministic schedule that still fires on
+// the very first step for already-cancelled contexts.
+func (ip *Interp) interrupted(fn *ir.Func) error {
+	if ip.opts.MaxSteps > 0 && ip.Stats.Steps > ip.opts.MaxSteps {
+		return &LimitError{Kind: ErrStepBudget, Fn: fn.Name, Steps: ip.Stats.Steps}
+	}
+	if ip.stop != nil {
+		le := *ip.stop
+		le.Fn = fn.Name
+		le.Steps = ip.Stats.Steps
+		return &le
+	}
+	if ip.opts.Context != nil && ip.Stats.Steps&1023 == 1 && ip.opts.Context.Err() != nil {
+		return &LimitError{Kind: ErrDeadline, Fn: fn.Name, Steps: ip.Stats.Steps}
+	}
+	return nil
+}
+
 // Run executes the named function with the given arguments and returns
-// its result.
-func (ip *Interp) Run(name string, args ...Val) (Val, error) {
+// its result. A Go panic during execution (an engine bug or an
+// injected fault) is recovered here and returned as a *LimitError
+// wrapping ErrRuntimePanic, with the Stats accumulated so far intact.
+func (ip *Interp) Run(name string, args ...Val) (ret Val, err error) {
 	fn := ip.Prog.Func(name)
 	if fn == nil {
 		return Val{}, fmt.Errorf("interp: no function @%s", name)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = Val{}, RecoveredError(r, fn.Name, ip.Stats.Steps)
+		}
+	}()
 	return ip.call(fn, args)
 }
 
@@ -538,8 +607,10 @@ func (ip *Interp) execDoWhile(fn *ir.Func, fr []Val, n *ir.DoWhile) error {
 	ip.initHeaderPhis(fr, n.HeaderPhis)
 	for {
 		ip.Stats.Steps++
-		if ip.opts.MaxSteps > 0 && ip.Stats.Steps > ip.opts.MaxSteps {
-			return ip.errf(fn, "step budget exceeded")
+		if ip.limited {
+			if err := ip.interrupted(fn); err != nil {
+				return err
+			}
 		}
 		c, _, err := ip.execBlock(fn, fr, n.Body)
 		if err != nil {

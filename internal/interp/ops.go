@@ -13,8 +13,10 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 	if ip.profCounts != nil {
 		ip.profCounts[in]++
 	}
-	if ip.opts.MaxSteps > 0 && ip.Stats.Steps > ip.opts.MaxSteps {
-		return ctrlNormal, Val{}, ip.errf(fn, "step budget exceeded")
+	if ip.limited {
+		if err := ip.interrupted(fn); err != nil {
+			return ctrlNormal, Val{}, err
+		}
 	}
 	setRes := func(i int, v Val) {
 		fr[in.Results[i].Slot] = v
@@ -291,6 +293,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		}
 		if added {
 			ip.grew()
+		}
+		if fa := ip.opts.Faults; fa != nil && fa.CorruptAdd() {
+			e.Enum().CorruptSlot()
 		}
 		setRes(0, e)
 		setRes(1, IntV(uint64(id)))

@@ -6,6 +6,40 @@ import (
 	"memoir/internal/ir"
 )
 
+// checkArgs enforces an instruction's parse-time arity (max < 0 means
+// unbounded) and rejects the bare `end` marker at every position not
+// listed in endOK, so the typing code below can index operands without
+// re-checking. ir.Verify re-checks arities too, but the parser sees
+// malformed input first and must produce a positioned error, not a
+// panic.
+func checkArgs(c *cursor, op string, args []ir.Operand, min, max int, endOK ...int) error {
+	if len(args) < min || (max >= 0 && len(args) > max) {
+		want := fmt.Sprintf("%d", min)
+		switch {
+		case max < 0:
+			want = fmt.Sprintf("at least %d", min)
+		case max != min:
+			want = fmt.Sprintf("%d..%d", min, max)
+		}
+		return fmt.Errorf("line %d: %s expects %s argument(s), got %d", c.line, op, want, len(args))
+	}
+	for i, a := range args {
+		if a.Base != nil {
+			continue
+		}
+		ok := false
+		for _, j := range endOK {
+			if i == j {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("line %d: %s argument %d: bare `end` is only valid as a seq insert position", c.line, op, i+1)
+		}
+	}
+	return nil
+}
+
 // parseInstr reads one instruction line (results already on the line).
 func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 	// Optional results.
@@ -103,9 +137,15 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		in.Args = args
 		switch callee {
 		case "enc":
+			if err := checkArgs(c, "call @enc", args, 2, 2); err != nil {
+				return nil, err
+			}
 			in.Op = ir.OpEncode
 			resType = ir.TIdx
 		case "dec":
+			if err := checkArgs(c, "call @dec", args, 2, 2); err != nil {
+				return nil, err
+			}
 			in.Op = ir.OpDecode
 			if et := ir.AsColl(args[0].Base.Type); et != nil {
 				resType = et.Key
@@ -113,10 +153,16 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 				resType = ir.TU64
 			}
 		case "add":
+			if err := checkArgs(c, "call @add", args, 2, 2); err != nil {
+				return nil, err
+			}
 			in.Op = ir.OpEnumAdd
 			resType = args[0].Base.Type
 			res2Type = ir.TIdx
 		default:
+			if err := checkArgs(c, "call", args, 0, -1); err != nil {
+				return nil, err
+			}
 			in.Op = ir.OpCall
 			in.Callee = callee
 			rt, ok := p.sigs[callee]
@@ -135,6 +181,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := checkArgs(c, "ret", []ir.Operand{o}, 1, 1); err != nil {
+				return nil, err
+			}
 			in.Args = []ir.Operand{o}
 		}
 
@@ -149,12 +198,18 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkArgs(c, "emit", args, 1, -1); err != nil {
+			return nil, err
+		}
 		in.Args = args
 
 	case op == "phi":
 		in.Op = ir.OpPhi
 		args, err := p.parseArgs(c)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkArgs(c, "phi", args, 1, -1); err != nil {
 			return nil, err
 		}
 		in.Args = args
@@ -186,6 +241,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkArgs(c, "cast", args, 1, 1); err != nil {
+			return nil, err
+		}
 		in.Op = ir.OpCast
 		in.CastTo = t
 		in.Args = args
@@ -194,6 +252,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 	case op == "tuple":
 		args, err := p.parseArgs(c)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkArgs(c, "tuple", args, 1, -1); err != nil {
 			return nil, err
 		}
 		in.Op = ir.OpTuple
@@ -222,6 +283,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		if err := c.expect(")"); err != nil {
 			return nil, err
 		}
+		if err := checkArgs(c, "field", []ir.Operand{o}, 1, 1); err != nil {
+			return nil, err
+		}
 		n := 0
 		for _, ch := range idxTok {
 			n = n*10 + int(ch-'0')
@@ -240,6 +304,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkArgs(c, "not", args, 1, 1); err != nil {
+			return nil, err
+		}
 		in.Op = ir.OpNot
 		in.Args = args
 		resType = ir.TBool
@@ -247,6 +314,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 	case op == "select":
 		args, err := p.parseArgs(c)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkArgs(c, "select", args, 3, 3); err != nil {
 			return nil, err
 		}
 		in.Op = ir.OpSelect
@@ -263,6 +333,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		if bk, ok := ir.BinByName(op); ok {
 			args, err := p.parseArgs(c)
 			if err != nil {
+				return nil, err
+			}
+			if err := checkArgs(c, op, args, 2, 2); err != nil {
 				return nil, err
 			}
 			in.Op = ir.OpBin
@@ -282,22 +355,41 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := checkArgs(c, op, args, 2, 2); err != nil {
+				return nil, err
+			}
 			in.Op = ir.OpCmp
 			in.Cmp = ck
 			in.Args = args
 			resType = ir.TBool
 			break
 		}
-		collOp, ok := map[string]ir.Opcode{
-			"read": ir.OpRead, "has": ir.OpHas, "size": ir.OpSize,
-			"write": ir.OpWrite, "insert": ir.OpInsert, "remove": ir.OpRemove,
-			"clear": ir.OpClear, "union": ir.OpUnion,
+		kind, ok := map[string]struct {
+			op       ir.Opcode
+			min, max int
+		}{
+			"read":   {ir.OpRead, 2, 2},
+			"has":    {ir.OpHas, 2, 2},
+			"size":   {ir.OpSize, 1, 1},
+			"write":  {ir.OpWrite, 3, 3},
+			"insert": {ir.OpInsert, 2, 3}, // (set/map, key) or (seq, pos, value)
+			"remove": {ir.OpRemove, 2, 2},
+			"clear":  {ir.OpClear, 1, 1},
+			"union":  {ir.OpUnion, 2, 2},
 		}[op]
 		if !ok {
 			return nil, fmt.Errorf("line %d: unknown instruction %q", c.line, op)
 		}
+		collOp := kind.op
 		args, err := p.parseArgs(c)
 		if err != nil {
+			return nil, err
+		}
+		endOK := []int{}
+		if collOp == ir.OpInsert {
+			endOK = append(endOK, 1) // insert(%seq, end, %v)
+		}
+		if err := checkArgs(c, op, args, kind.min, kind.max, endOK...); err != nil {
 			return nil, err
 		}
 		in.Op = collOp
@@ -305,6 +397,9 @@ func (p *parser) parseInstr(c *cursor) (*ir.Instr, error) {
 		ct := ir.AsColl(args[0].InnerType())
 		if ct == nil {
 			return nil, fmt.Errorf("line %d: %s on non-collection (is %%%s defined before use?)", c.line, op, args[0].Base.Name)
+		}
+		if collOp == ir.OpInsert && args[1].Base == nil && ct.Kind != ir.KSeq {
+			return nil, fmt.Errorf("line %d: `end` insert position requires a Seq, not %v", c.line, ct)
 		}
 		switch collOp {
 		case ir.OpRead:

@@ -8,13 +8,23 @@ import (
 	"memoir/internal/ir"
 )
 
-// Parse reads a textual MEMOIR program.
-func Parse(src string) (*ir.Program, error) {
+// Parse reads a textual MEMOIR program. This is the compiler's only
+// untrusted-input surface, so malformed input always comes back as a
+// positioned error, never a panic: the grammar code reports errors
+// directly, and a recover converts any internal invariant a malformed
+// program still manages to violate into a positioned error as a last
+// line of defense.
+func Parse(src string) (prog *ir.Program, err error) {
 	lines, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{lines: lines, prog: ir.NewProgram(), sigs: map[string]ir.Type{}}
+	defer func() {
+		if r := recover(); r != nil {
+			prog, err = nil, fmt.Errorf("line %d: malformed input: %v", p.curLine(), r)
+		}
+	}()
 	// Pre-scan function signatures so calls can be typed in any order.
 	for _, l := range lines {
 		if l.indent == 0 && len(l.toks) > 0 && l.toks[0].kind == tIdent && l.toks[0].text == "fn" {
@@ -39,7 +49,8 @@ func Parse(src string) (*ir.Program, error) {
 	return p.prog, nil
 }
 
-// MustParse parses or panics (for tests and examples).
+// MustParse parses or panics. It is for trusted, known-good sources
+// only (tests and examples); external input goes through Parse.
 func MustParse(src string) *ir.Program {
 	prog, err := Parse(src)
 	if err != nil {
@@ -71,6 +82,18 @@ func (p *parser) next() *line {
 	l := p.peek()
 	p.pos++
 	return l
+}
+
+// curLine is the source line the parser most recently consumed — the
+// line a recovered panic should be attributed to.
+func (p *parser) curLine() int {
+	if p.pos > 0 && p.pos <= len(p.lines) {
+		return p.lines[p.pos-1].num
+	}
+	if l := p.peek(); l != nil {
+		return l.num
+	}
+	return 0
 }
 
 func (p *parser) errf(l *line, format string, args ...any) error {

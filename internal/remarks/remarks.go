@@ -49,6 +49,11 @@ const (
 	CodeSelectImpl = "select-impl"
 	// CodePragma: a `#pragma ade` directive overrode the heuristics.
 	CodePragma = "pragma"
+	// CodeDegrade: a sandboxed sub-pass panicked or failed an
+	// invariant check; the pipeline rolled the program back to its
+	// untransformed state and continued (carries the failing pass and
+	// reason).
+	CodeDegrade = "degrade"
 )
 
 // Arg is one named decision input (benefit scores, rule operands,

@@ -26,6 +26,7 @@ import (
 
 	"memoir/internal/bytecode"
 	"memoir/internal/collections"
+	"memoir/internal/faults"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/telemetry"
@@ -43,6 +44,16 @@ type VM struct {
 
 	live        []interface{ Bytes() int64 }
 	untilSample int
+
+	// limited is true when any interruption source (step budget,
+	// memory budget, context) is configured; the dispatch fast path
+	// checks this single bool before the full interruption test.
+	limited bool
+
+	// stop holds a pending memory-budget violation detected during a
+	// footprint sample; it surfaces at the next step checkpoint so
+	// both engines abort at the same dynamic point.
+	stop *interp.LimitError
 
 	// localSlot[site] is the reusable live-registry slot of an
 	// iteration-local allocation site (-1 until first allocation).
@@ -84,6 +95,7 @@ func New(prog *bytecode.Prog, opts interp.Options) *VM {
 	for i := range m.localSlot {
 		m.localSlot[i] = -1
 	}
+	m.limited = opts.MaxSteps > 0 || opts.MaxBytes > 0 || opts.Context != nil
 	return m
 }
 
@@ -106,6 +118,9 @@ func (m *VM) ROIStats() *interp.Stats {
 // NewColl materializes an empty collection of type ct and registers it
 // for memory accounting, exactly like interp.(*Interp).NewColl.
 func (m *VM) NewColl(ct *ir.CollType) interp.Coll {
+	if fa := m.opts.Faults; fa != nil && fa.FailAlloc() {
+		panic(&faults.InjectedFault{P: fa.Point()})
+	}
 	c := interp.NewCollFor(ct, m.opts.DefaultSet, m.opts.DefaultMap)
 	m.register(c)
 	return c
@@ -135,6 +150,9 @@ func (m *VM) sampleMem() {
 	m.Stats.CurBytes = total
 	if total > m.Stats.PeakBytes {
 		m.Stats.PeakBytes = total
+	}
+	if m.opts.MaxBytes > 0 && total > m.opts.MaxBytes && m.stop == nil {
+		m.stop = &interp.LimitError{Kind: interp.ErrMemBudget, Bytes: total}
 	}
 }
 
@@ -168,13 +186,21 @@ func (m *VM) errf(f *bytecode.Func, format string, args ...any) error {
 }
 
 // Run executes the named function with the given arguments and returns
-// its result.
-func (m *VM) Run(name string, args ...interp.Val) (interp.Val, error) {
+// its result. A Go panic during execution (an engine bug or an
+// injected fault) is recovered here and returned as a *LimitError
+// wrapping interp.ErrRuntimePanic, mirroring the interpreter's Run.
+func (m *VM) Run(name string, args ...interp.Val) (ret interp.Val, err error) {
 	idx, ok := m.Prog.ByName[name]
 	if !ok {
 		return interp.Val{}, fmt.Errorf("vm: no function @%s", name)
 	}
-	return m.call(m.Prog.Funcs[idx], args)
+	f := m.Prog.Funcs[idx]
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = interp.Val{}, interp.RecoveredError(r, f.Name, m.Stats.Steps)
+		}
+	}()
+	return m.call(f, args)
 }
 
 func (m *VM) call(f *bytecode.Func, args []interp.Val) (interp.Val, error) {
@@ -435,14 +461,29 @@ dispatch:
 		pc++
 		op := in.Op
 		if op > bytecode.OpJumpIfNot {
-			// Every stepping opcode is one interpreter step; the budget
-			// is enforced everywhere the interpreter enforces it (each
-			// instruction and each do-while iteration, but not the
-			// for-each entry step).
+			// Every stepping opcode is one interpreter step; the
+			// interruption test runs everywhere the interpreter runs it
+			// (each instruction and each do-while iteration, but not
+			// the for-each entry step), in the same fixed order — step
+			// budget, pending memory stop, context — so both engines
+			// abort at the same dynamic point with the same error kind.
 			steps++
-			if steps > budget && op != bytecode.OpForEach {
-				err = m.errf(f, "step budget exceeded")
-				goto out
+			if m.limited && op != bytecode.OpForEach {
+				if steps > budget {
+					err = &interp.LimitError{Kind: interp.ErrStepBudget, Fn: f.Name, Steps: st.Steps + steps}
+					goto out
+				}
+				if m.stop != nil {
+					le := *m.stop
+					le.Fn = f.Name
+					le.Steps = st.Steps + steps
+					err = &le
+					goto out
+				}
+				if m.opts.Context != nil && (st.Steps+steps)&1023 == 1 && m.opts.Context.Err() != nil {
+					err = &interp.LimitError{Kind: interp.ErrDeadline, Fn: f.Name, Steps: st.Steps + steps}
+					goto out
+				}
 			}
 		}
 		switch op {
@@ -614,6 +655,9 @@ dispatch:
 
 		case bytecode.OpNewColl:
 			site := &m.Prog.AllocSites[in.Aux]
+			if fa := m.opts.Faults; fa != nil && fa.FailAlloc() {
+				panic(&faults.InjectedFault{P: fa.Point()})
+			}
 			c := interp.NewCollFor(site.Type, m.opts.DefaultSet, m.opts.DefaultMap)
 			// Register persistently first, then demote iteration-local
 			// allocations to their reusable slot — the same two growth
@@ -1185,6 +1229,9 @@ dispatch:
 			}
 			if added {
 				m.grew()
+			}
+			if fa := m.opts.Faults; fa != nil && fa.CorruptAdd() {
+				e.Enum().CorruptSlot()
 			}
 			fr[in.Dst] = e
 			if in.Dst2 >= 0 {

@@ -24,6 +24,11 @@ type parityConfig struct {
 	defSet  collections.Impl
 	defMap  collections.Impl
 	memEach int // MemSampleEvery; 0 = interpreter default (512)
+	// Optional execution budgets (0 = unlimited). Exhaustion is fine —
+	// assertParity then requires both engines to return the identical
+	// structured error — so fuzz harnesses can cap runaway programs.
+	maxSteps uint64
+	maxBytes int64
 }
 
 func parityConfigs() []parityConfig {
@@ -57,6 +62,8 @@ func (c parityConfig) opts() interp.Options {
 	if c.memEach != 0 {
 		o.MemSampleEvery = c.memEach
 	}
+	o.MaxSteps = c.maxSteps
+	o.MaxBytes = c.maxBytes
 	o.RecordOutput = true
 	return o
 }
@@ -202,9 +209,15 @@ func engineDiffSeed(t *testing.T, seed int64) {
 		return []interp.Val{interp.CollV(c.(interp.Coll))}
 	}
 	build := func() *ir.Program { return core.GenerateProgram(seed) }
-	assertParity(t, build, inputFor, parityConfig{name: "random-baseline"})
+	// Generous step/mem budgets so a pathological generated program
+	// fails fast with the structured budget error (which must still be
+	// engine-identical) instead of stalling the fuzz run.
+	bud := parityConfig{maxSteps: 20_000_000, maxBytes: 1 << 30}
+	bud.name = "random-baseline"
+	assertParity(t, build, inputFor, bud)
 	ade := core.DefaultOptions()
-	assertParity(t, build, inputFor, parityConfig{name: "random-ade", ade: &ade})
+	bud.name, bud.ade = "random-ade", &ade
+	assertParity(t, build, inputFor, bud)
 }
 
 // TestStepBudgetParity verifies that both engines hit the step budget
