@@ -10,17 +10,29 @@
 //	adediff -scale test -shard 1/4       # CI smoke slice
 //	adediff -bench BFS,PTA -configs ade,ade-sparse
 //	adediff -seed 1 -count 50            # random-program mode
+//	adediff -enum 2                      # skeletal enumeration, bound 2
+//	adediff -enum 3 -shard 2/4           # enumeration shard
+//	adediff -enum-id skL:pm0.tms.dm0     # replay one skeleton by ID
 //	adediff -faults                      # fault-injection sweep, full registry
 //	adediff -fault enum-corrupt:100 -bench BFS
 //	adediff -fuel 3 -bench BFS           # cap ADE at 3 rewrites (bisection)
 //	adediff -list                        # print the matrix and exit
 //	adediff -list-faults                 # print the fault registry and exit
+//	adediff -list-enum                   # print the statement alphabet and exit
 //
 // The fault sweep injects each registered fault — one at a time, with
 // a fresh deterministic injector per cell — and requires every fault
 // to be rolled back, crash as a structured error, or surface as a
 // "degraded" divergence triaged by fuel bisection to the first faulty
 // rewrite; a fault that escapes containment fails the run.
+//
+// The enumeration mode walks every program skeleton up to the -enum
+// statement bound (deterministically — the same bound always yields
+// the same skeleton sequence) through the full matrix; a divergence
+// names the skeleton's stable ID and its automatically reduced
+// smallest failing prefix, either of which replays via -enum-id.
+// Combining -enum with -fault injects that fault into every cell — the
+// self-test proving the sweep can fail and reduce.
 //
 // The JSON report lands in -out (default difftest-report.json); the
 // exit status is 1 when any cell diverged or errored.
@@ -46,6 +58,9 @@ func main() {
 		configs    = flag.String("configs", "", "comma-separated config names (default: the full matrix)")
 		seed       = flag.Int64("seed", 0, "random-program mode: first generator seed (0 = benchmark mode)")
 		count      = flag.Int("count", 25, "random-program mode: number of seeds")
+		enum       = flag.Int("enum", 0, "skeletal-enumeration mode: sweep all skeletons up to N statements (0 = off)")
+		enumID     = flag.String("enum-id", "", "skeletal-enumeration mode: replay comma-separated skeleton IDs")
+		listEnum   = flag.Bool("list-enum", false, "print the enumeration statement alphabet and exit")
 		out        = flag.String("out", "difftest-report.json", "JSON report path (empty = don't write)")
 		list       = flag.Bool("list", false, "print the configuration matrix and exit")
 		check      = flag.Bool("check", false, "enable core's mid-pipeline invariant checking on every ADE column")
@@ -73,6 +88,16 @@ func main() {
 		}
 		return
 	}
+	if *listEnum {
+		desc := difftest.StatementDescriptions()
+		for _, tok := range difftest.StatementTokens() {
+			fmt.Printf("%-5s %s\n", tok, desc[tok])
+		}
+		for b := 1; b <= 3; b++ {
+			fmt.Printf("bound %d: %d skeletons\n", b, difftest.SkeletonCount(b))
+		}
+		return
+	}
 
 	sh, err := difftest.ParseShard(*shard)
 	if err != nil {
@@ -85,6 +110,12 @@ func main() {
 
 	var rpt *difftest.Report
 	switch {
+	case *enum != 0 || *enumID != "":
+		rpt, err = difftest.RunEnum(difftest.EnumOptions{
+			Bound: *enum, IDs: splitList(*enumID), Shard: sh,
+			Configs: splitList(*configs), Check: *check,
+			Fault: *fault, Verbose: progress,
+		})
 	case *faultSweep || *fault != "":
 		sc, perr := difftest.ParseScale(*scale)
 		if perr != nil {

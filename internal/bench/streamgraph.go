@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"memoir/internal/graphgen"
+	"memoir/internal/interp"
+	"memoir/internal/ir"
+)
+
+// SG: streaming graph updates — an edge stream interleaving inserts,
+// deletes and queries against an adjacency map (Map<node, Set<node>>)
+// plus a churning "recently touched" membership set. Unlike the batch
+// benchmarks, collections here shrink as well as grow while being
+// queried, so the enumeration's identifier assignment must stay stable
+// under insert/delete interleaving: a delete may leave a dense slot
+// stale, and a later re-insert of the same key must translate back to
+// a consistent identifier or membership answers (and the checksum)
+// drift between configurations.
+func init() {
+	Register(&Spec{
+		Abbr: "SG",
+		Name: "streaming graph updates (insert/delete/query)",
+		Build: func(string) *ir.Program {
+			b := ir.NewFunc("main", ir.TU64)
+			b.Fn.Exported = true
+			nodes := b.Param("nodes", ir.SeqOf(ir.TU64))
+			src := b.Param("src", ir.SeqOf(ir.TU64))
+			dst := b.Param("dst", ir.SeqOf(ir.TU64))
+
+			// One (initially empty) neighbor set per node, plus the
+			// churn set of recently touched sources.
+			adj := b.New(ir.MapOf(ir.TU64, ir.SetOf(ir.TU64)), "adj")
+			il := ir.StartForEach(b, ir.Op(nodes), adj)
+			a0 := b.Insert(ir.Op(il.Cur[0]), il.Val, "")
+			adjA := il.End(a0)[0]
+			recent := b.New(ir.SetOf(ir.TU64), "recent")
+
+			b.ROI()
+
+			// The stream: position i mod 4 selects the operation, so
+			// every window of the stream mixes two inserts, one delete
+			// and one query over the same key space.
+			sl := ir.StartForEach(b, ir.Op(src), adjA, recent, u64c(0))
+			u := sl.Val
+			v := b.Read(ir.Op(dst), sl.Key, "")
+			kind := b.Bin(ir.BinRem, sl.Key, u64c(4), "")
+			isIns := b.Cmp(ir.CmpLt, kind, u64c(2), "")
+			step := ir.IfElse(b, isIns, func() []*ir.Value {
+				// insert edge u->v, mark u as recent
+				a1 := b.Insert(ir.OpAt(sl.Cur[0], u), v, "")
+				r1 := b.Insert(ir.Op(sl.Cur[1]), u, "")
+				return []*ir.Value{a1, r1, sl.Cur[2]}
+			}, func() []*ir.Value {
+				isDel := b.Cmp(ir.CmpEq, kind, u64c(2), "")
+				return ir.IfElse(b, isDel, func() []*ir.Value {
+					// delete edge u->v, retire v from the churn set
+					a2 := b.Remove(ir.OpAt(sl.Cur[0], u), v, "")
+					r2 := b.Remove(ir.Op(sl.Cur[1]), v, "")
+					return []*ir.Value{a2, r2, sl.Cur[2]}
+				}, func() []*ir.Value {
+					// query: membership of the edge, degree of u, and
+					// whether u is still in the churn set
+					hs := b.Has(ir.OpAt(sl.Cur[0], u), v, "")
+					hit := b.Select(hs, u64c(3), u64c(1), "")
+					deg := b.Size(ir.OpAt(sl.Cur[0], u), "")
+					rc := b.Has(ir.Op(sl.Cur[1]), u, "")
+					warm := b.Select(rc, u64c(5), u64c(2), "")
+					q1 := b.Bin(ir.BinAdd, sl.Cur[2], hit, "")
+					q2 := b.Bin(ir.BinAdd, q1, deg, "")
+					q3 := b.Bin(ir.BinAdd, q2, warm, "")
+					return []*ir.Value{sl.Cur[0], sl.Cur[1], q3}
+				})
+			})
+			se := sl.End(step[0], step[1], step[2])
+			adjF, recentF, qacc := se[0], se[1], se[2]
+
+			// Checksum over the surviving graph: iterate the adjacency
+			// itself so neighbor identities flow back into keyed
+			// accesses — reverse-edge probes make adj's inner elements
+			// and outer keys a sharing pair (the TC shape), and the
+			// churn-set probe below unifies recent with the node
+			// domain.
+			cl := ir.StartForEach(b, ir.Op(adjF), qacc)
+			u2 := cl.Key
+			deg := b.Size(ir.OpAt(adjF, u2), "")
+			hn := b.Bin(ir.BinMul, u2, u64c(0x9E3779B97F4A7C15), "")
+			acc0 := b.Bin(ir.BinAdd, cl.Cur[0], b.Bin(ir.BinXor, hn, deg, ""), "")
+			nl := ir.StartForEach(b, ir.OpAt(adjF, u2), acc0)
+			w := nl.Val
+			back := b.Has(ir.OpAt(adjF, w), u2, "")
+			hot := b.Has(ir.Op(recentF), w, "")
+			nb := b.Bin(ir.BinAdd, nl.Cur[0], b.Select(back, u64c(11), u64c(4), ""), "")
+			nh := b.Bin(ir.BinAdd, nb, b.Select(hot, u64c(13), u64c(6), ""), "")
+			accB := nl.End(nh)[0]
+			accC := cl.End(accB)[0]
+			rl := ir.StartForEach(b, ir.Op(recentF), accC)
+			deg2 := b.Size(ir.OpAt(adjF, rl.Val), "")
+			rm := b.Bin(ir.BinMul, rl.Val, u64c(0xC2B2AE3D27D4EB4F), "")
+			ra := b.Bin(ir.BinAdd, rl.Cur[0], b.Bin(ir.BinXor, rm, deg2, ""), "")
+			out := rl.End(ra)[0]
+
+			b.Emit(out)
+			b.Ret(out)
+
+			p := ir.NewProgram()
+			p.Add(b.Fn)
+			return p
+		},
+		Input: func(ip Allocator, sc Scale) []interp.Val {
+			var g *graphgen.Graph
+			switch sc {
+			case ScaleTest:
+				g = graphgen.RMAT(29, 6, 5)
+			case ScaleSmall:
+				g = graphgen.RMAT(29, 9, 8)
+			default:
+				g = graphgen.RMAT(29, 11, 10)
+			}
+			return []interp.Val{
+				seqOfLabels(ip, g.Labels),
+				seqOfIndexed(ip, g.Labels, g.Src),
+				seqOfIndexed(ip, g.Labels, g.Dst),
+			}
+		},
+	})
+}

@@ -332,6 +332,11 @@ func selectBenchmarks(o RunOptions) ([]*bench.Spec, error) {
 	for _, i := range Partition(len(specs), o.Shard) {
 		out = append(out, specs[i])
 	}
+	if len(out) == 0 {
+		// A selection that matches nothing must not pass silently — a
+		// typo'd CI filter would otherwise green-light an empty run.
+		return nil, fmt.Errorf("empty selection: shard %s of %d benchmarks covers nothing", o.Shard.Norm(), len(specs))
+	}
 	return out, nil
 }
 

@@ -1,0 +1,188 @@
+package difftest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnumDeterministic is the replay contract: the same bound yields
+// the identical skeleton ID sequence every time, with the count the
+// closed form predicts and no duplicate IDs.
+func TestEnumDeterministic(t *testing.T) {
+	for bound := 1; bound <= 3; bound++ {
+		a, b := EnumeratePrograms(bound), EnumeratePrograms(bound)
+		if len(a) != SkeletonCount(bound) {
+			t.Fatalf("bound %d: %d skeletons, closed form says %d", bound, len(a), SkeletonCount(bound))
+		}
+		seen := map[string]bool{}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("bound %d: run 1 and run 2 disagree at %d: %s vs %s", bound, i, a[i].ID, b[i].ID)
+			}
+			if seen[a[i].ID] {
+				t.Fatalf("bound %d: duplicate skeleton %s", bound, a[i].ID)
+			}
+			seen[a[i].ID] = true
+		}
+	}
+	// Growing the bound only appends: the walk is by statement count
+	// first, so bound N's sequence is a prefix of bound N+1's.
+	small, big := EnumeratePrograms(1), EnumeratePrograms(2)
+	for i := range small {
+		if small[i].ID != big[i].ID {
+			t.Fatalf("bound 1 is not a prefix of bound 2 at %d", i)
+		}
+	}
+}
+
+// TestEnumShardsPartition checks -shard i/n over the skeleton list:
+// pairwise disjoint, union exhaustive, each shard in enumeration order.
+func TestEnumShardsPartition(t *testing.T) {
+	all := EnumeratePrograms(2)
+	for _, n := range []int{1, 2, 4, 7} {
+		seen := map[string]int{}
+		for i := 0; i < n; i++ {
+			prev := -1
+			for _, j := range Partition(len(all), Shard{i, n}) {
+				if j <= prev {
+					t.Fatalf("shard %d/%d out of order", i, n)
+				}
+				prev = j
+				seen[all[j].ID]++
+			}
+		}
+		if len(seen) != len(all) {
+			t.Fatalf("%d-way shards cover %d of %d skeletons", n, len(seen), len(all))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("%d-way shards ran %s %d times", n, id, c)
+			}
+		}
+	}
+}
+
+// TestSkeletonIDRoundTrip: every enumerated ID parses back to itself,
+// and malformed IDs are rejected with the tokens named.
+func TestSkeletonIDRoundTrip(t *testing.T) {
+	for _, sk := range EnumeratePrograms(2) {
+		got, err := ParseSkeletonID(sk.ID)
+		if err != nil {
+			t.Fatalf("ParseSkeletonID(%q): %v", sk.ID, err)
+		}
+		if got.ID != sk.ID || got.Shape != sk.Shape || len(got.Stmts) != len(sk.Stmts) {
+			t.Fatalf("round trip lost structure: %q -> %+v", sk.ID, got)
+		}
+	}
+	for _, bad := range []string{"", "sk", "skS:", "skX:pm0", "skS:nope", "skS:pm0..tms", "pm0.tms"} {
+		if _, err := ParseSkeletonID(bad); err == nil {
+			t.Errorf("ParseSkeletonID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEnumSweepClean runs the full bound-1 sweep across the whole
+// matrix — every statement shape alone, both control shapes, all
+// configs and both engines must agree with the reference.
+func TestEnumSweepClean(t *testing.T) {
+	rpt, err := RunEnum(EnumOptions{Bound: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpt.OK() {
+		var buf bytes.Buffer
+		rpt.Summary(&buf)
+		t.Fatalf("bound-1 sweep not clean:\n%s", buf.String())
+	}
+	want := SkeletonCount(1) * len(rpt.Configs)
+	if rpt.Enum == nil || rpt.Enum.Cells != want || rpt.Cells != want {
+		t.Fatalf("cell accounting wrong: %+v", rpt.Enum)
+	}
+}
+
+// TestEnumFaultCaughtAndReduced is the harness's own failure proof: a
+// seeded enumeration-corruption fault injected into every cell must
+// surface as divergences carrying skeleton IDs, and a multi-statement
+// victim must reduce to its minimal failing prefix.
+func TestEnumFaultCaughtAndReduced(t *testing.T) {
+	rpt, err := RunEnum(EnumOptions{
+		Bound:   2,
+		Configs: []string{"ade"},
+		Fault:   "enum-corrupt:3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.OK() || rpt.Diverged == 0 {
+		t.Fatal("injected enum-corrupt fault went undetected by the sweep")
+	}
+	for _, d := range rpt.Divergences {
+		if d.Skeleton == "" || d.ReducedSkeleton == "" {
+			t.Fatalf("divergence lacks skeleton attribution: %+v", d)
+		}
+	}
+
+	// Replay-by-ID with the same fault: the two trailing statements are
+	// innocent, so reduction must land exactly on the populate+share
+	// prefix that performs the corrupted enumeration add.
+	rpt, err = RunEnum(EnumOptions{
+		IDs:     []string{"skS:pm0.tms.lm0.fs0"},
+		Configs: []string{"ade"},
+		Fault:   "enum-corrupt:3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rpt.Divergences) != 1 {
+		t.Fatalf("want exactly one divergence, got %+v", rpt.Divergences)
+	}
+	d := rpt.Divergences[0]
+	if d.Skeleton != "skS:pm0.tms.lm0.fs0" || d.ReducedSkeleton != "skS:pm0.tms" {
+		t.Fatalf("reduction wrong: %+v", d)
+	}
+}
+
+// TestEnumEmptySelections: selections that match nothing are errors,
+// in every mode — a typo'd CI filter must not pass silently.
+func TestEnumEmptySelections(t *testing.T) {
+	if _, err := RunEnum(EnumOptions{Bound: 1, Shard: Shard{31, 40}}); err == nil {
+		t.Error("RunEnum accepted an empty shard")
+	}
+	if _, err := RunEnum(EnumOptions{Bound: 0}); err == nil {
+		t.Error("RunEnum accepted bound 0 with no IDs")
+	}
+	if _, err := Run(RunOptions{Benchmarks: []string{"BFS"}, Shard: Shard{1, 2}}); err == nil {
+		t.Error("Run accepted a shard covering no benchmarks")
+	}
+	if _, err := RunRandom(RandomOptions{Seed: 1, Count: 1, Shard: Shard{1, 2}}); err == nil {
+		t.Error("RunRandom accepted a shard covering no seeds")
+	}
+}
+
+// TestEnumReportRoundTrip covers the v4 enum section through
+// Encode/Decode.
+func TestEnumReportRoundTrip(t *testing.T) {
+	rpt, err := RunEnum(EnumOptions{
+		IDs:     []string{"skS:pm0.cal", "skL:nst"},
+		Configs: []string{"baseline-hash", "ade", "ade@vm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpt.OK() || rpt.Cells != 6 {
+		var buf bytes.Buffer
+		rpt.Summary(&buf)
+		t.Fatalf("replay not clean:\n%s", buf.String())
+	}
+	var buf bytes.Buffer
+	if err := rpt.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Enum == nil || got.Enum.Skeletons != 2 || got.Enum.Cells != 6 || len(got.Enum.IDs) != 2 {
+		t.Fatalf("enum section round trip: %+v", got.Enum)
+	}
+}

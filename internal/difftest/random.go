@@ -72,10 +72,14 @@ func RunRandom(o RandomOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	seeds := Partition(o.Count, o.Shard)
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("empty selection: shard %s of %d seeds covers nothing", o.Shard.Norm(), o.Count)
+	}
 	rpt := NewReport(0, o.Shard, ConfigNames(cfgs))
 	rpt.Scale = "random"
 	rr := &RandomReport{Seed: o.Seed, Count: o.Count}
-	for _, j := range Partition(o.Count, o.Shard) {
+	for _, j := range seeds {
 		seed := o.Seed + int64(j)
 		base := core.GenerateProgram(seed)
 		if err := ir.Verify(base); err != nil {

@@ -15,8 +15,10 @@ import (
 // v2 added the execution-engine axis: per-entry "engine" fields and
 // "op-counts" divergences between engine twins. v3 added the
 // fault-injection sweep ("faultSweep", "crash"/"degraded" divergence
-// kinds and their fuel-bisected first-bad-rewrite index).
-const Schema = "adediff/v3"
+// kinds and their fuel-bisected first-bad-rewrite index). v4 added the
+// skeletal-enumeration sweep ("enum", divergences carrying skeleton
+// IDs and their reduced smallest-failing-prefix IDs).
+const Schema = "adediff/v4"
 
 // Report is the machine-readable result of one harness run
 // (difftest-report.json).
@@ -29,6 +31,7 @@ type Report struct {
 	Benchmarks []BenchReport `json:"benchmarks,omitempty"`
 	Random     *RandomReport `json:"random,omitempty"`
 	FaultSweep *FaultReport  `json:"faultSweep,omitempty"`
+	Enum       *EnumReport   `json:"enum,omitempty"`
 
 	Divergences []Divergence `json:"divergences,omitempty"`
 
@@ -96,6 +99,13 @@ type Divergence struct {
 	// which the fault's effect appears: the first faulty rewrite. 0
 	// means the program misbehaves even untransformed.
 	FirstBadRewrite *int `json:"firstBadRewrite,omitempty"`
+	// Skeleton, in enumeration mode, is the ID of the diverging
+	// skeleton — replay with adediff -enum-id.
+	Skeleton string `json:"skeleton,omitempty"`
+	// ReducedSkeleton is the smallest statement-sequence prefix of
+	// Skeleton whose cell still fails (equal to Skeleton when no
+	// proper prefix reproduces the failure).
+	ReducedSkeleton string `json:"reducedSkeleton,omitempty"`
 
 	WantRet       uint64 `json:"wantRet"`
 	GotRet        uint64 `json:"gotRet"`
@@ -142,6 +152,38 @@ type FaultCell struct {
 	// does not apply. 0 means even the untransformed program
 	// misbehaves under this fault.
 	FirstBadRewrite int `json:"firstBadRewrite"`
+}
+
+// EnumReport summarizes the skeletal-enumeration mode
+// (adediff -enum / -enum-id).
+type EnumReport struct {
+	// Bound is the statement-count bound the walk covered (0 in
+	// replay-by-ID mode).
+	Bound int `json:"bound"`
+	// Total is the full skeleton count at Bound, before sharding.
+	Total int `json:"total"`
+	// Skeletons is the number of distinct skeletons this shard ran.
+	Skeletons int `json:"skeletons"`
+	// Cells is the number of (skeleton, config) cells executed.
+	Cells int `json:"cells"`
+	// IDs echoes an explicit replay list (adediff -enum-id).
+	IDs []string `json:"ids,omitempty"`
+	// Fault names the injected fault point, when the sweep ran under
+	// injection (the harness's own fault-finding proof).
+	Fault string `json:"fault,omitempty"`
+	// Entries records the problem cells only — a clean exhaustive
+	// sweep stays small no matter the bound.
+	Entries []EnumEntry `json:"entries,omitempty"`
+}
+
+// EnumEntry is one failing (skeleton, config) cell of the enumeration
+// sweep.
+type EnumEntry struct {
+	Skeleton string `json:"skeleton"`
+	Config   string `json:"config"`
+	Engine   string `json:"engine"`
+	Diverged bool   `json:"diverged,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // RandomReport summarizes the -seed random-program mode.
@@ -223,6 +265,19 @@ func (r *Report) Finish() {
 			count(e.Diverged, e.Error)
 		}
 	}
+	if en := r.Enum; en != nil {
+		// Enumeration mode records only the problem cells; the clean
+		// ones are counted as they execute.
+		r.Cells += en.Cells
+		for _, e := range en.Entries {
+			if e.Diverged {
+				r.Diverged++
+			}
+			if e.Error != "" {
+				r.ErrorCells++
+			}
+		}
+	}
 	if fs := r.FaultSweep; fs != nil {
 		fs.RolledBack, fs.Crashed, fs.Degraded, fs.NotTriggered, fs.Unexpected = 0, 0, 0, 0, 0
 		for _, c := range fs.Cells {
@@ -289,8 +344,18 @@ func DecodeReport(rd io.Reader) (*Report, error) {
 func (r *Report) Summary(w io.Writer) {
 	fmt.Fprintf(w, "adediff: scale=%s shard=%s configs=%d cells=%d diverged=%d errors=%d\n",
 		r.Scale, r.Shard, len(r.Configs), r.Cells, r.Diverged, r.ErrorCells)
+	if en := r.Enum; en != nil {
+		fmt.Fprintf(w, "  enum: bound=%d skeletons=%d/%d cells=%d fault=%q\n",
+			en.Bound, en.Skeletons, en.Total, en.Cells, en.Fault)
+	}
 	for _, d := range r.Divergences {
 		where := d.Bench
+		if where == "" && d.Skeleton != "" {
+			where = "skeleton " + d.Skeleton
+			if d.ReducedSkeleton != "" && d.ReducedSkeleton != d.Skeleton {
+				where += " (reduces to " + d.ReducedSkeleton + ")"
+			}
+		}
 		if where == "" {
 			where = fmt.Sprintf("seed %d", d.Seed)
 		}
@@ -336,6 +401,11 @@ func (r *Report) Summary(w io.Writer) {
 	if r.Random != nil {
 		for _, e := range r.Random.Entries {
 			report(fmt.Sprintf("seed %d", e.Seed), e.Config, e.Error)
+		}
+	}
+	if r.Enum != nil {
+		for _, e := range r.Enum.Entries {
+			report("skeleton "+e.Skeleton, e.Config, e.Error)
 		}
 	}
 }

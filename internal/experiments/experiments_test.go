@@ -112,6 +112,6 @@ func TestHeadlineShape(t *testing.T) {
 		t.Errorf("PGO did not reduce FIM peak: %0.f vs static %0.f", pg.Peak, st.Peak)
 	}
 	if wins < 8 {
-		t.Fatalf("only %d/16 benchmarks show a modeled ARM win", wins)
+		t.Fatalf("only %d/%d benchmarks show a modeled ARM win", wins, len(base))
 	}
 }
