@@ -1,0 +1,228 @@
+// Package cache implements the content-addressed compiled-artifact
+// cache at the heart of adeserved. Entries are keyed by
+// (canonical program hash, ADE options fingerprint) — see
+// ir.ProgramHash and core.Options.Fingerprint — so any two requests
+// that would compile to the same artifact share one entry, however
+// their source text was formatted.
+//
+// The cache is a strict LRU bounded by both entry count and total
+// modeled bytes, safe for concurrent use, with hit/miss/eviction
+// counters the /v1/stats endpoint exposes.
+//
+// A second, raw-text index ("aliases") fronts the canonical map:
+// the server registers sha256(request text)+fingerprint → key after
+// a compile, so a byte-identical repeat request resolves its artifact
+// without even parsing. Aliases are attached to their entry and die
+// with it on eviction.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key addresses one compiled artifact.
+type Key struct {
+	// ProgramHash is ir.ProgramHash of the canonical (pre-ADE)
+	// program.
+	ProgramHash string
+	// OptionsFP is the compile-options fingerprint
+	// (core.Options.Fingerprint, or the server's "ade=off" marker).
+	OptionsFP string
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Rejected  uint64 `json:"rejected"` // single entries larger than the byte bound
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxEntry  int    `json:"maxEntries"`
+	MaxBytes  int64  `json:"maxBytes"`
+}
+
+// HitRatio returns hits/(hits+misses), 0 when idle.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type entry struct {
+	key     Key
+	value   any
+	size    int64
+	aliases []string
+}
+
+// Cache is a bounded LRU. The zero value is not usable; call New.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	byKey      map[Key]*list.Element
+	byAlias    map[string]*list.Element
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	rejected   uint64
+}
+
+// maxAliases bounds how many raw-text spellings one entry remembers;
+// beyond that, repeat requests with yet another spelling still hit
+// via the canonical key after a parse.
+const maxAliases = 16
+
+// New returns a cache bounded to maxEntries entries and maxBytes
+// total modeled bytes. Non-positive bounds mean unbounded on that
+// axis.
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      map[Key]*list.Element{},
+		byAlias:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the artifact for k, marking it most recently used.
+// Every call counts as a hit or a miss.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Resolve is the raw-text fast path: it looks up an alias registered
+// with Alias and returns the canonical key and artifact. A resolve
+// counts as a hit; a failed resolve does NOT count as a miss (the
+// caller falls through to Get, which counts).
+func (c *Cache) Resolve(alias string) (Key, any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byAlias[alias]
+	if !ok {
+		return Key{}, nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*entry)
+	return e.key, e.value, true
+}
+
+// Put inserts (or replaces) the artifact for k with the given modeled
+// size and evicts least-recently-used entries until both bounds hold.
+// An artifact alone larger than the byte bound is rejected rather
+// than cached (counted in Stats.Rejected).
+func (c *Cache) Put(k Key, v any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && size > c.maxBytes {
+		c.rejected++
+		return
+	}
+	if el, ok := c.byKey[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.value, e.size = v, size
+		c.ll.MoveToFront(el)
+		c.evictUntilBounded()
+		return
+	}
+	e := &entry{key: k, value: v, size: size}
+	c.byKey[k] = c.ll.PushFront(e)
+	c.bytes += size
+	c.evictUntilBounded()
+}
+
+// Alias registers a raw-text spelling for an existing entry. Unknown
+// keys and saturated alias lists are ignored.
+func (c *Cache) Alias(alias string, k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return
+	}
+	if _, dup := c.byAlias[alias]; dup {
+		return
+	}
+	e := el.Value.(*entry)
+	if len(e.aliases) >= maxAliases {
+		return
+	}
+	e.aliases = append(e.aliases, alias)
+	c.byAlias[alias] = el
+}
+
+// evictUntilBounded removes LRU entries while either bound is
+// exceeded. Caller holds c.mu.
+func (c *Cache) evictUntilBounded() {
+	for c.ll.Len() > 0 {
+		over := (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+		if !over {
+			return
+		}
+		el := c.ll.Back()
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		for _, a := range e.aliases {
+			delete(c.byAlias, a)
+		}
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Rejected:  c.rejected,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxEntry:  c.maxEntries,
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the cached keys from most to least recently used (for
+// tests and debugging).
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func key(i int) Key { return Key{ProgramHash: fmt.Sprintf("h%03d", i), OptionsFP: "fp"} }
+
+func TestHitMissEvictionDeterminism(t *testing.T) {
+	c := New(2, 0)
+	c.Put(key(1), "a", 10)
+	c.Put(key(2), "b", 10)
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("want hit on key 1")
+	}
+	// key 2 is now LRU; inserting key 3 must evict exactly it.
+	c.Put(key(3), "c", 10)
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 should have survived")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("key 3 should be present")
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("counters: %+v", st)
+	}
+	// The same operation sequence on a fresh cache yields the same
+	// counters and the same survivor set — eviction is deterministic.
+	c2 := New(2, 0)
+	c2.Put(key(1), "a", 10)
+	c2.Put(key(2), "b", 10)
+	c2.Get(key(1))
+	c2.Put(key(3), "c", 10)
+	c2.Get(key(2))
+	c2.Get(key(1))
+	c2.Get(key(3))
+	if got := c2.Stats(); got != st {
+		t.Fatalf("replay diverged: %+v vs %+v", got, st)
+	}
+	if !reflect.DeepEqual(c.Keys(), c2.Keys()) {
+		t.Fatalf("replay key order diverged: %v vs %v", c.Keys(), c2.Keys())
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	c := New(0, 100)
+	c.Put(key(1), "a", 40)
+	c.Put(key(2), "b", 40)
+	c.Put(key(3), "c", 40) // 120 > 100: evict key 1
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("key 1 should have been evicted by the byte bound")
+	}
+	if st := c.Stats(); st.Bytes != 80 || st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after byte eviction: %+v", st)
+	}
+	// A single oversized artifact is rejected, not cached.
+	c.Put(key(9), "huge", 101)
+	if _, ok := c.Get(key(9)); ok {
+		t.Fatal("oversized entry should have been rejected")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Entries != 2 {
+		t.Fatalf("stats after reject: %+v", st)
+	}
+}
+
+func TestReplaceUpdatesBytes(t *testing.T) {
+	c := New(0, 1000)
+	c.Put(key(1), "a", 100)
+	c.Put(key(1), "a2", 250)
+	if st := c.Stats(); st.Bytes != 250 || st.Entries != 1 {
+		t.Fatalf("replace did not adjust bytes: %+v", st)
+	}
+	v, ok := c.Get(key(1))
+	if !ok || v.(string) != "a2" {
+		t.Fatalf("replace did not swap value: %v %v", v, ok)
+	}
+}
+
+func TestOptionsFingerprintSeparatesEntries(t *testing.T) {
+	c := New(0, 0)
+	kDefault := Key{ProgramHash: "h", OptionsFP: "rte=true"}
+	kAblated := Key{ProgramHash: "h", OptionsFP: "rte=false"}
+	c.Put(kDefault, "with-rte", 1)
+	c.Put(kAblated, "without-rte", 1)
+	a, _ := c.Get(kDefault)
+	b, _ := c.Get(kAblated)
+	if a == b {
+		t.Fatal("same program under different options must not alias")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("want 2 entries, got %d", c.Len())
+	}
+}
+
+func TestAliasResolveAndEviction(t *testing.T) {
+	c := New(2, 0)
+	c.Put(key(1), "a", 1)
+	c.Alias("raw-text-1", key(1))
+	k, v, ok := c.Resolve("raw-text-1")
+	if !ok || k != key(1) || v.(string) != "a" {
+		t.Fatalf("resolve: %v %v %v", k, v, ok)
+	}
+	// A resolve refreshes recency like a Get: key 2, not key 1, is
+	// the LRU victim here.
+	c.Put(key(2), "b", 1)
+	c.Resolve("raw-text-1")
+	c.Put(key(3), "c", 1) // evicts key 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 should have been the LRU victim")
+	}
+	if _, _, ok := c.Resolve("raw-text-1"); !ok {
+		t.Fatal("alias of surviving entry must still resolve")
+	}
+	// Aliases die with their entry.
+	c.Put(key(4), "d", 1)
+	c.Put(key(5), "e", 1) // push key 1 out
+	if _, _, ok := c.Resolve("raw-text-1"); ok {
+		t.Fatal("alias must die with its evicted entry")
+	}
+	// Aliasing an unknown key is a no-op.
+	c.Alias("dangling", key(99))
+	if _, _, ok := c.Resolve("dangling"); ok {
+		t.Fatal("dangling alias must not resolve")
+	}
+}
+
+func TestAliasCap(t *testing.T) {
+	c := New(0, 0)
+	c.Put(key(1), "a", 1)
+	for i := 0; i < maxAliases+5; i++ {
+		c.Alias(fmt.Sprintf("spelling-%d", i), key(1))
+	}
+	for i := 0; i < maxAliases; i++ {
+		if _, _, ok := c.Resolve(fmt.Sprintf("spelling-%d", i)); !ok {
+			t.Fatalf("alias %d inside the cap must resolve", i)
+		}
+	}
+	if _, _, ok := c.Resolve(fmt.Sprintf("spelling-%d", maxAliases)); ok {
+		t.Fatal("alias beyond the cap must be dropped")
+	}
+}
+
+// Concurrent readers/writers under -race: the counters must balance
+// and the bounds must hold at every point.
+func TestConcurrentAccess(t *testing.T) {
+	const (
+		goroutines = 8
+		opsEach    = 2000
+		maxEntries = 16
+	)
+	c := New(maxEntries, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := key((g*7 + i) % 40)
+				switch i % 4 {
+				case 0:
+					c.Put(k, g, 8)
+					c.Alias(fmt.Sprintf("alias-%d-%d", g, i%9), k)
+				case 1, 2:
+					c.Get(k)
+				case 3:
+					c.Resolve(fmt.Sprintf("alias-%d-%d", g, i%9))
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > maxEntries {
+		t.Fatalf("entry bound violated: %d > %d", st.Entries, maxEntries)
+	}
+	if int64(st.Entries)*8 != st.Bytes {
+		t.Fatalf("byte accounting drifted: %d entries but %d bytes", st.Entries, st.Bytes)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

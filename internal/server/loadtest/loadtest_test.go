@@ -1,0 +1,45 @@
+package loadtest_test
+
+import (
+	"context"
+	"testing"
+
+	"memoir/internal/server"
+	"memoir/internal/server/loadtest"
+)
+
+// The harness against a real in-process server: cold requests bypass
+// the cache (zero hits), hot requests all hit, and no phase errors.
+func TestPhasesAgainstServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 4})
+	defer s.Shutdown(context.Background())
+	phases, err := loadtest.Run(s.Handler(), loadtest.Config{Requests: 30, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(phases))
+	}
+	byName := map[string]loadtest.Phase{}
+	for _, p := range phases {
+		if p.Errors > 0 {
+			t.Errorf("phase %s: %d errors", p.Name, p.Errors)
+		}
+		if p.ReqPerSec <= 0 || p.P99 < p.P50 {
+			t.Errorf("phase %s: nonsense stats %+v", p.Name, p)
+		}
+		byName[p.Name] = p
+	}
+	if h := byName["cold"].CacheHits; h != 0 {
+		t.Errorf("cold phase saw %d cache hits; noCache must bypass", h)
+	}
+	if h := byName["hot"].CacheHits; h != 30 {
+		t.Errorf("hot phase: want 30/30 cache hits, got %d", h)
+	}
+	if h := byName["mixed"].CacheHits; h < 15 {
+		t.Errorf("mixed phase: want >=15 hits (the repeated program), got %d", h)
+	}
+	if testing.Verbose() {
+		t.Log("\n" + loadtest.Format(phases))
+	}
+}

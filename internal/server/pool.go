@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool is a bounded worker pool with panic containment. All request
+// work (parse, ADE, compile, execute) runs on a fixed set of workers;
+// the HTTP handlers only decode, submit, and encode. A full queue
+// sheds load (503 overloaded) instead of queueing without bound, and
+// a panicking job takes down neither its worker nor the daemon.
+type Pool struct {
+	jobs chan poolJob
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Panics counts jobs that panicked (contained); exposed by
+	// /v1/stats.
+	panics atomicCounter
+}
+
+type poolJob struct {
+	fn    func() any
+	reply chan poolResult
+}
+
+type poolResult struct {
+	value any
+	err   error
+}
+
+// ErrOverloaded is returned by Do when the queue is full.
+var ErrOverloaded = errors.New("worker pool overloaded")
+
+// ErrPoolClosed is returned by Do after Close.
+var ErrPoolClosed = errors.New("worker pool shutting down")
+
+// PanicError wraps a recovered job panic; the handler maps it to
+// 500 internal-panic.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("worker panic: %v", e.Value) }
+
+// NewPool starts `workers` goroutines consuming a queue of depth
+// `backlog`. An idle worker blocks on the channel receive, so a
+// zero-backlog pool still accepts one job per idle worker — backlog
+// only bounds jobs queued beyond the running ones.
+func NewPool(workers, backlog int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &Pool{jobs: make(chan poolJob, backlog)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		job.reply <- p.runContained(job.fn)
+	}
+}
+
+func (p *Pool) runContained(fn func() any) (res poolResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			res = poolResult{err: &PanicError{Value: r, Stack: string(debug.Stack())}}
+		}
+	}()
+	return poolResult{value: fn()}
+}
+
+// Do submits fn and waits for its result. It fails fast with
+// ErrOverloaded when the queue is full, ErrPoolClosed after Close,
+// and ctx.Err() if the caller gives up while queued. A *PanicError is
+// returned when fn panicked.
+func (p *Pool) Do(ctx context.Context, fn func() any) (any, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	// reply is buffered so a worker never blocks on a caller that
+	// abandoned the wait.
+	job := poolJob{fn: fn, reply: make(chan poolResult, 1)}
+	select {
+	case p.jobs <- job:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	select {
+	case res := <-job.reply:
+		return res.value, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting new jobs, drains the queue, and waits for all
+// workers to finish their in-flight jobs.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Panics returns the number of contained job panics so far.
+func (p *Pool) Panics() uint64 { return p.panics.Load() }

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// benchServe posts one request and fails the benchmark on any error.
+func benchServe(b *testing.B, h http.Handler, req Request) *Response {
+	b.Helper()
+	resp, status := postJSON(b, h, "/v1/run", req)
+	if status != http.StatusOK || !resp.OK {
+		b.Fatalf("request failed: %d %+v", status, resp.Error)
+	}
+	return resp
+}
+
+// BenchmarkServeHot measures the steady-state cached path: the
+// artifact comes from the raw-text alias (no parse, no ADE, no
+// compile), so per-request cost is decode + execute + encode.
+func BenchmarkServeHot(b *testing.B) {
+	for _, engine := range []string{"vm", "interp"} {
+		b.Run(engine, func(b *testing.B) {
+			s := New(Config{Workers: 4})
+			defer s.pool.Close()
+			h := s.Handler()
+			benchServe(b, h, Request{Program: histProg, Engine: engine}) // prime
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchServe(b, h, Request{Program: histProg, Engine: engine})
+			}
+			b.StopTimer()
+			if hits := s.CacheStats().Hits; hits < uint64(b.N) {
+				b.Fatalf("expected >=%d cache hits, got %d", b.N, hits)
+			}
+		})
+	}
+}
+
+// BenchmarkServeCold measures the full pipeline per request
+// (noCache): parse + verify + ADE + verify + bytecode compile + run.
+// Hot/cold is the cache's amortized win.
+func BenchmarkServeCold(b *testing.B) {
+	for _, engine := range []string{"vm", "interp"} {
+		b.Run(engine, func(b *testing.B) {
+			s := New(Config{Workers: 4})
+			defer s.pool.Close()
+			h := s.Handler()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchServe(b, h, Request{Program: histProg, Engine: engine, NoCache: true})
+			}
+		})
+	}
+}
+
+// BenchmarkServeHotParallel is the hot path under client concurrency:
+// concurrent VMs share one immutable bytecode artifact.
+func BenchmarkServeHotParallel(b *testing.B) {
+	s := New(Config{Workers: 8, Backlog: 1024})
+	defer s.pool.Close()
+	h := s.Handler()
+	benchServe(b, h, Request{Program: histProg, Engine: "vm"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, status := postJSON(b, h, "/v1/run", Request{Program: histProg, Engine: "vm"})
+			if status != http.StatusOK || !resp.OK {
+				panic(fmt.Sprintf("request failed: %d %+v", status, resp.Error))
+			}
+		}
+	})
+}
