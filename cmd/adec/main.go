@@ -8,7 +8,7 @@
 //	adec -no-rte -report program.mir
 //
 // Flags mirror the artifact's compiler configurations: -no-rte,
-// -no-propagation, -no-sharing, -sparse. The robustness flags:
+// -no-propagation, -no-sharing, -no-static, -sparse. The robustness flags:
 // -sandbox contains sub-pass failures by rolling the program back to
 // its untransformed state, and -fuel N stops after the first N rewrite
 // units, which bisects miscompiles to a single rewrite.
@@ -36,9 +36,10 @@ func main() {
 		noRTE     = flag.Bool("no-rte", false, "disable redundant translation elimination (§III-C)")
 		noProp    = flag.Bool("no-propagation", false, "disable identifier propagation (§III-E)")
 		noShare   = flag.Bool("no-sharing", false, "disable enumeration sharing (§III-D); implies -no-propagation")
+		noStatic  = flag.Bool("no-static", false, "disable static enumeration: provably-dense sites fall back to the runtime enumeration")
 		sparse    = flag.Bool("sparse", false, "select SparseBitSet for enumerated sets")
 		report    = flag.Bool("report", false, "print the enumeration report to stderr")
-		check     = flag.Bool("check", false, "re-run the IR verifier and ADE invariant checks between every ADE sub-pass")
+		check     = flag.Bool("check", false, "re-run the IR verifier and ADE invariant checks between every ADE sub-pass, and verify the compiled bytecode")
 		sandbox   = flag.Bool("sandbox", false, "contain sub-pass failures: roll the program back to its untransformed state and continue instead of failing")
 		fuel      = flag.Int("fuel", -1, "stop after N rewrite units, for bisecting miscompiles (-1 = unlimited, 0 = none)")
 		parseOnly = flag.Bool("parse-only", false, "parse and verify only; do not transform")
@@ -79,6 +80,7 @@ func main() {
 	opts.RTE = !*noRTE
 	opts.Propagation = !*noProp && !*noShare
 	opts.Sharing = !*noShare
+	opts.StaticEnum = !*noStatic
 	opts.Check = *check
 	opts.Sandbox = *sandbox
 	opts.Fuel = core.FuelFromFlag(*fuel)
@@ -130,13 +132,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cleanup: %d instructions folded or removed\n", n)
 	}
-	if *dump {
+	if *check || *dump {
 		bc, err := bytecode.Compile(prog)
 		if err != nil {
 			fatal(fmt.Errorf("bytecode: %w", err))
 		}
-		fmt.Print(bytecode.Disasm(bc))
-		return
+		// The bytecode verifier closes the gap the IR verifier cannot
+		// see: a miscompile producing structurally bad bytecode dies
+		// here with a function+pc position instead of becoming a bad
+		// artifact.
+		if *dump {
+			for _, f := range bc.Funcs {
+				verdict := "ok"
+				if err := bytecode.VerifyFunc(bc, f); err != nil {
+					verdict = err.Error()
+				}
+				fmt.Printf(";; verify @%s: %s\n", f.Name, verdict)
+			}
+		}
+		if err := bytecode.Verify(bc); err != nil {
+			fatal(err)
+		}
+		if *dump {
+			fmt.Print(bytecode.Disasm(bc))
+			return
+		}
 	}
 	fmt.Print(ir.Print(prog))
 }

@@ -1,5 +1,5 @@
 // Command adelint runs the dataflow-based static diagnostics over
-// MEMOIR programs and reports stable-coded findings (ADE001..ADE005)
+// MEMOIR programs and reports stable-coded findings (ADE001..ADE009)
 // with .mir line numbers.
 //
 // Usage:

@@ -73,6 +73,10 @@ func TestCorpusExitStatus(t *testing.T) {
 		{"ade003.mir", 0, 1},
 		{"ade004.mir", 0, 1},
 		{"ade005.mir", 1, 1},
+		{"ade006.mir", 0, 1},
+		{"ade007.mir", 0, 1},
+		{"ade008.mir", 0, 1},
+		{"ade009.mir", 0, 1},
 	}
 	for _, c := range cases {
 		path := filepath.Join("..", "..", "testdata", "lint", c.file)

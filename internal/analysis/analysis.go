@@ -8,7 +8,7 @@
 // over it with a worklist fixpoint (dataflow.go). Loop-carried facts
 // converge through the back edges the lowering makes explicit.
 //
-// Four concrete analyses are provided:
+// Five concrete analyses are provided:
 //
 //   - Liveness (liveness.go): backward value liveness; backs the
 //     ADE002 dead-collection-store diagnostic and the runtime
@@ -22,6 +22,10 @@
 //   - Residual-translation analysis (residual.go): an enumeration-flow
 //     analysis detecting @enc/@dec/@add chains RTE (Algorithm 2)
 //     should have eliminated; backs ADE003 and the -check invariant.
+//   - Interval/constant abstract interpretation (interval.go): an
+//     SCCP-style range analysis with widening/narrowing, branch
+//     refinement, and per-allocation-site key summaries; backs
+//     ADE006–ADE009 and internal/core's static-enum sub-pass.
 //
 // Lint (lint.go) bundles the analyses into the stable-coded
 // diagnostics cmd/adelint surfaces.
@@ -60,6 +64,19 @@ const (
 	// ADE005: a suspect `#pragma ade` directive (nonexistent target,
 	// impossible selection, conflicting share/noshare).
 	ADE005 = "ADE005"
+	// ADE006: a branch or loop condition the interval analysis proves
+	// constant, making one branch (or the loop exit) dead code.
+	ADE006 = "ADE006"
+	// ADE007: a lookup whose key range is provably disjoint from every
+	// key ever inserted at the collection's allocation site.
+	ADE007 = "ADE007"
+	// ADE008: a for-each over a collection that is provably empty on
+	// every execution (zero-trip loop).
+	ADE008 = "ADE008"
+	// ADE009: an allocation site whose keys are statically proven to be
+	// a small dense interval but that carries no `#pragma ade`
+	// directive; the enumeration heuristic would want one.
+	ADE009 = "ADE009"
 )
 
 // SeverityOf returns the severity grade of a diagnostic code.

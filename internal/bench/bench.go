@@ -200,6 +200,33 @@ func emitAdjSetBuild(b *ir.Builder, nodes, src, dst *ir.Value) *ir.Value {
 	return l2.End(a2)[0]
 }
 
+// emitDenseHistTail appends a bucketed histogram over vals: every key
+// is rem(mix(v), buckets), provably inside [0, buckets), so the
+// interval analysis can enumerate the site statically. The fold loop
+// re-probes the histogram with its own iterated keys — the ToDec∩ToEnc
+// redundancy that makes the site profitable for the runtime
+// enumeration whenever the static proof is off (ade-nostatic and the
+// interval-defeating variants), keeping the comparison meaningful.
+// Returns an order-insensitive checksum.
+func emitDenseHistTail(b *ir.Builder, vals *ir.Value, buckets uint64) *ir.Value {
+	hist := b.New(ir.MapOf(ir.TU64, ir.TU64), "dhist")
+	l := ir.StartForEach(b, ir.Op(vals), hist)
+	mix := b.Bin(ir.BinMul, l.Val, u64c(0x9E3779B97F4A7C15), "")
+	k := b.Bin(ir.BinRem, mix, u64c(buckets), "")
+	h1 := b.Insert(ir.Op(l.Cur[0]), k, "")
+	c := b.Read(ir.Op(h1), k, "")
+	c1 := b.Bin(ir.BinAdd, c, u64c(1), "")
+	h2 := b.Write(ir.Op(h1), k, c1, "")
+	histF := l.End(h2)[0]
+
+	f := ir.StartForEach(b, ir.Op(histF), u64c(0))
+	cnt := b.Read(ir.Op(histF), f.Key, "")
+	km := b.Bin(ir.BinMul, f.Key, u64c(0x9E3779B97F4A7C15), "")
+	t := b.Bin(ir.BinXor, km, cnt, "")
+	acc := b.Bin(ir.BinXor, f.Cur[0], t, "")
+	return f.End(acc)[0]
+}
+
 // emitEdgeWeight computes a deterministic pseudo-random weight in
 // [1, 16] from an edge's position (independent of node identity, so
 // identical under enumeration).

@@ -65,6 +65,8 @@ func init() {
 			acc := b.Bin(ir.BinAdd, cl.Cur[0], kx, "")
 			accF := cl.End(acc)[0]
 			b.Emit(accF)
+			dh := emitDenseHistTail(b, nodes, 64)
+			b.Emit(dh)
 			b.Ret(accF)
 
 			p := ir.NewProgram()

@@ -79,6 +79,12 @@ func NewMachine(prog *ir.Program, opts interp.Options, eng Engine) (Machine, err
 		if err != nil {
 			return nil, err
 		}
+		// Every artifact the VM runs has passed the verifier: a compile
+		// bug surfaces here as a positioned error, not as a crash (or a
+		// silently wrong answer) mid-benchmark.
+		if err := bytecode.Verify(bc); err != nil {
+			return nil, err
+		}
 		return vmMachine{vm.New(bc, opts)}, nil
 	}
 	return nil, fmt.Errorf("unknown engine %v", eng)

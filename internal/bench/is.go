@@ -46,6 +46,8 @@ func init() {
 			sz := b.Size(ir.Op(misF), "")
 			out := b.Bin(ir.BinAdd, accF, sz, "")
 			b.Emit(out)
+			dh := emitDenseHistTail(b, nodes, 64)
+			b.Emit(dh)
 			b.Ret(sz)
 
 			p := ir.NewProgram()

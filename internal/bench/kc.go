@@ -81,6 +81,8 @@ func init() {
 			szF := b.Size(ir.Op(aliveF), "")
 			out := b.Bin(ir.BinAdd, accF, szF, "")
 			b.Emit(out)
+			dh := emitDenseHistTail(b, nodes, 64)
+			b.Emit(dh)
 			b.Ret(szF)
 
 			p := ir.NewProgram()

@@ -375,8 +375,43 @@ func (c *funcCompiler) resultReg(in *ir.Instr, i int) int32 {
 	return int32(in.Results[i].Slot)
 }
 
+// discardReg returns a frame register that swallows the result of a
+// bare statement (an instruction whose SSA value is never bound, e.g.
+// `sub(0,0)` on a line of its own). The instruction must still execute
+// — runtime faults like division by zero fire identically on both
+// engines — but unconditional-write opcodes need a real destination.
+// The first latch scratch register is reused: discards are pure
+// writes, and latch staging never spans another instruction, so the
+// slot can never be read with a discarded value in it.
+func (c *funcCompiler) discardReg() int32 {
+	if c.maxScratch == 0 {
+		c.maxScratch = 1
+	}
+	return int32(c.scratchBase)
+}
+
+// producesValue reports whether the IR opcode yields a result when one
+// is bound — the opcodes whose bytecode lowering stores to Dst
+// unconditionally. OpCall is excluded: its result store is
+// runtime-guarded on Dst >= 0, and calls with ignored results are the
+// common bare statement. OpRet/OpEmit/OpROI never have results.
+func producesValue(op ir.Opcode) bool {
+	switch op {
+	case ir.OpNew, ir.OpRead, ir.OpHas, ir.OpSize,
+		ir.OpWrite, ir.OpInsert, ir.OpRemove, ir.OpClear, ir.OpUnion,
+		ir.OpNewEnum, ir.OpEnumGlobal, ir.OpEncode, ir.OpDecode, ir.OpEnumAdd,
+		ir.OpBin, ir.OpCmp, ir.OpNot, ir.OpSelect, ir.OpCast,
+		ir.OpTuple, ir.OpField, ir.OpPhi:
+		return true
+	}
+	return false
+}
+
 func (c *funcCompiler) genInstr(in *ir.Instr) {
 	dst := c.resultReg(in, 0)
+	if dst < 0 && producesValue(in.Op) {
+		dst = c.discardReg()
+	}
 	switch in.Op {
 	case ir.OpNew:
 		site := int32(len(c.p.out.AllocSites))

@@ -207,6 +207,20 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		return report, err
 	}
 
+	var static []staticSite
+	if err := sb.step("static-enum", func() error {
+		static = staticEnumerate(cx)
+		for _, st := range static {
+			report.Static = append(report.Static, st.s.name())
+		}
+		if err := chk.program("static-enum"); err != nil {
+			return err
+		}
+		return chk.staticSites("static-enum", static)
+	}); err != nil {
+		return report, err
+	}
+
 	cands := map[*ir.Func][]*candidate{}
 	if err := sb.step("candidate-formation", func() error {
 		for _, name := range prog.Order {
@@ -282,6 +296,7 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		// Rolled back: the program is the untransformed input; any
 		// classes computed before the failure no longer describe it.
 		report.Classes = nil
+		report.Static = nil
 		report.Rewrites = 0
 		return report, nil
 	}

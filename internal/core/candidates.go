@@ -36,6 +36,12 @@ func eligible(f *facet, opts Options) bool {
 	if s.escaped != "" {
 		return false
 	}
+	if s.staticDense && f.kind == facetKeys {
+		// The keys are already their own identifiers; a runtime
+		// enumeration on top would reintroduce the table static-enum
+		// proved away.
+		return false
+	}
 	if s.dir != nil && s.dir.NoEnumerate {
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memoir/internal/analysis"
+	"memoir/internal/collections"
 	"memoir/internal/ir"
 )
 
@@ -110,6 +111,38 @@ func checkPatchPoint(pp patchPoint) error {
 	}
 	if pp.value() == nil {
 		return fmt.Errorf("patch point addresses a nil value")
+	}
+	return nil
+}
+
+// staticSites asserts the static-enum invariants: every applied site
+// carries a dense selection over its original integer key domain, its
+// proved range fits the configured limit, and the limit itself fits
+// the implementations' uint32 indexing.
+func (c *checkCtx) staticSites(stage string, static []staticSite) error {
+	if !c.on {
+		return nil
+	}
+	for _, st := range static {
+		s := st.s
+		if s.collType.Sel == collections.ImplNone {
+			return c.errf(stage, "static site %s has no implementation selected", s.name())
+		}
+		if !integerKey(s.collType.Key) {
+			return c.errf(stage, "static site %s keeps non-integer key domain %v", s.name(), s.collType.Key)
+		}
+		if st.limit == 0 || st.limit > lookupKeyBound+1 {
+			return c.errf(stage, "static site %s has out-of-domain limit %d", s.name(), st.limit)
+		}
+		if !st.keys.Within(0, st.limit-1) {
+			return c.errf(stage, "static site %s proved range %s exceeds limit %d", s.name(), st.keys, st.limit)
+		}
+		if s.escaped != "" {
+			return c.errf(stage, "static site %s is escaped (%s)", s.name(), s.escaped)
+		}
+		if !s.staticDense {
+			return c.errf(stage, "static site %s is not marked staticDense", s.name())
+		}
 	}
 	return nil
 }

@@ -24,8 +24,8 @@ import (
 // the cache entirely for fault-injected requests).
 func (o Options) Fingerprint() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "rte=%t,prop=%t,share=%t,set=%s,map=%s,force=%t,check=%t,sandbox=%t,fuel=%d",
-		o.RTE, o.Propagation, o.Sharing, o.SetImpl, o.MapImpl, o.ForceAll, o.Check, o.Sandbox, o.Fuel)
+	fmt.Fprintf(&sb, "rte=%t,prop=%t,share=%t,set=%s,map=%s,force=%t,static=%t,slimit=%d,check=%t,sandbox=%t,fuel=%d",
+		o.RTE, o.Propagation, o.Sharing, o.SetImpl, o.MapImpl, o.ForceAll, o.StaticEnum, o.StaticEnumLimit, o.Check, o.Sandbox, o.Fuel)
 	if len(o.Profile) > 0 {
 		// The profile weights the benefit heuristic, so its contents
 		// are decision-relevant. Render sorted for determinism.

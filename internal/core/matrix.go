@@ -30,6 +30,9 @@ func OptionsMatrix() []NamedOptions {
 		// paper's ade-nosharing ablation.
 		{"ade-nosharing", with(func(o *Options) { o.Sharing = false; o.Propagation = false })},
 		{"ade-minimal", with(func(o *Options) { o.RTE = false; o.Sharing = false; o.Propagation = false })},
+		// Statically-provable sites fall back to the runtime
+		// enumeration: the ablation that quantifies static-enum.
+		{"ade-nostatic", with(func(o *Options) { o.StaticEnum = false })},
 		{"ade-sparse", with(func(o *Options) { o.SetImpl = collections.ImplSparseBitSet })},
 		{"ade-flat", with(func(o *Options) { o.SetImpl = collections.ImplFlatSet })},
 		{"ade-swiss", with(func(o *Options) {

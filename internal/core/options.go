@@ -56,6 +56,20 @@ type Options struct {
 	// benefit heuristic (useful in tests).
 	ForceAll bool
 
+	// StaticEnum enables static enumeration: when the interval
+	// analysis proves every key a site ever holds lies in a small
+	// dense range [0, StaticEnumLimit) — and every lookup key fits the
+	// dense implementations' 32-bit domain — the site gets the dense
+	// implementation directly, with no enumeration table and no
+	// enc/dec operations at all. The keys already are their own
+	// identifiers.
+	StaticEnum bool
+	// StaticEnumLimit bounds the proved key range a site may span and
+	// still be statically enumerated; 0 means the default
+	// (analysis.StaticDenseLimit). Values above 2^32 are clamped: the
+	// dense implementations index by uint32.
+	StaticEnumLimit uint64
+
 	// Check re-runs the IR verifier and the pipeline's own invariant
 	// checks between every ADE sub-pass (adec -check). Checks are pure
 	// reads: enabling them never changes the decisions taken.
@@ -84,10 +98,11 @@ type Options struct {
 
 	// Fuel bounds the number of rewrites the pass may perform, for
 	// bisecting miscompiles: 0 is unlimited (the zero-value default),
-	// N > 0 stops after N rewrite units (enumeration classes in
-	// deterministic id order, then RTE elisions in transform order),
-	// and any negative value permits none. Report.Rewrites records how
-	// many units a run actually performed.
+	// N > 0 stops after N rewrite units (static-enum sites in program
+	// order, then enumeration classes in deterministic id order, then
+	// RTE elisions in transform order), and any negative value permits
+	// none. Report.Rewrites records how many units a run actually
+	// performed.
 	Fuel int
 
 	// Faults, when non-nil, drives deterministic compile-time fault
@@ -117,6 +132,7 @@ func DefaultOptions() Options {
 		RTE:         true,
 		Propagation: true,
 		Sharing:     true,
+		StaticEnum:  true,
 		SetImpl:     collections.ImplBitSet,
 		MapImpl:     collections.ImplBitMap,
 	}
@@ -126,6 +142,9 @@ func DefaultOptions() Options {
 // diagnostics and for tests.
 type Report struct {
 	Classes []*ClassReport
+	// Static lists sites the interval analysis proved dense: they got
+	// the dense implementation with no enumeration table at all.
+	Static []string
 	// Skipped lists sites considered but not enumerated, with the
 	// reason.
 	Skipped []string
@@ -151,6 +170,9 @@ type ClassReport struct {
 
 func (r *Report) String() string {
 	var sb strings.Builder
+	for _, s := range r.Static {
+		fmt.Fprintf(&sb, "static: %s\n", s)
+	}
 	for _, c := range r.Classes {
 		fmt.Fprintf(&sb, "enum %s (benefit %d):\n", c.Global, c.Benefit)
 		for _, s := range c.Sites {

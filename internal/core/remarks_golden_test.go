@@ -29,6 +29,7 @@ var remarkCodes = []string{
 	remarks.CodeSelectImpl,
 	remarks.CodePragma,
 	remarks.CodeDegrade,
+	remarks.CodeStaticEnum,
 }
 
 // TestRemarkGoldenCorpus locks the remark text and JSON formats on

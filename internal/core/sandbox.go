@@ -92,9 +92,10 @@ func (s *sandbox) rollback(pass string, cause error) {
 // fuelState meters Options.Fuel. One unit of fuel buys one rewrite
 // unit; take() reports whether the unit may proceed and counts the
 // units actually performed (Report.Rewrites). The rewrite sequence is
-// deterministic — classes in id order, then RTE elisions in transform
-// order — so `-fuel k` reproduces the first k rewrites of the
-// unlimited run exactly, which is what makes bisection meaningful.
+// deterministic — static-enum sites in program order, then classes in
+// id order, then RTE elisions in transform order — so `-fuel k`
+// reproduces the first k rewrites of the unlimited run exactly, which
+// is what makes bisection meaningful.
 type fuelState struct {
 	limited bool
 	left    int

@@ -34,6 +34,12 @@ type site struct {
 	escaped string // non-empty: reason this site must not be transformed
 	dir     *ir.Directive
 
+	// staticDense is set by the static-enum sub-pass: the interval
+	// analysis proved the keys dense, the dense implementation is
+	// already selected, and the key facet must not enter a runtime
+	// enumeration on top of it.
+	staticDense bool
+
 	// facets filled by analyze.
 	key  *facet // enumerate the keys (associative collections only)
 	elem *facet // propagate identifiers into the elements (§III-E)

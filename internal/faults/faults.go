@@ -55,6 +55,7 @@ func (k Kind) String() string {
 // in its tests.
 var Passes = []string{
 	"use-analysis",
+	"static-enum",
 	"candidate-formation",
 	"interprocedural-unification",
 	"union-safety",

@@ -19,6 +19,11 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 		}
 	}
 	setRes := func(i int, v Val) {
+		// A bare statement binds no SSA value; the result is computed
+		// (runtime faults must still fire) and discarded.
+		if i >= len(in.Results) {
+			return
+		}
 		fr[in.Results[i].Slot] = v
 	}
 	switch in.Op {
@@ -159,6 +164,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 			ip.Stats.Count(c.Impl(), OKInsert, 1)
 			c.Insert(key)
 			ip.tcoll(c, OKInsert, 1)
+			if ip.tele != nil {
+				ip.tele.KeyObs(c, key.Bits())
+			}
 		case RMap:
 			key, err := ip.resolve(fn, fr, in.Args[1])
 			if err != nil {
@@ -173,6 +181,9 @@ func (ip *Interp) execInstr(fn *ir.Func, fr []Val, in *ir.Instr) (ctrl, Val, err
 				c.Put(key, zv)
 			}
 			ip.tcoll(c, OKInsert, 1)
+			if ip.tele != nil {
+				ip.tele.KeyObs(c, key.Bits())
+			}
 		case RSeq:
 			val, err := ip.resolve(fn, fr, in.Args[2])
 			if err != nil {

@@ -54,6 +54,11 @@ const (
 	// untransformed state and continued (carries the failing pass and
 	// reason).
 	CodeDegrade = "degrade"
+	// CodeStaticEnum: interval analysis proved every key of a site lies
+	// in a small dense range, so the dense implementation was selected
+	// statically — no enumeration table, no enc/dec at runtime (carries
+	// the proved range and the chosen implementation).
+	CodeStaticEnum = "static-enum"
 )
 
 // Arg is one named decision input (benefit scores, rule operands,

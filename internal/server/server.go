@@ -412,6 +412,12 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 	if err != nil {
 		return nil, phases, false, apiErr(CodeInternal, http.StatusInternalServerError, "bytecode: "+err.Error())
 	}
+	// Never cache an artifact the verifier rejects: a bad compile dies
+	// here, once, instead of being replayed from the cache on every
+	// subsequent request.
+	if err := bytecode.Verify(bc); err != nil {
+		return nil, phases, false, apiErr(CodeInternal, http.StatusInternalServerError, err.Error())
+	}
 	art.ir = prog
 	art.bc = bc
 	art.size = artifactSize(req.Program, bc)

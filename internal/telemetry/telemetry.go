@@ -118,6 +118,14 @@ type SiteStats struct {
 	PeakLen int `json:"peakLen"`
 	// Muts is the cumulative mutation count driving the sampler.
 	Muts uint64 `json:"muts"`
+	// KeyLo and KeyHi bound every key inserted at the site (raw
+	// 64-bit patterns, valid when KeySeen) — the runtime ground truth
+	// the static-enum property tests compare proved intervals
+	// against. Recorded at insert instructions on both engines, at
+	// identical dynamic points.
+	KeySeen bool   `json:"keySeen,omitempty"`
+	KeyLo   uint64 `json:"keyLo,omitempty"`
+	KeyHi   uint64 `json:"keyHi,omitempty"`
 	// Samples is the occupancy-over-time series.
 	Samples []Sample `json:"samples,omitempty"`
 }
@@ -298,6 +306,22 @@ func (r *Recorder) lookup(c any) *SiteStats {
 	r.colls[c] = ss
 	r.instances = append(r.instances, instance{c: c, ss: ss})
 	return ss
+}
+
+// KeyObs records one key inserted into collection instance c,
+// widening the site's observed key bounds.
+func (r *Recorder) KeyObs(c any, key uint64) {
+	if r == nil {
+		return
+	}
+	ss := r.lookup(c)
+	if !ss.KeySeen || key < ss.KeyLo {
+		ss.KeyLo = key
+	}
+	if !ss.KeySeen || key > ss.KeyHi {
+		ss.KeyHi = key
+	}
+	ss.KeySeen = true
 }
 
 // mutating reports whether operation k changes a collection's

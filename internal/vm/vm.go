@@ -966,6 +966,9 @@ dispatch:
 				c.Insert(key)
 				m.tcoll(c, interp.OKInsert, 1)
 			}
+			if m.tele != nil {
+				m.tele.KeyObs(cv.Ref(), key.Bits())
+			}
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
 
@@ -1013,6 +1016,9 @@ dispatch:
 					c.Put(key, zv)
 				}
 				m.tcoll(c, interp.OKInsert, 1)
+			}
+			if m.tele != nil {
+				m.tele.KeyObs(cv.Ref(), key.Bits())
 			}
 			m.grew()
 			fr[in.Dst] = fr[in.A.Reg]
