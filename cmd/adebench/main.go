@@ -16,6 +16,14 @@
 //
 // The gate compares deterministic interpreter op counts, not wall
 // clock, so it is stable on shared CI runners.
+//
+// Profile collection:
+//
+//	adebench -profile-out suite.adeprofile.json   # suite-merged adeprofile/v1
+//	adebench -pgo                                 # profile-guided extension study
+//
+// The merged profile feeds back through adec -profile (or
+// core.Options.SiteProfile); see DESIGN.md §13.
 package main
 
 import (
@@ -31,19 +39,20 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate (4,5,6,7a,7b,7c,8,9,10)")
-		tab    = flag.String("table", "", "table to regenerate (2,3)")
-		rq4    = flag.Bool("rq4", false, "run the RQ4 PTA case study")
-		pgo    = flag.Bool("pgo", false, "run the profile-guided heuristic extension study")
-		all    = flag.Bool("all", false, "regenerate everything")
-		scale  = flag.String("scale", "small", "workload scale: test, small, full")
-		trials = flag.Int("trials", 3, "timing trials per configuration (median reported)")
-		outDir = flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt (artifact style)")
-		counts = flag.String("counts", "", "write the op-count baseline to this file and exit")
-		gate   = flag.String("gate", "", "compare current op counts against this baseline, failing on regressions")
-		tol    = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
-		engine = flag.String("engine", "interp", "execution engine for -counts/-gate: interp or vm (counts are engine-invariant)")
-		jsonTo = flag.String("json", "", "write a machine-readable per-benchmark report (adebench-report/v1) to `file` (\"-\" = stdout) and exit")
+		fig     = flag.String("fig", "", "figure to regenerate (4,5,6,7a,7b,7c,8,9,10)")
+		tab     = flag.String("table", "", "table to regenerate (2,3)")
+		rq4     = flag.Bool("rq4", false, "run the RQ4 PTA case study")
+		pgo     = flag.Bool("pgo", false, "run the profile-guided heuristic extension study")
+		all     = flag.Bool("all", false, "regenerate everything")
+		scale   = flag.String("scale", "small", "workload scale: test, small, full")
+		trials  = flag.Int("trials", 3, "timing trials per configuration (median reported)")
+		outDir  = flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt (artifact style)")
+		counts  = flag.String("counts", "", "write the op-count baseline to this file and exit")
+		gate    = flag.String("gate", "", "compare current op counts against this baseline, failing on regressions")
+		tol     = flag.Float64("tol", 0.05, "op-count regression tolerance for -gate (0.05 = 5%)")
+		engine  = flag.String("engine", "interp", "execution engine for -counts/-gate: interp or vm (counts are engine-invariant)")
+		jsonTo  = flag.String("json", "", "write a machine-readable per-benchmark report (adebench-report/v1) to `file` (\"-\" = stdout) and exit")
+		profOut = flag.String("profile-out", "", "profile one untransformed run of every benchmark, merge the shards, write the adeprofile/v1 document to `file`, and exit")
 
 		maxSteps = flag.Uint64("max-steps", 0, "per-execution step budget; exhausting it fails with a structured error (0 = unlimited)")
 		maxMem   = flag.Int64("max-mem", 0, "per-execution modeled live-memory budget in bytes (0 = unlimited)")
@@ -68,6 +77,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *profOut != "" {
+		p, err := experiments.CollectSuiteProfile(sc)
+		if err == nil {
+			err = p.WriteFile(*profOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged profile for %d benchmarks to %s (fingerprint %s)\n",
+			len(p.Programs), *profOut, p.Fingerprint())
+		return
 	}
 	if *jsonTo != "" {
 		rep, err := experiments.CollectBenchReport(sc, eng, bud)

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/analysis"
 	"memoir/internal/bytecode"
 	"memoir/internal/collections"
@@ -47,6 +48,7 @@ func main() {
 		dump      = flag.Bool("dump-bytecode", false, "print the register bytecode for the (transformed) program instead of MEMOIR text")
 		remarksTo = flag.String("remarks", "", "write optimization remarks to `file` (\"-\" = stderr; .json suffix selects JSON)")
 		traceTo   = flag.String("trace", "", "write a Chrome trace_event JSON of the ADE sub-passes to `file`")
+		profileIn = flag.String("profile", "", "guide the benefit heuristic and implementation selection by an adeprofile/v1 `file` (memoir-run -profile-out); a stale profile warns and falls back to the static heuristics")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -87,6 +89,13 @@ func main() {
 	if *sparse {
 		opts.SetImpl = collections.ImplSparseBitSet
 	}
+	if *profileIn != "" {
+		p, err := adeprofile.ReadFile(*profileIn)
+		if err != nil {
+			fatal(fmt.Errorf("profile: %w", err))
+		}
+		opts.SiteProfile = p
+	}
 	var em *remarks.Emitter
 	if *remarksTo != "" || *traceTo != "" {
 		em = remarks.NewEmitter()
@@ -100,6 +109,11 @@ func main() {
 	// should hear that the output is the unoptimized program.
 	for _, d := range rep.Degraded {
 		fmt.Fprintf(os.Stderr, "adec: warning: degraded: %s\n", d)
+	}
+	// Same contract for a stale profile: the compile succeeded, but the
+	// static heuristics decided everything.
+	if strings.HasPrefix(rep.Profile, "stale") {
+		fmt.Fprintf(os.Stderr, "adec: warning: profile %s\n", rep.Profile)
 	}
 	if *fuel >= 0 {
 		fmt.Fprintf(os.Stderr, "adec: fuel: %d rewrite unit(s) performed\n", rep.Rewrites)

@@ -12,6 +12,13 @@
 //	adereport -engine vm -args 10 f.mir
 //	adereport -bench all -scale test      # whole suite + aggregate
 //	adereport -bench PTA -json            # machine-readable join
+//	adereport -profile p.json f.mir       # offline replay of a saved profile
+//
+// With -profile the program is not executed: the saved adeprofile/v1
+// document stands in for live telemetry, the program is compiled both
+// statically and under the profile, and every allocation site where
+// the two compiles disagree gets an auto-generated `#pragma ade`
+// suggestion line that bakes the profiled decision into the source.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/bench"
 	"memoir/internal/core"
 	"memoir/internal/interp"
@@ -33,8 +41,10 @@ import (
 	"memoir/internal/telemetry"
 )
 
-// ReportSchema identifies the -json output format.
-const ReportSchema = "adereport/v1"
+// ReportSchema identifies the -json output format (v2 adds the
+// profile verdict and pragma suggestions of -profile mode; the v1
+// fields are unchanged).
+const ReportSchema = "adereport/v2"
 
 // EnumJoin is one enumeration with both its compile-time origin and
 // its runtime behaviour.
@@ -64,7 +74,13 @@ type ProgReport struct {
 	Remarks []remarks.Remark `json:"remarks"`
 	// Telemetry is the full runtime recording, including sites that no
 	// remark mentions (benchmark inputs, non-enumerated collections).
+	// In -profile mode it is reconstituted from the saved aggregates.
 	Telemetry *telemetry.Telemetry `json:"telemetry"`
+	// Profile is the profile-guided compile's verdict ("weighted: ..."
+	// or "stale: ..."); empty outside -profile mode.
+	Profile string `json:"profile,omitempty"`
+	// Suggestions are the auto-generated pragma lines (-profile mode).
+	Suggestions []Suggestion `json:"suggestions,omitempty"`
 }
 
 // Doc is the -json document: one entry per program plus the suite
@@ -84,6 +100,7 @@ func main() {
 		engine   = flag.String("engine", "interp", "execution engine: interp or vm")
 		args     = flag.String("args", "", "comma-separated u64 arguments for @main (single-program mode)")
 		jsonOut  = flag.Bool("json", false, "write the joined report as JSON to stdout")
+		profIn   = flag.String("profile", "", "offline replay: join this saved adeprofile/v1 `file` to the program's remarks instead of executing, and suggest pragmas where static and profile-guided compiles disagree")
 	)
 	flag.Parse()
 	eng, err := bench.ParseEngine(*engine)
@@ -104,6 +121,15 @@ func main() {
 
 	doc := Doc{Schema: ReportSchema}
 	switch {
+	case *profIn != "":
+		if *benchSel != "" || flag.NArg() != 1 {
+			fatal(fmt.Errorf("-profile needs exactly one program file (and no -bench)"))
+		}
+		pr, err := runProfile(flag.Arg(0), *profIn)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Programs = append(doc.Programs, *pr)
 	case *benchSel != "":
 		if flag.NArg() != 0 {
 			fatal(fmt.Errorf("-bench and a program file are mutually exclusive"))
@@ -199,6 +225,45 @@ func runFile(path, argList string, eng bench.Engine) (*ProgReport, error) {
 		return nil, err
 	}
 	return join(path, eng, em.Remarks, rec.Result()), nil
+}
+
+// runProfile is the offline-replay path: no execution. The saved
+// profile stands in for live telemetry, and the program is compiled
+// twice (static and profile-guided) to generate pragma suggestions
+// where the decisions disagree.
+func runProfile(path, profPath string) (*ProgReport, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	build := func() (*ir.Program, error) {
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		if err := ir.Verify(prog); err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		return prog, nil
+	}
+	prog, err := build()
+	if err != nil {
+		return nil, err
+	}
+	hash := ir.ProgramHash(prog)
+	prof, err := adeprofile.ReadFile(profPath)
+	if err != nil {
+		return nil, err
+	}
+	sugs, pgoRs, verdict, err := Suggest(build, prof)
+	if err != nil {
+		return nil, err
+	}
+	pr := join(path, bench.EngineInterp, pgoRs, teleFromProfile(prof.For(hash)))
+	pr.Engine = "profile(" + profPath + ")"
+	pr.Profile = verdict
+	pr.Suggestions = sugs
+	return pr, nil
 }
 
 // runBench ADE-compiles and executes one suite benchmark, returning
@@ -303,6 +368,15 @@ func writeText(w io.Writer, pr *ProgReport) {
 	}
 	if len(pr.Enums) == 0 {
 		fmt.Fprintln(w, "no enumerations created")
+	}
+	if pr.Profile != "" {
+		fmt.Fprintf(w, "profile: %s\n", pr.Profile)
+	}
+	if len(pr.Suggestions) > 0 {
+		fmt.Fprintln(w, "pragma suggestions (insert each on the line before the `new`):")
+		for _, s := range pr.Suggestions {
+			fmt.Fprintf(w, "  @%s:%d %s: %s   (%s)\n", s.Fn, s.Line, s.Value, s.Pragma, s.Reason)
+		}
 	}
 	fmt.Fprintln(w, "telemetry:")
 	pr.Telemetry.WriteText(w)

@@ -17,6 +17,7 @@
 //	                  .mir with query params (see README)
 //	POST /v1/compile  compile (cached) only
 //	GET  /v1/stats    cache ratios, phase counters, latency, telemetry
+//	GET  /v1/profile  live adeprofile/v1 merged from recorded runs
 //	GET  /healthz     liveness
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
@@ -53,6 +54,7 @@ func main() {
 		timeout      = flag.Duration("timeout", def.DefaultTimeout, "default per-request deadline")
 		ceilTimeout  = flag.Duration("ceil-timeout", def.CeilTimeout, "hard per-request deadline ceiling")
 		sandbox      = flag.Bool("sandbox", def.Sandbox, "run ADE sub-passes sandboxed with rollback (production posture)")
+		profSample   = flag.Int("profile-sample", def.ProfileSample, "record telemetry on every Nth executed request and fold it into the live profile at GET /v1/profile (0 = opt-in telemetry only)")
 		accessLog    = flag.String("access-log", "-", "structured JSON access log: \"-\" = stdout, \"\" = off, else a file path")
 		selftest     = flag.Bool("selftest", false, "run the in-process load harness (cold/hot/mixed phases) and exit")
 		stRequests   = flag.Int("selftest-requests", 200, "selftest: requests per phase")
@@ -76,6 +78,7 @@ func main() {
 	cfg.DefaultTimeout = *timeout
 	cfg.CeilTimeout = *ceilTimeout
 	cfg.Sandbox = *sandbox
+	cfg.ProfileSample = *profSample
 
 	if *selftest {
 		cfg.AccessLog = nil

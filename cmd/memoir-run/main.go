@@ -12,6 +12,8 @@
 //	memoir-run -dump-bytecode program.mir     # print bytecode, don't run
 //	memoir-run -max-steps 100000 program.mir  # resource-budgeted run
 //	memoir-run -max-mem 1048576 -timeout 5s program.mir
+//	memoir-run -telemetry program.mir         # per-site telemetry dump
+//	memoir-run -profile-out p.json program.mir # write adeprofile/v1
 //
 // A run that exhausts a budget (-max-steps, -max-mem, -timeout) stops
 // with a structured error, prints the partial statistics accumulated
@@ -29,12 +31,14 @@ import (
 	"strings"
 	"time"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/bench"
 	"memoir/internal/bytecode"
 	"memoir/internal/core"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
+	"memoir/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +53,9 @@ func main() {
 		maxSteps = flag.Uint64("max-steps", 0, "stop with a structured error after this many interpreted steps (0 = unlimited)")
 		maxMem   = flag.Int64("max-mem", 0, "stop with a structured error when modeled live bytes exceed this (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "stop with a structured error after this wall-clock duration (0 = none)")
+
+		teleDump   = flag.Bool("telemetry", false, "record per-site telemetry and print a human-readable dump after the run")
+		profileOut = flag.String("profile-out", "", "record telemetry and write an adeprofile/v1 profile to `file` (feed it back with adec -profile)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -70,6 +77,10 @@ func main() {
 	if err := ir.Verify(prog); err != nil {
 		fatal(fmt.Errorf("verify: %w", err))
 	}
+	// Profiles are keyed by the pre-ADE hash: the site keys survive the
+	// transform, so a profile collected on any configuration of this
+	// program guides any other.
+	progHash := ir.ProgramHash(prog)
 	if *ade {
 		rep, err := core.Apply(prog, core.DefaultOptions())
 		if err != nil {
@@ -95,6 +106,31 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		iopts.Context = ctx
+	}
+	var rec *telemetry.Recorder
+	if *teleDump || *profileOut != "" {
+		rec = telemetry.NewRecorder()
+		iopts.Telemetry = rec
+	}
+	// emitTelemetry shares one emission path between -telemetry and
+	// -profile-out; both are valid at a budget interruption too (the
+	// recorder's partial fold is engine-identical like the stats).
+	emitTelemetry := func() {
+		if rec == nil {
+			return
+		}
+		t := rec.Result()
+		if *teleDump {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fatal(fmt.Errorf("telemetry: %w", err))
+			}
+		}
+		if *profileOut != "" {
+			p := adeprofile.FromTelemetry(progHash, flag.Arg(0), t)
+			if err := p.WriteFile(*profileOut); err != nil {
+				fatal(fmt.Errorf("profile: %w", err))
+			}
+		}
 	}
 	m, err := bench.NewMachine(prog, iopts, eng)
 	if err != nil {
@@ -126,6 +162,7 @@ func main() {
 		fmt.Printf("interrupted: %v\n", err)
 		fmt.Printf("output: count=%d checksum=%d (partial)\n", st.EmitCount, st.EmitSum)
 		printStats(*stats, eng, elapsed, st)
+		emitTelemetry()
 		os.Exit(1)
 	}
 	m.FinalizeMem()
@@ -133,6 +170,7 @@ func main() {
 	fmt.Printf("result: %s\n", ret)
 	fmt.Printf("output: count=%d checksum=%d\n", st.EmitCount, st.EmitSum)
 	printStats(*stats, eng, elapsed, st)
+	emitTelemetry()
 }
 
 func printStats(on bool, eng bench.Engine, elapsed time.Duration, st *interp.Stats) {

@@ -17,9 +17,11 @@ import (
 	"sort"
 	"time"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
+	"memoir/internal/telemetry"
 )
 
 // Scale selects workload sizes.
@@ -144,6 +146,24 @@ func CollectProfile(s *Spec, prog *ir.Program, sc Scale) (profile.Profile, error
 		return nil, fmt.Errorf("%s: profiling run: %w", s.Abbr, err)
 	}
 	return ip.Profile(), nil
+}
+
+// CollectSiteProfile executes prog (untransformed) on the benchmark's
+// input and returns the run's telemetry as an adeprofile/v1 document
+// keyed by prog's pre-ADE hash — the durable profile the compiler
+// consumes through core.Options.SiteProfile.
+func CollectSiteProfile(s *Spec, prog *ir.Program, sc Scale) (*adeprofile.Profile, error) {
+	hash := ir.ProgramHash(prog)
+	rec := telemetry.NewRecorder()
+	opts := interp.DefaultOptions()
+	opts.Telemetry = rec
+	opts.MemSampleEvery = 1 << 30
+	ip := interp.New(prog, opts)
+	args := s.Input(ip, sc)
+	if _, err := ip.Run("main", args...); err != nil {
+		return nil, fmt.Errorf("%s: profiling run: %w", s.Abbr, err)
+	}
+	return adeprofile.FromTelemetry(hash, s.Abbr, rec.Result()), nil
 }
 
 // --- shared input builders ---

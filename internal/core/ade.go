@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/ir"
 	"memoir/internal/profile"
 	"memoir/internal/remarks"
@@ -31,6 +32,13 @@ type adeCtx struct {
 	// site keys (filled only when remarks are enabled).
 	allocOrds map[*ir.Func]map[*ir.Instr]int
 
+	// siteProf is the adeprofile/v1 entry matched to this program
+	// (nil when none was supplied or the supplied one was stale), and
+	// siteWts caches the per-function instruction weights derived from
+	// it. See profileguided.go.
+	siteProf *adeprofile.ProgramProfile
+	siteWts  map[*ir.Func]map[*ir.Instr]uint64
+
 	// fuel meters Options.Fuel across the whole run: enumeration
 	// classes first, then RTE elisions (see sandbox.go).
 	fuel *fuelState
@@ -39,8 +47,19 @@ type adeCtx struct {
 func (cx *adeCtx) fiOf(fn *ir.Func) *fnInfo { return cx.fis[fn] }
 
 // weightFn returns the benefit weight function for fn: static counts
-// without a profile, dynamic execution counts with one.
+// without a profile, dynamic execution counts with one. A matched
+// adeprofile/v1 site profile takes precedence over the legacy
+// per-instruction profile.
 func (cx *adeCtx) weightFn(fn *ir.Func) func(*ir.Instr) uint64 {
+	if cx.siteProf != nil {
+		m := cx.siteWeights(fn)
+		return func(in *ir.Instr) uint64 {
+			if w, ok := m[in]; ok {
+				return w
+			}
+			return 1 // instruction unknown to the profile (cmp, inserted)
+		}
+	}
 	if cx.opts.Profile == nil {
 		return nil
 	}
@@ -182,8 +201,14 @@ func Apply(prog *ir.Program, opts Options) (*Report, error) {
 		ordinals:  map[*ir.Func]map[*ir.Instr]int{},
 		fnAlias:   map[string]string{},
 		allocOrds: map[*ir.Func]map[*ir.Instr]int{},
+		siteWts:   map[*ir.Func]map[*ir.Instr]uint64{},
 		fuel:      newFuel(opts.Fuel),
 	}
+	// Profile resolution runs against the untransformed program (the
+	// profile's hash and site keys describe what the user wrote) and
+	// outside the sandbox: it mutates nothing, and a stale profile is
+	// a degradation to static decisions, not a failure.
+	cx.resolveSiteProfile(report)
 	em := opts.Remarks
 	sz := func() int {
 		if em == nil {

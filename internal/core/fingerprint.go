@@ -47,5 +47,11 @@ func (o Options) Fingerprint() string {
 			fmt.Fprintf(&sb, "%s#%d:%d", k.Fn, k.Ordinal, o.Profile[k])
 		}
 	}
+	if o.SiteProfile != nil {
+		// An adeprofile/v1 document can be large; cover it by the
+		// content hash of its canonical serialization (two compiles
+		// guided by different profiles must not share a cache entry).
+		fmt.Fprintf(&sb, ",siteprofile=%s", o.SiteProfile.Fingerprint())
+	}
 	return sb.String()
 }

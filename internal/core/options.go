@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/collections"
 	"memoir/internal/faults"
 	"memoir/internal/ir"
@@ -86,6 +87,17 @@ type Options struct {
 	// like FIM's disabled verbose output) then contributes no benefit,
 	// avoiding the enumeration of cold collections.
 	Profile profile.Profile
+
+	// SiteProfile, when non-nil, is the durable form of the same
+	// extension: an adeprofile/v1 document (adec -profile) whose
+	// per-site operation histograms weight the benefit heuristic and
+	// whose occupancy/key-bound observations steer implementation
+	// selection. The profile entry is matched to the program by its
+	// pre-ADE ir.ProgramHash; a missing or unmappable entry emits a
+	// profile-stale remark and falls back to the static heuristics —
+	// it never fails the compile and never silently misapplies.
+	// When both Profile and SiteProfile apply, SiteProfile wins.
+	SiteProfile *adeprofile.Profile
 
 	// Sandbox runs every sub-pass against a pristine-IR snapshot with
 	// panic recovery: a sub-pass that panics or fails a -check
@@ -158,6 +170,11 @@ type Report struct {
 	// Options.Fuel is budgeted in; the unlimited-fuel count is the
 	// bisection upper bound.
 	Rewrites int
+	// Profile records the Options.SiteProfile resolution outcome: ""
+	// when no site profile was supplied, "weighted: ..." when it
+	// matched and guided the run, "stale: <why>" when it was rejected
+	// and the static heuristics decided everything.
+	Profile string
 }
 
 // ClassReport describes one enumeration equivalence class.
@@ -170,6 +187,9 @@ type ClassReport struct {
 
 func (r *Report) String() string {
 	var sb strings.Builder
+	if r.Profile != "" {
+		fmt.Fprintf(&sb, "profile: %s\n", r.Profile)
+	}
 	for _, s := range r.Static {
 		fmt.Fprintf(&sb, "static: %s\n", s)
 	}

@@ -8,12 +8,29 @@ import (
 	"strings"
 	"testing"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/core"
 	"memoir/internal/faults"
+	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
 	"memoir/internal/remarks"
+	"memoir/internal/telemetry"
 )
+
+// goldenProfile records one interpreter run of prog (untransformed)
+// and returns it as an adeprofile/v1 document keyed by prog's hash.
+func goldenProfile(t *testing.T, prog *ir.Program) *adeprofile.Profile {
+	t.Helper()
+	rec := telemetry.NewRecorder()
+	iopts := interp.DefaultOptions()
+	iopts.Telemetry = rec
+	ip := interp.New(ir.CloneProgram(prog), iopts)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	return adeprofile.FromTelemetry(ir.ProgramHash(prog), "golden", rec.Result())
+}
 
 var update = flag.Bool("update", false, "rewrite the remark golden files")
 
@@ -30,6 +47,8 @@ var remarkCodes = []string{
 	remarks.CodePragma,
 	remarks.CodeDegrade,
 	remarks.CodeStaticEnum,
+	remarks.CodeProfileWeighted,
+	remarks.CodeProfileStale,
 }
 
 // TestRemarkGoldenCorpus locks the remark text and JSON formats on
@@ -55,7 +74,8 @@ func TestRemarkGoldenCorpus(t *testing.T) {
 			em := remarks.NewEmitter()
 			opts := core.DefaultOptions()
 			opts.Remarks = em
-			if code == remarks.CodeDegrade {
+			switch code {
+			case remarks.CodeDegrade:
 				// The degrade remark only fires when a sandboxed
 				// sub-pass fails; inject a deterministic transform
 				// panic for the sandbox to contain.
@@ -65,6 +85,16 @@ func TestRemarkGoldenCorpus(t *testing.T) {
 				}
 				opts.Sandbox = true
 				opts.Faults = faults.NewInjector(pt)
+			case remarks.CodeProfileWeighted:
+				// A matched profile, collected from an interpreter run
+				// of the fixture itself (deterministic: both engines
+				// produce identical telemetry).
+				opts.SiteProfile = goldenProfile(t, prog)
+			case remarks.CodeProfileStale:
+				// A profile recorded for some other program: the hash
+				// cannot match, so the pass must warn and stay static.
+				opts.SiteProfile = adeprofile.FromTelemetry(
+					strings.Repeat("0", 64), "elsewhere", &telemetry.Telemetry{})
 			}
 			if _, err := core.Apply(prog, opts); err != nil {
 				t.Fatalf("ade: %v", err)

@@ -306,11 +306,14 @@ func (tr *transformer) rewriteTypes() {
 		s.collType = ct
 		if kc != nil {
 			ct.Key = ir.TIdx
-			ct.Sel = tr.enumImpl(s, ct)
+			ct.Sel = tr.enumImpl(s, kc, ct)
 			if tr.cx.remarksOn() {
 				r := tr.cx.siteRemark(remarks.CodeSelectImpl, "select", s)
 				r.Message = "dense implementation selected"
 				src := "default"
+				if _, ok := tr.profileImpl(s, kc, ct); ok {
+					src = "profile"
+				}
 				if s.dir != nil && s.dir.Select != collections.ImplNone {
 					src = "pragma"
 				}
@@ -332,10 +335,14 @@ func (tr *transformer) rewriteTypes() {
 }
 
 // enumImpl picks the dense implementation for an enumerated site:
-// directive select wins, then the option defaults (§III-H).
-func (tr *transformer) enumImpl(s *site, ct *ir.CollType) collections.Impl {
+// directive select wins, then observed occupancy when a profile
+// matched (profileguided.go), then the option defaults (§III-H).
+func (tr *transformer) enumImpl(s *site, kc *classInfo, ct *ir.CollType) collections.Impl {
 	if s.dir != nil && s.dir.Select != collections.ImplNone {
 		return s.dir.Select
+	}
+	if impl, ok := tr.profileImpl(s, kc, ct); ok {
+		return impl
 	}
 	if ct.Kind == ir.KMap {
 		if tr.opts.MapImpl != collections.ImplNone {

@@ -52,6 +52,11 @@ type Config struct {
 	// pass. It exists for fault-injection tests that prove the differ
 	// detects divergences; production matrices leave it nil.
 	Mutate func(*ir.Program)
+	// PGO profiles an untransformed reference run of the same program
+	// and input in-harness and feeds the adeprofile document into the
+	// ADE pass (core.Options.SiteProfile), so the matrix proves the
+	// profile-guided decisions are semantics-preserving too.
+	PGO bool
 }
 
 // EngineSuffix marks a matrix column that runs on the bytecode VM; a
@@ -76,6 +81,8 @@ func Matrix() []Config {
 		opts := no.Opts
 		base = append(base, Config{Name: no.Name, ADE: &opts})
 	}
+	pgoOpts := core.DefaultOptions()
+	base = append(base, Config{Name: "ade-pgo", ADE: &pgoOpts, PGO: true})
 	out := make([]Config, 0, 2*len(base))
 	for _, c := range base {
 		out = append(out, c)
@@ -246,16 +253,26 @@ func equalOutput(a, b *outcome) bool {
 // buildProgram constructs, transforms, verifies and (optionally)
 // mutates the program for one matrix cell. ir.Verify runs after every
 // stage that produces a program: the build, the ADE pass, and the
-// fault injection.
-func buildProgram(s *bench.Spec, c Config) (*ir.Program, *core.Report, error) {
+// fault injection. PGO cells first profile an untransformed run of a
+// fresh build on the same input — the adeprofile is keyed by the
+// pre-ADE hash, so it matches the build being transformed.
+func buildProgram(s *bench.Spec, c Config, sc bench.Scale) (*ir.Program, *core.Report, error) {
 	prog := s.Build("")
 	if err := ir.Verify(prog); err != nil {
 		return nil, nil, fmt.Errorf("build verify: %w", err)
 	}
 	var rep *core.Report
 	if c.ADE != nil {
+		a := *c.ADE
+		if c.PGO {
+			prof, err := bench.CollectSiteProfile(s, s.Build(""), sc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("pgo profiling run: %w", err)
+			}
+			a.SiteProfile = prof
+		}
 		var err error
-		rep, err = core.Apply(prog, *c.ADE)
+		rep, err = core.Apply(prog, a)
 		if err != nil {
 			return nil, rep, fmt.Errorf("ade: %w", err)
 		}
@@ -431,7 +448,7 @@ func twinDivergence(got *outcome, twins map[string]*outcome, c Config, abbr stri
 
 // runCell runs one (benchmark, config) cell against the reference.
 func runCell(s *bench.Spec, c Config, ref *outcome, sc bench.Scale) (Entry, *outcome, *Divergence) {
-	prog, rep, err := buildProgram(s, c)
+	prog, rep, err := buildProgram(s, c, sc)
 	if err != nil {
 		return Entry{Config: c.Name, Engine: c.Engine.String(), Error: err.Error()}, nil, nil
 	}

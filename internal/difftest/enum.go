@@ -6,11 +6,13 @@ import (
 	"sort"
 	"strings"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/bench"
 	"memoir/internal/core"
 	"memoir/internal/faults"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
+	"memoir/internal/telemetry"
 )
 
 // Skeletal program enumeration (adediff -enum), after Zhang/Sun/Su's
@@ -630,6 +632,21 @@ func runEnumProgram(p *ir.Program, iopts interp.Options, eng bench.Engine, fpt f
 	}, nil
 }
 
+// enumSiteProfile profiles one untransformed interpreter run of the
+// skeleton on the fixed EnumInput — the in-harness profile a PGO
+// matrix cell compiles under.
+func enumSiteProfile(sk Skeleton) (*adeprofile.Profile, error) {
+	prog := sk.Build()
+	hash := ir.ProgramHash(prog)
+	rec := telemetry.NewRecorder()
+	iopts := interpOpts(Config{})
+	iopts.Telemetry = rec
+	if _, err := runEnumProgram(prog, iopts, bench.EngineInterp, faults.Point{}); err != nil {
+		return nil, err
+	}
+	return adeprofile.FromTelemetry(hash, sk.ID, rec.Result()), nil
+}
+
 // runEnumCell builds, transforms and runs one (skeleton, config) cell
 // against the reference.
 func runEnumCell(sk Skeleton, c Config, ref *outcome, fpt faults.Point) (EnumEntry, *outcome, *Divergence) {
@@ -637,6 +654,14 @@ func runEnumCell(sk Skeleton, c Config, ref *outcome, fpt faults.Point) (EnumEnt
 	prog := sk.Build()
 	if c.ADE != nil {
 		a := *c.ADE
+		if c.PGO {
+			prof, err := enumSiteProfile(sk)
+			if err != nil {
+				ent.Error = "pgo profiling run: " + err.Error()
+				return ent, nil, nil
+			}
+			a.SiteProfile = prof
+		}
 		if fpt.Kind == faults.PassPanic && fpt.Name != "" {
 			// Compile-time faults run sandboxed: the sweep's claim is
 			// containment, not a crashed harness.

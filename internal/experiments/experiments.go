@@ -135,13 +135,14 @@ func buildProgram(s *bench.Spec, cfg CompilerConfig, sc bench.Scale) (*ir.Progra
 	if cfg.ADE != nil {
 		opts := *cfg.ADE
 		if cfg.PGO {
-			// Profile a baseline run on the same input; the profile is
-			// keyed stably so it applies to a fresh build.
-			prof, err := bench.CollectProfile(s, s.Build(cfg.Variant), sc)
+			// Profile a baseline run on the same input; the adeprofile
+			// document is keyed by the pre-ADE program hash, so a profile
+			// collected on one untransformed build applies to a fresh one.
+			prof, err := bench.CollectSiteProfile(s, s.Build(cfg.Variant), sc)
 			if err != nil {
 				return nil, err
 			}
-			opts.Profile = prof
+			opts.SiteProfile = prof
 		}
 		if _, err := core.Apply(prog, opts); err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", s.Abbr, cfg.Name, err)

@@ -3,9 +3,28 @@ package experiments
 import (
 	"fmt"
 
+	"memoir/internal/adeprofile"
+	"memoir/internal/bench"
 	"memoir/internal/interp"
 	"memoir/internal/stats"
 )
+
+// CollectSuiteProfile profiles one untransformed run of every
+// benchmark at the given scale and merges the shards into a single
+// adeprofile/v1 document (adebench -profile-out). Each benchmark is
+// its own program entry keyed by its pre-ADE hash, so one suite file
+// can guide a later recompile of any of them.
+func CollectSuiteProfile(sc bench.Scale) (*adeprofile.Profile, error) {
+	merged := adeprofile.New()
+	for _, s := range bench.All() {
+		p, err := bench.CollectSiteProfile(s, s.Build(""), sc)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(p)
+	}
+	return merged, nil
+}
 
 // PGO evaluates the profile-guided benefit heuristic — the extension
 // the paper sketches in §III-C ("This heuristic could be extended

@@ -40,8 +40,14 @@ func TestTestdataPrograms(t *testing.T) {
 						t.Fatalf("verify after ADE: %v", err)
 					}
 				}
+				// Entry params (e.g. coldmap.mir's runtime verbosity
+				// switch) get zero values.
+				var args []interp.Val
+				for range prog.Funcs["main"].Params {
+					args = append(args, interp.IntV(0))
+				}
 				ip := interp.New(prog, interp.DefaultOptions())
-				ret, err := ip.Run("main")
+				ret, err := ip.Run("main", args...)
 				if err != nil {
 					t.Fatalf("run: %v", err)
 				}

@@ -59,6 +59,14 @@ const (
 	// statically — no enumeration table, no enc/dec at runtime (carries
 	// the proved range and the chosen implementation).
 	CodeStaticEnum = "static-enum"
+	// CodeProfileWeighted: an adeprofile/v1 profile matched the program
+	// and is steering the benefit weights and implementation selection
+	// (carries the profile's run count and matched-site count).
+	CodeProfileWeighted = "profile-weighted"
+	// CodeProfileStale: a supplied profile did not match the program
+	// (wrong hash or unmappable site keys); the pass warned and fell
+	// back to the static heuristics, leaving decisions unchanged.
+	CodeProfileStale = "profile-stale"
 )
 
 // Arg is one named decision input (benefit scores, rule operands,

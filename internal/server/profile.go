@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"memoir/internal/adeprofile"
+	"memoir/internal/telemetry"
+)
+
+// liveProfile is the daemon's in-memory adeprofile/v1 document: every
+// recorded run — opt-in telemetry requests, plus every Nth executed
+// request when Config.ProfileSample is set — folds in under the
+// program's pre-ADE hash (the artifact cache key's program half), and
+// GET /v1/profile serves the canonical merged document. The fold is
+// the same commutative merge the offline shard tooling uses, so a
+// profile scraped from a daemon is byte-compatible with one written
+// by memoir-run or adebench.
+type liveProfile struct {
+	tick atomic.Uint64
+	mu   sync.Mutex
+	prof *adeprofile.Profile
+	runs uint64
+}
+
+// sampleNow decides whether the current request is a profiling sample:
+// every nth executed request, counted across all programs. n <= 0
+// disables sampling.
+func (l *liveProfile) sampleNow(n int) bool {
+	return n > 0 && l.tick.Add(1)%uint64(n) == 0
+}
+
+// fold merges one recorded run into the live profile.
+func (l *liveProfile) fold(hash string, t *telemetry.Telemetry) {
+	p := adeprofile.FromTelemetry(hash, "", t)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prof == nil {
+		l.prof = adeprofile.New()
+	}
+	l.prof.Merge(p)
+	l.runs++
+}
+
+// document returns the canonical serialized profile (an empty but
+// valid document before any run was recorded).
+func (l *liveProfile) document() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.prof
+	if p == nil {
+		p = adeprofile.New()
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		return []byte("{}\n")
+	}
+	return buf.Bytes()
+}
+
+type profileSnapshot struct {
+	RecordedRuns uint64 `json:"recordedRuns"`
+	Programs     int    `json:"programs"`
+	Fingerprint  string `json:"fingerprint,omitempty"`
+}
+
+func (l *liveProfile) snapshot() profileSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := profileSnapshot{RecordedRuns: l.runs}
+	if l.prof != nil {
+		out.Programs = len(l.prof.Programs)
+		out.Fingerprint = l.prof.Fingerprint()
+	}
+	return out
+}

@@ -76,6 +76,12 @@ type Config struct {
 	// production posture; see core.Options.Sandbox).
 	Sandbox bool
 
+	// ProfileSample, when > 0, records telemetry on every Nth executed
+	// request (in addition to opt-in telemetry requests) and folds it
+	// into the live adeprofile served at GET /v1/profile. 0 disables
+	// sampling; opt-in recordings still fold.
+	ProfileSample int
+
 	// AccessLog receives one structured JSON line per request; nil
 	// disables access logging.
 	AccessLog io.Writer
@@ -125,6 +131,7 @@ type Server struct {
 	hist     *latencyHist
 	errCodes *errCodeCounters
 	teleAgg  *teleAggregate
+	prof     *liveProfile
 
 	reqTotal  atomicCounter
 	reqOK     atomicCounter
@@ -185,6 +192,7 @@ func New(cfg Config) *Server {
 		hist:     newLatencyHist(),
 		errCodes: newErrCodeCounters(),
 		teleAgg:  &teleAggregate{},
+		prof:     &liveProfile{},
 		byEngine: map[string]uint64{},
 		start:    time.Now(),
 	}
@@ -198,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/profile", s.handleProfile)
 	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) { s.handleExec(w, r, false) })
 	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) { s.handleExec(w, r, true) })
 	return mux
@@ -224,6 +233,15 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptimeMs\":%d}\n", time.Since(s.start).Milliseconds())
+}
+
+// handleProfile serves the live adeprofile/v1 document merged from
+// every recorded run since startup. The output is the canonical
+// serialization: it feeds straight into `adec -profile` or
+// `adereport -profile`.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.prof.document())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -267,6 +285,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"panics":  s.pool.Panics(),
 		},
 		"telemetry": s.teleAgg.snapshot(),
+		"profile":   s.prof.snapshot(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -490,7 +509,7 @@ func (s *Server) executeInto(resp *Response, art *artifact, req *Request, fromCa
 		iopts.Faults = inj
 	}
 	var rec *telemetry.Recorder
-	if req.Telemetry {
+	if req.Telemetry || s.prof.sampleNow(s.cfg.ProfileSample) {
 		rec = telemetry.NewRecorder()
 		iopts.Telemetry = rec
 	}
@@ -520,8 +539,16 @@ func (s *Server) executeInto(resp *Response, art *artifact, req *Request, fromCa
 	if rec != nil {
 		t := rec.Result()
 		s.teleAgg.fold(t)
-		if raw, err := json.Marshal(t); err == nil {
-			resp.Telemetry = raw
+		if req.Telemetry {
+			if raw, err := json.Marshal(t); err == nil {
+				resp.Telemetry = raw
+			}
+		}
+		// Only clean, fault-free runs feed the live profile: a budget-
+		// interrupted or fault-injected run's counts would distort the
+		// aggregates a later compile consumes.
+		if runErr == nil && req.Fault == "" {
+			s.prof.fold(art.key.ProgramHash, t)
 		}
 	}
 	if fromCache {

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"memoir/internal/adeprofile"
 )
 
 // A small enumerable kernel: builds a sparse-keyed map, probes it,
@@ -733,4 +735,84 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestProfileSamplingAndEndpoint covers the live-profile loop: with
+// ProfileSample=2 every second executed request is recorded (without
+// leaking telemetry into the response), opt-in telemetry runs fold
+// too, and GET /v1/profile serves a valid adeprofile/v1 document
+// keyed by the artifact's pre-ADE program hash.
+func TestProfileSamplingAndEndpoint(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.ProfileSample = 2 })
+	h := s.Handler()
+
+	getProfile := func() *adeprofile.Profile {
+		t.Helper()
+		r := httptest.NewRequest(http.MethodGet, "/v1/profile", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		p, err := adeprofile.Read(w.Body)
+		if err != nil {
+			t.Fatalf("profile endpoint: %v\n%s", err, w.Body.String())
+		}
+		return p
+	}
+
+	if p := getProfile(); len(p.Programs) != 0 {
+		t.Fatalf("fresh daemon should serve an empty profile, got %d programs", len(p.Programs))
+	}
+
+	// Four executions at sample rate 2: runs 2 and 4 are recorded.
+	var lastKey string
+	for i := 0; i < 4; i++ {
+		resp, code := postJSON(t, h, "/v1/run", Request{Program: histProg})
+		if code != http.StatusOK || !resp.OK {
+			t.Fatalf("run %d failed (%d): %+v", i, code, resp.Error)
+		}
+		if resp.Telemetry != nil {
+			t.Fatalf("sampled telemetry leaked into response %d", i)
+		}
+		lastKey = resp.Cache.Key
+	}
+	p := getProfile()
+	if len(p.Programs) != 1 {
+		t.Fatalf("want 1 profiled program, got %d", len(p.Programs))
+	}
+	pp := p.Programs[0]
+	if pp.Runs != 2 {
+		t.Fatalf("sample rate 2 over 4 runs: want 2 recorded, got %d", pp.Runs)
+	}
+	if len(pp.Sites) == 0 {
+		t.Fatal("recorded profile has no sites")
+	}
+	wantHash, _, _ := strings.Cut(lastKey, "|")
+	if pp.Hash != wantHash {
+		t.Fatalf("profile keyed by %s, want pre-ADE program hash %s", pp.Hash, wantHash)
+	}
+
+	// An opt-in telemetry run folds as well, and does echo telemetry.
+	resp, _ := postJSON(t, h, "/v1/run", Request{Program: histProg, Telemetry: true})
+	if resp.Telemetry == nil {
+		t.Fatal("opt-in telemetry missing from response")
+	}
+	if got := getProfile().Programs[0].Runs; got != 3 {
+		t.Fatalf("opt-in run did not fold: want 3 recorded runs, got %d", got)
+	}
+
+	// /v1/stats reports the recording counters.
+	r := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	var stats struct {
+		Profile struct {
+			RecordedRuns uint64 `json:"recordedRuns"`
+			Programs     int    `json:"programs"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Profile.RecordedRuns != 3 || stats.Profile.Programs != 1 {
+		t.Fatalf("stats profile counters: %+v", stats.Profile)
+	}
 }

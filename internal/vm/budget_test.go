@@ -80,6 +80,9 @@ func assertInterrupted(t *testing.T, name string, build func() *ir.Program,
 		vTele.WriteText(vb)
 		t.Errorf("%s: partial telemetry divergence:\n--- interp ---\n%s--- vm ---\n%s", name, ib, vb)
 	}
+	// Even an interrupted run's profile serialization must agree: a
+	// shard emitted from a budget-capped fleet run still merges cleanly.
+	assertProfileParity(t, name, ir.ProgramHash(build()), iTele, vTele)
 	return true
 }
 

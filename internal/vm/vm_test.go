@@ -1,11 +1,13 @@
 package vm_test
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
+	"memoir/internal/adeprofile"
 	"memoir/internal/bench"
 	"memoir/internal/bytecode"
 	"memoir/internal/collections"
@@ -142,6 +144,26 @@ func assertParity(t *testing.T, build func() *ir.Program,
 		iTele.WriteText(ib)
 		vTele.WriteText(vb)
 		t.Errorf("%s: telemetry divergence:\n--- interp ---\n%s--- vm ---\n%s", cfg.name, ib, vb)
+	}
+	assertProfileParity(t, cfg.name, ir.ProgramHash(build()), iTele, vTele)
+}
+
+// assertProfileParity pins the durable half of engine determinism: the
+// two engines' telemetry serialized through adeprofile must be
+// byte-identical — a profile collected on either engine guides a
+// compile to the same decisions.
+func assertProfileParity(t *testing.T, name, hash string, iTele, vTele *telemetry.Telemetry) {
+	t.Helper()
+	var ib, vb bytes.Buffer
+	if err := adeprofile.FromTelemetry(hash, name, iTele).Write(&ib); err != nil {
+		t.Fatalf("%s: interp profile: %v", name, err)
+	}
+	if err := adeprofile.FromTelemetry(hash, name, vTele).Write(&vb); err != nil {
+		t.Fatalf("%s: vm profile: %v", name, err)
+	}
+	if !bytes.Equal(ib.Bytes(), vb.Bytes()) {
+		t.Errorf("%s: adeprofile serialization divergence:\n--- interp ---\n%s--- vm ---\n%s",
+			name, ib.String(), vb.String())
 	}
 }
 
