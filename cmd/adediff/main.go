@@ -86,6 +86,12 @@ func main() {
 		for _, p := range faults.Registry() {
 			fmt.Printf("%-28s kind=%s\n", p.Name, p.Kind)
 		}
+		// The store I/O points are not part of the engine sweep (-faults
+		// iterates the registry above); they are listed here because
+		// this flag is the single catalog of injectable fault names.
+		for _, p := range faults.IOPoints() {
+			fmt.Printf("%-28s kind=%s  (store I/O; adeserved -store-fault / -selftest -chaos)\n", p.Name, p.Kind)
+		}
 		return
 	}
 	if *listEnum {

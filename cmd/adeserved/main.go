@@ -56,10 +56,20 @@ func main() {
 		sandbox      = flag.Bool("sandbox", def.Sandbox, "run ADE sub-passes sandboxed with rollback (production posture)")
 		profSample   = flag.Int("profile-sample", def.ProfileSample, "record telemetry on every Nth executed request and fold it into the live profile at GET /v1/profile (0 = opt-in telemetry only)")
 		accessLog    = flag.String("access-log", "-", "structured JSON access log: \"-\" = stdout, \"\" = off, else a file path")
-		selftest     = flag.Bool("selftest", false, "run the in-process load harness (cold/hot/mixed phases) and exit")
-		stRequests   = flag.Int("selftest-requests", 200, "selftest: requests per phase")
-		stConc       = flag.Int("selftest-concurrency", 8, "selftest: concurrent clients")
-		stEngine     = flag.String("selftest-engine", "vm", "selftest: execution engine (vm|interp)")
+
+		storeDir    = flag.String("store", "", "durable artifact/profile store directory (empty = in-memory only)")
+		persistProf = flag.Bool("persist-profile", false, "snapshot the live fleet profile into the store and merge it back on restart (requires -store)")
+		profSnap    = flag.Duration("profile-snapshot", def.ProfileSnapshotEvery, "periodic profile snapshot interval (<0 = on-drain only)")
+		qThreshold  = flag.Int("quarantine-threshold", def.BreakerThreshold, "circuit breaker: consecutive panics/budget blowouts before a program hash is quarantined (<0 = disabled)")
+		qBackoff    = flag.Duration("quarantine-backoff", def.BreakerBackoff, "circuit breaker: first open interval; doubles per re-trip")
+		qMaxBackoff = flag.Duration("quarantine-max-backoff", def.BreakerMaxBackoff, "circuit breaker: open interval cap")
+		storeFault  = flag.String("store-fault", "", "inject a deterministic store I/O fault (write-fail:N|torn-write:N|corrupt-on-read:N) — tests only")
+
+		selftest   = flag.Bool("selftest", false, "run the in-process load harness (cold/hot/mixed phases) and exit")
+		chaos      = flag.Bool("chaos", false, "with -selftest: run the chaos harness (store faults + hard restarts) instead of the load phases")
+		stRequests = flag.Int("selftest-requests", 200, "selftest: requests per phase (chaos: total across epochs, min 500)")
+		stConc     = flag.Int("selftest-concurrency", 8, "selftest: concurrent clients")
+		stEngine   = flag.String("selftest-engine", "vm", "selftest: execution engine (vm|interp)")
 	)
 	flag.Parse()
 
@@ -79,9 +89,19 @@ func main() {
 	cfg.CeilTimeout = *ceilTimeout
 	cfg.Sandbox = *sandbox
 	cfg.ProfileSample = *profSample
+	cfg.StoreDir = *storeDir
+	cfg.PersistProfile = *persistProf
+	cfg.ProfileSnapshotEvery = *profSnap
+	cfg.BreakerThreshold = *qThreshold
+	cfg.BreakerBackoff = *qBackoff
+	cfg.BreakerMaxBackoff = *qMaxBackoff
+	cfg.StoreFault = *storeFault
 
 	if *selftest {
 		cfg.AccessLog = nil
+		if *chaos {
+			os.Exit(runChaosSelftest(*stRequests, *stConc, *stEngine, *storeDir))
+		}
 		os.Exit(runSelftest(cfg, *stRequests, *stConc, *stEngine))
 	}
 
@@ -99,7 +119,10 @@ func main() {
 		logClose = f
 	}
 
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "adeserved listening on %s (workers=%d cache=%d entries/%d MiB sandbox=%t)\n",
@@ -130,7 +153,11 @@ func main() {
 // prints the phase table; exit status 1 if the cache demonstrably did
 // not work (hot phase must be all hits, cold all misses).
 func runSelftest(cfg server.Config, requests, concurrency int, engine string) int {
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selftest: %v\n", err)
+		return 1
+	}
 	defer s.Shutdown(context.Background())
 	phases, err := loadtest.Run(s.Handler(), loadtest.Config{
 		Requests:    requests,
@@ -180,6 +207,54 @@ func runSelftest(cfg server.Config, requests, concurrency int, engine string) in
 	}
 	if cold.ReqPerSec > 0 {
 		fmt.Printf("hot/cold throughput: %.2fx\n", hot.ReqPerSec/cold.ReqPerSec)
+	}
+	return 0
+}
+
+// runChaosSelftest runs the chaos harness: interleaved requests,
+// injected store faults, and hard server restarts against one durable
+// store directory. Exit status 1 if ANY answer was wrong, or if the
+// restarts demonstrably failed to recover state (no recovered hits).
+func runChaosSelftest(requests, concurrency int, engine, storeDir string) int {
+	if requests < 500 {
+		requests = 500 // the acceptance floor: ≥500 interleaved requests
+	}
+	cleanup := false
+	if storeDir == "" {
+		d, err := os.MkdirTemp("", "adeserved-chaos-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		storeDir = d
+		cleanup = true
+	}
+	rep, err := loadtest.RunChaos(loadtest.ChaosConfig{
+		Requests:    requests,
+		Concurrency: concurrency,
+		Engine:      engine,
+		StoreDir:    storeDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	fmt.Print(loadtest.FormatChaos(rep))
+	ok := true
+	if rep.Wrong != 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d WRONG answers — crash safety is broken\n", rep.Wrong)
+		ok = false
+	}
+	if rep.RecoveredHits == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: no recovered hits — restarts never served from recovered state")
+		ok = false
+	}
+	if cleanup && ok {
+		os.RemoveAll(storeDir)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "chaos: store left at %s for inspection\n", storeDir)
+		return 1
 	}
 	return 0
 }

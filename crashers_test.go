@@ -12,9 +12,11 @@ import (
 
 	"memoir/internal/bench"
 	"memoir/internal/core"
+	"memoir/internal/faults"
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
+	"memoir/internal/server/store"
 )
 
 // TestCrasherCorpus replays the checked-in crash/budget regression
@@ -25,6 +27,11 @@ import (
 //	// ade                (apply the full ADE pipeline before running)
 //	// max-steps: N       (step budget for the run)
 //	// max-mem: N         (modeled live-memory budget, bytes)
+//	// store-fault: P     (additionally replay a durable-store put/get
+//	//                     cycle under injected I/O fault point P —
+//	//                     write-fail:N | torn-write:N | corrupt-on-read:N —
+//	//                     asserting the store degrades cleanly and never
+//	//                     returns mangled data)
 //
 // Every entry was once a live finding — a fuzz-discovered parser
 // panic, or a budget/interruption shape the engines must contain —
@@ -44,13 +51,14 @@ func TestCrasherCorpus(t *testing.T) {
 }
 
 type crasherSpec struct {
-	expect   string
-	ade      bool
-	maxSteps uint64
-	maxBytes int64
+	expect     string
+	ade        bool
+	maxSteps   uint64
+	maxBytes   int64
+	storeFault string
 }
 
-var crasherDirective = regexp.MustCompile(`^// (expect|ade|max-steps|max-mem)(?::\s*(\S+))?\s*$`)
+var crasherDirective = regexp.MustCompile(`^// (expect|ade|max-steps|max-mem|store-fault)(?::\s*(\S+))?\s*$`)
 
 func parseCrasherSpec(src string) (crasherSpec, error) {
 	var spec crasherSpec
@@ -76,6 +84,11 @@ func parseCrasherSpec(src string) (crasherSpec, error) {
 				return spec, fmt.Errorf("bad max-mem: %v", err)
 			}
 			spec.maxBytes = n
+		case "store-fault":
+			if _, err := faults.ByName(m[2]); err != nil {
+				return spec, fmt.Errorf("bad store-fault: %v", err)
+			}
+			spec.storeFault = m[2]
 		}
 	}
 	switch spec.expect {
@@ -86,6 +99,89 @@ func parseCrasherSpec(src string) (crasherSpec, error) {
 }
 
 var positionedErr = regexp.MustCompile(`^line \d+: `)
+
+// replayStoreFault drives a durable-store put/get cycle for the
+// crasher's program under the named injected I/O fault point and
+// asserts the containment contract: the store degrades to a clean
+// error, quarantines (never deletes) anything torn or corrupt, never
+// returns mangled data, and serves the artifact intact once the
+// one-shot fault has burned out.
+func replayStoreFault(t *testing.T, prog *ir.Program, name, src string) {
+	pt, err := faults.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInjector(faults.NewInjector(pt))
+	entry := &store.Entry{
+		ProgramHash: ir.ProgramHash(prog),
+		OptionsFP:   "crasher",
+		Program:     src,
+		Size:        int64(len(src)),
+	}
+	putErr := s.PutArtifact(entry)
+	got, getErr := s.GetArtifact(entry.ProgramHash, entry.OptionsFP)
+	// The universal invariant, whatever the fault did: a served entry
+	// is the exact bytes that were put — never a mangled one.
+	if got != nil && got.Program != src {
+		t.Fatalf("store served mangled program text under %s", pt.Name)
+	}
+	st := s.Stats()
+	switch pt.Kind {
+	case faults.IOWriteFail:
+		if putErr == nil {
+			t.Fatal("injected write failure did not surface as an error")
+		}
+		if got != nil || getErr != nil {
+			t.Fatalf("failed write left a readable artifact behind (entry=%v, err=%v)", got != nil, getErr)
+		}
+		if st.WriteErrors == 0 {
+			t.Fatalf("write error not counted: %+v", st)
+		}
+	case faults.IOTornWrite:
+		// A torn write reports success — it is the on-disk shape a
+		// kill -9 leaves behind; the crash happens after the ack.
+		if putErr != nil {
+			t.Fatalf("torn write must report success: %v", putErr)
+		}
+		if getErr == nil && got != nil {
+			t.Fatal("torn artifact served intact")
+		}
+		if st.Quarantined == 0 {
+			t.Fatalf("torn artifact not quarantined: %+v", st)
+		}
+	case faults.IOCorruptRead:
+		if putErr != nil {
+			t.Fatalf("put: %v", putErr)
+		}
+		if getErr == nil && got != nil {
+			t.Fatal("corrupt read served as an intact artifact")
+		}
+		if st.Quarantined == 0 {
+			t.Fatalf("corrupt artifact not quarantined: %+v", st)
+		}
+	}
+	if pt.Kind != faults.IOWriteFail {
+		// Quarantine renames aside; the bytes survive on disk.
+		q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.art"))
+		if len(q) == 0 {
+			t.Fatal("quarantine directory empty — the damaged file was deleted, not preserved")
+		}
+	}
+	// Every registered I/O point is one-shot (fires on the N-th op):
+	// after it burns out, a re-put round-trips clean.
+	if err := s.PutArtifact(entry); err != nil {
+		t.Fatalf("re-put after fault: %v", err)
+	}
+	got, getErr = s.GetArtifact(entry.ProgramHash, entry.OptionsFP)
+	if getErr != nil || got == nil || got.Program != src {
+		t.Fatalf("store did not recover once the fault burned out (entry=%v): %v", got != nil, getErr)
+	}
+}
 
 func replayCrasher(t *testing.T, path string) {
 	defer func() {
@@ -173,6 +269,10 @@ func replayCrasher(t *testing.T, path string) {
 			o.errStr = err.Error()
 		}
 		return o
+	}
+
+	if spec.storeFault != "" {
+		replayStoreFault(t, prog, spec.storeFault, src)
 	}
 
 	oi := runOn(bench.EngineInterp)

@@ -36,6 +36,17 @@ const (
 	// so the miscompile-shaped failure mode (wrong output, no crash)
 	// is reachable on demand.
 	EnumCorrupt
+	// IOWriteFail fails the N-th durable-store write outright (the
+	// write returns an error before any bytes land on disk).
+	IOWriteFail
+	// IOTornWrite truncates the N-th durable-store write mid-payload
+	// and reports success — the on-disk state a kill -9 between write
+	// and fsync leaves behind. Recovery must detect it by checksum.
+	IOTornWrite
+	// IOCorruptRead flips one byte of the N-th durable-store read
+	// after it leaves the disk, simulating media corruption; the
+	// store's checksum must catch it and quarantine the entry.
+	IOCorruptRead
 )
 
 func (k Kind) String() string {
@@ -46,6 +57,12 @@ func (k Kind) String() string {
 		return "alloc-fail"
 	case EnumCorrupt:
 		return "enum-corrupt"
+	case IOWriteFail:
+		return "write-fail"
+	case IOTornWrite:
+		return "torn-write"
+	case IOCorruptRead:
+		return "corrupt-on-read"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -74,9 +91,11 @@ type Point struct {
 	N int
 }
 
-// Registry returns every registered injection point, in a stable
-// order: one pass panic per ADE sub-pass, then the runtime points.
-// The CI fault sweep iterates exactly this list.
+// Registry returns every registered compiler/engine injection point,
+// in a stable order: one pass panic per ADE sub-pass, then the runtime
+// points. The CI fault sweep iterates exactly this list; the durable
+// store's I/O points live in IOPoints because they only fire inside a
+// store, never inside a compile or an execution.
 func Registry() []Point {
 	var pts []Point
 	for _, pass := range Passes {
@@ -91,12 +110,27 @@ func Registry() []Point {
 	return pts
 }
 
-// Names lists the registered point names, in registry order.
+// IOPoints returns the registered durable-store I/O injection points,
+// in a stable order. They drive internal/server/store (adeserved
+// chaos mode and the store crasher corpus), not the engines: an I/O
+// point wired into a compile or an execution never fires.
+func IOPoints() []Point {
+	return []Point{
+		{Name: "write-fail:1", Kind: IOWriteFail, N: 1},
+		{Name: "torn-write:1", Kind: IOTornWrite, N: 1},
+		{Name: "corrupt-on-read:1", Kind: IOCorruptRead, N: 1},
+	}
+}
+
+// Names lists every registered point name — compiler/engine registry
+// first, then the store I/O points.
 func Names() []string {
-	reg := Registry()
-	names := make([]string, len(reg))
-	for i, p := range reg {
-		names[i] = p.Name
+	var names []string
+	for _, p := range Registry() {
+		names = append(names, p.Name)
+	}
+	for _, p := range IOPoints() {
+		names = append(names, p.Name)
 	}
 	return names
 }
@@ -110,7 +144,14 @@ func ByName(name string) (Point, error) {
 			return Point{Name: name, Kind: PassPanic, Pass: pass}, nil
 		}
 	}
-	for kind, prefix := range map[Kind]string{AllocFail: "alloc-fail:", EnumCorrupt: "enum-corrupt:"} {
+	ordinalPrefixes := map[Kind]string{
+		AllocFail:     "alloc-fail:",
+		EnumCorrupt:   "enum-corrupt:",
+		IOWriteFail:   "write-fail:",
+		IOTornWrite:   "torn-write:",
+		IOCorruptRead: "corrupt-on-read:",
+	}
+	for kind, prefix := range ordinalPrefixes {
 		if !strings.HasPrefix(name, prefix) {
 			continue
 		}
@@ -143,6 +184,8 @@ type Injector struct {
 	pt     Point
 	allocs int
 	adds   int
+	writes int
+	reads  int
 	fired  bool
 }
 
@@ -193,6 +236,49 @@ func (i *Injector) CorruptAdd() bool {
 	}
 	i.adds++
 	if i.adds == i.pt.N {
+		i.fired = true
+		return true
+	}
+	return false
+}
+
+// FailWrite counts one durable-store write and reports whether it is
+// the injected failing write (IOWriteFail).
+func (i *Injector) FailWrite() bool {
+	if i == nil || i.pt.Kind != IOWriteFail {
+		return false
+	}
+	i.writes++
+	if i.writes == i.pt.N {
+		i.fired = true
+		return true
+	}
+	return false
+}
+
+// TornWrite counts one durable-store write and reports whether it
+// must land torn — truncated mid-payload but reported as a success
+// (IOTornWrite).
+func (i *Injector) TornWrite() bool {
+	if i == nil || i.pt.Kind != IOTornWrite {
+		return false
+	}
+	i.writes++
+	if i.writes == i.pt.N {
+		i.fired = true
+		return true
+	}
+	return false
+}
+
+// CorruptRead counts one durable-store read and reports whether its
+// payload must be corrupted after leaving the disk (IOCorruptRead).
+func (i *Injector) CorruptRead() bool {
+	if i == nil || i.pt.Kind != IOCorruptRead {
+		return false
+	}
+	i.reads++
+	if i.reads == i.pt.N {
 		i.fired = true
 		return true
 	}

@@ -65,6 +65,75 @@ func TestInjectorNilSafe(t *testing.T) {
 	if inj.FailAlloc() || inj.CorruptAdd() || inj.PassPanics("transform") || inj.Fired() {
 		t.Fatal("nil injector fired")
 	}
+	if inj.FailWrite() || inj.TornWrite() || inj.CorruptRead() {
+		t.Fatal("nil injector fired an I/O hook")
+	}
+}
+
+func TestIOPointsRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Registry() {
+		seen[p.Name] = true
+	}
+	for _, p := range IOPoints() {
+		if seen[p.Name] {
+			t.Fatalf("I/O point %q collides with the engine registry", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := ByName(p.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", p.Name, err)
+		}
+		if got != p {
+			t.Errorf("ByName(%q) = %+v, want %+v", p.Name, got, p)
+		}
+	}
+	// Names covers both registries.
+	names := Names()
+	if len(names) != len(seen) {
+		t.Fatalf("Names() has %d entries, want %d", len(names), len(seen))
+	}
+	// Off-grid ordinals resolve for every I/O prefix.
+	for _, name := range []string{"write-fail:9", "torn-write:2", "corrupt-on-read:5"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	for _, bad := range []string{"write-fail:", "torn-write:0", "corrupt-on-read:-2"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestIOInjectorOrdinals(t *testing.T) {
+	cases := []struct {
+		pt   Point
+		hook func(*Injector) bool
+	}{
+		{Point{Name: "write-fail:2", Kind: IOWriteFail, N: 2}, (*Injector).FailWrite},
+		{Point{Name: "torn-write:2", Kind: IOTornWrite, N: 2}, (*Injector).TornWrite},
+		{Point{Name: "corrupt-on-read:2", Kind: IOCorruptRead, N: 2}, (*Injector).CorruptRead},
+	}
+	for _, c := range cases {
+		inj := NewInjector(c.pt)
+		fires := 0
+		for i := 0; i < 6; i++ {
+			if c.hook(inj) {
+				fires++
+				if i != 1 {
+					t.Fatalf("%s fired at op %d, want 2nd", c.pt.Name, i+1)
+				}
+			}
+		}
+		if fires != 1 || !inj.Fired() {
+			t.Fatalf("%s fired %d times (Fired=%v), want exactly once", c.pt.Name, fires, inj.Fired())
+		}
+		// Wrong-kind hooks never fire, engine hooks included.
+		if inj.FailAlloc() || inj.CorruptAdd() || inj.PassPanics("transform") {
+			t.Fatalf("%s: wrong-kind hook fired", c.pt.Name)
+		}
+	}
 }
 
 func TestFromSeedStable(t *testing.T) {

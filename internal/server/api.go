@@ -97,6 +97,10 @@ type Response struct {
 type CacheInfo struct {
 	Hit bool   `json:"hit"`
 	Key string `json:"key"` // "<program-hash>|<options-fingerprint>"
+	// Disk marks hits satisfied from the durable artifact store: the
+	// in-memory cache missed, but the artifact was re-materialized
+	// from disk without re-running ADE.
+	Disk bool `json:"disk,omitempty"`
 }
 
 // PhaseInfo reports which phases ran (the per-request view of the

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-program-hash circuit breaker: a program whose
+// executions repeatedly panic or blow their budgets gets quarantined,
+// so one hostile program cannot monopolize the worker pool with
+// doomed runs. While quarantined, /v1/run requests for that hash are
+// rejected fast with the stable `quarantined` error code and a
+// retry-after hint; /v1/compile stays available (the breaker guards
+// execution behavior, not compilation).
+//
+// State machine per hash (classic closed → open → half-open):
+//
+//	closed:    failures tallied; `threshold` consecutive bad
+//	           executions trip the breaker.
+//	open:      fast-reject until the backoff interval elapses. The
+//	           interval starts at `backoff` and doubles on every
+//	           re-trip, capped at `maxBackoff` — a program that keeps
+//	           failing its probes is retried ever more rarely.
+//	half-open: exactly one probe request is let through; its outcome
+//	           decides. Success closes the breaker and forgets the
+//	           hash entirely; failure re-opens with a doubled
+//	           interval. Concurrent requests during the probe are
+//	           rejected.
+//
+// Deliberately-faulted requests (req.Fault != "") never count: fault
+// injection is an opt-in test surface, not program behavior.
+type breaker struct {
+	threshold  int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	now        func() time.Time // injectable for tests
+
+	mu sync.Mutex
+	m  map[string]*breakerState
+
+	trips      uint64 // closed→open transitions (incl. re-trips)
+	rejects    uint64 // fast-rejected requests
+	probes     uint64 // half-open probes admitted
+	recoveries uint64 // probes that closed the breaker
+}
+
+type breakerState struct {
+	fails     int // consecutive bad executions while closed
+	trips     int // consecutive open periods (backoff exponent)
+	openUntil time.Time
+	probing   bool
+}
+
+// newBreaker returns a breaker, or nil when threshold < 0 (disabled).
+func newBreaker(threshold int, backoff, maxBackoff time.Duration) *breaker {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = 3
+	}
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	if maxBackoff < backoff {
+		maxBackoff = 60 * time.Second
+		if maxBackoff < backoff {
+			maxBackoff = backoff
+		}
+	}
+	return &breaker{
+		threshold:  threshold,
+		backoff:    backoff,
+		maxBackoff: maxBackoff,
+		now:        time.Now,
+		m:          map[string]*breakerState{},
+	}
+}
+
+// allow decides whether an execution of hash may proceed. When it
+// returns false, retryAfter is the time until the next half-open
+// probe becomes possible.
+func (b *breaker) allow(hash string) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[hash]
+	if st == nil || st.openUntil.IsZero() {
+		return true, 0
+	}
+	now := b.now()
+	if now.Before(st.openUntil) {
+		b.rejects++
+		return false, st.openUntil.Sub(now)
+	}
+	if st.probing {
+		// One probe at a time; everyone else keeps getting the fast
+		// rejection until the probe's outcome is recorded.
+		b.rejects++
+		return false, b.interval(st.trips)
+	}
+	st.probing = true
+	b.probes++
+	return true, 0
+}
+
+// record tallies the outcome of an execution of hash. bad means the
+// run panicked or blew a budget (see breakerBad); anything else —
+// success or a plain guest runtime error — counts as healthy.
+func (b *breaker) record(hash string, bad bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[hash]
+	if st == nil {
+		if !bad {
+			return
+		}
+		st = &breakerState{}
+		b.m[hash] = st
+	}
+	if st.probing {
+		st.probing = false
+		if !bad {
+			b.recoveries++
+			delete(b.m, hash)
+			return
+		}
+		st.trips++
+		st.openUntil = b.now().Add(b.interval(st.trips))
+		b.trips++
+		return
+	}
+	if !bad {
+		if st.openUntil.IsZero() {
+			delete(b.m, hash)
+		}
+		return
+	}
+	if !st.openUntil.IsZero() {
+		// Already open (a request that was in flight when the breaker
+		// tripped); nothing more to do.
+		return
+	}
+	st.fails++
+	if st.fails >= b.threshold {
+		st.openUntil = b.now().Add(b.interval(st.trips))
+		b.trips++
+	}
+}
+
+// interval is the open duration after the (trips+1)-th trip:
+// backoff * 2^trips, capped.
+func (b *breaker) interval(trips int) time.Duration {
+	d := b.backoff
+	for i := 0; i < trips && d < b.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > b.maxBackoff {
+		d = b.maxBackoff
+	}
+	return d
+}
+
+type breakerSnapshot struct {
+	Enabled    bool   `json:"enabled"`
+	Programs   int    `json:"programs"` // hashes currently quarantined (open or probing)
+	Trips      uint64 `json:"trips"`
+	Rejects    uint64 `json:"rejects"`
+	Probes     uint64 `json:"probes"`
+	Recoveries uint64 `json:"recoveries"`
+}
+
+func (b *breaker) snapshot() breakerSnapshot {
+	if b == nil {
+		return breakerSnapshot{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	open := 0
+	for _, st := range b.m {
+		if !st.openUntil.IsZero() {
+			open++
+		}
+	}
+	return breakerSnapshot{
+		Enabled:    true,
+		Programs:   open,
+		Trips:      b.trips,
+		Rejects:    b.rejects,
+		Probes:     b.probes,
+		Recoveries: b.recoveries,
+	}
+}

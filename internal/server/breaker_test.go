@@ -1,0 +1,126 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// clockedBreaker returns a breaker with a manually-advanced clock.
+func clockedBreaker(threshold int, backoff, max time.Duration) (*breaker, *time.Time) {
+	b := newBreaker(threshold, backoff, max)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	b, now := clockedBreaker(3, time.Second, 8*time.Second)
+	const h = "prog-a"
+
+	// Two consecutive bad runs: still closed.
+	b.record(h, true)
+	b.record(h, true)
+	if ok, _ := b.allow(h); !ok {
+		t.Fatal("breaker tripped before the threshold")
+	}
+	// Third bad run trips it.
+	b.record(h, true)
+	if ok, retry := b.allow(h); ok || retry <= 0 {
+		t.Fatalf("open breaker admitted a request (retry=%v)", retry)
+	}
+	// Still open just before the backoff elapses.
+	*now = now.Add(999 * time.Millisecond)
+	if ok, _ := b.allow(h); ok {
+		t.Fatal("admitted before the backoff elapsed")
+	}
+	// After the backoff: exactly one half-open probe.
+	*now = now.Add(2 * time.Millisecond)
+	if ok, _ := b.allow(h); !ok {
+		t.Fatal("half-open probe not admitted")
+	}
+	if ok, _ := b.allow(h); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: re-open with a doubled interval.
+	b.record(h, true)
+	*now = now.Add(1500 * time.Millisecond)
+	if ok, _ := b.allow(h); ok {
+		t.Fatal("doubled backoff not honored")
+	}
+	*now = now.Add(600 * time.Millisecond)
+	if ok, _ := b.allow(h); !ok {
+		t.Fatal("probe not admitted after doubled backoff")
+	}
+	// Probe succeeds: the hash is forgotten entirely.
+	b.record(h, false)
+	if ok, _ := b.allow(h); !ok {
+		t.Fatal("recovered hash still rejected")
+	}
+	snap := b.snapshot()
+	if !snap.Enabled || snap.Trips != 2 || snap.Recoveries != 1 || snap.Probes != 2 || snap.Rejects != 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.Programs != 0 {
+		t.Fatalf("recovered hash still counted as quarantined: %+v", snap)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := clockedBreaker(3, time.Second, 8*time.Second)
+	const h = "prog-b"
+	for i := 0; i < 10; i++ {
+		b.record(h, true)
+		b.record(h, true)
+		b.record(h, false) // healthy run wipes the tally
+	}
+	if ok, _ := b.allow(h); !ok {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	if snap := b.snapshot(); snap.Trips != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	b, _ := clockedBreaker(1, time.Second, 4*time.Second)
+	for trips, want := range map[int]time.Duration{
+		0: time.Second,
+		1: 2 * time.Second,
+		2: 4 * time.Second,
+		3: 4 * time.Second,
+		9: 4 * time.Second,
+	} {
+		if got := b.interval(trips); got != want {
+			t.Errorf("interval(%d) = %v, want %v", trips, got, want)
+		}
+	}
+}
+
+func TestBreakerHashesAreIndependent(t *testing.T) {
+	b, _ := clockedBreaker(2, time.Second, 8*time.Second)
+	b.record("bad", true)
+	b.record("bad", true)
+	if ok, _ := b.allow("bad"); ok {
+		t.Fatal("bad hash not tripped")
+	}
+	if ok, _ := b.allow("good"); !ok {
+		t.Fatal("unrelated hash rejected")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second, time.Minute)
+	if b != nil {
+		t.Fatal("threshold < 0 must disable the breaker")
+	}
+	// All methods are nil-safe no-ops.
+	b.record("x", true)
+	b.record("x", true)
+	b.record("x", true)
+	if ok, _ := b.allow("x"); !ok {
+		t.Fatal("disabled breaker rejected a request")
+	}
+	if snap := b.snapshot(); snap.Enabled {
+		t.Fatalf("disabled breaker reports enabled: %+v", snap)
+	}
+}

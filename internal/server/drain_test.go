@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Drain under load: with every worker busy and the queue non-empty,
+// Shutdown must let all accepted requests finish with real structured
+// answers, reject anything after the drain with the stable
+// shutting-down code, return within the drain deadline, and flush the
+// final profile snapshot to the durable store.
+func TestDrainUnderLoadCompletesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 2
+		c.Backlog = 64
+		c.StoreDir = dir
+		c.PersistProfile = true
+		c.ProfileSnapshotEvery = -1 // the drain snapshot is the one under test
+		c.ProfileSample = 1
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	// One successful run so the live profile has something to flush.
+	okBody, _ := json.Marshal(Request{Program: histProg})
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(okBody))
+	if err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	resp.Body.Close()
+
+	// Saturate both workers and stack the backlog with slow requests.
+	// Each is bounded twice over — a step budget and a short deadline —
+	// so the whole drain stays well inside the test's own deadline even
+	// under the race detector's slowdown.
+	slowBody, _ := json.Marshal(Request{Program: spinProg, MaxSteps: 20_000_000, TimeoutMs: 500})
+	const inflight = 6
+	statuses := make([]int, inflight)
+	errs := make([]error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(slowBody))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let them reach the pool
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if took := time.Since(start); took > 15*time.Second {
+		t.Fatalf("drain blew the deadline: %v", took)
+	}
+	wg.Wait()
+	for i := 0; i < inflight; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d dropped during drain: %v", i, errs[i])
+		}
+		// Each accepted request completed with a real structured
+		// answer: the spin program exhausts its step budget (429) or
+		// its deadline under -race (408) — never a connection reset,
+		// and never a shed 503 for an already-accepted request.
+		if statuses[i] != http.StatusTooManyRequests && statuses[i] != http.StatusRequestTimeout {
+			t.Fatalf("request %d finished with status %d", i, statuses[i])
+		}
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// After the drain, work submitted to the (closed) pool is refused
+	// with the stable shutdown code.
+	late, status := postJSON(t, s.Handler(), "/v1/run", Request{Program: histProg})
+	if status != http.StatusServiceUnavailable || late.Error == nil || late.Error.Code != CodeShutdown {
+		t.Fatalf("post-drain request: %d %+v", status, late.Error)
+	}
+
+	// The drain flushed the profile snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "profile", "fleet.profile")); err != nil {
+		t.Fatalf("drain did not flush the profile snapshot: %v", err)
+	}
+}

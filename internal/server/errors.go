@@ -36,6 +36,12 @@ const (
 	CodeShutdown   = "shutting-down"  // 503: daemon draining
 	CodeInternal   = "internal-error" // 500: server bug (post-ADE verify/compile failure)
 	CodePanic      = "internal-panic" // 500: worker recovered a server-side panic
+
+	// Self-protection: the program hash is circuit-broken after
+	// repeated panics or budget blowouts. The response carries
+	// retryAfterMs (and a Retry-After header) naming when the next
+	// half-open probe becomes possible.
+	CodeQuarantined = "quarantined" // 422
 )
 
 // APIError is the structured error body every non-2xx response
@@ -51,6 +57,9 @@ type APIError struct {
 	Fn    string `json:"fn,omitempty"`
 	Steps uint64 `json:"steps,omitempty"`
 	Bytes int64  `json:"bytes,omitempty"`
+	// RetryAfterMs accompanies `quarantined` rejections: the interval
+	// until the breaker's next half-open probe.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }
 
 func (e *APIError) Error() string { return e.Code + ": " + e.Message }

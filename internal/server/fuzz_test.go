@@ -23,7 +23,11 @@ func fuzzServer() *Server {
 	cfg.CeilMaxMem = 1 << 20
 	cfg.DefaultTimeout = 250 * time.Millisecond
 	cfg.CeilTimeout = 250 * time.Millisecond
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // serveOne drives the decode → process path for one arbitrary body,

@@ -122,8 +122,19 @@ type request struct {
 type response struct {
 	OK    bool `json:"ok"`
 	Cache *struct {
-		Hit bool `json:"hit"`
+		Hit  bool `json:"hit"`
+		Disk bool `json:"disk"`
 	} `json:"cache"`
+	Phases *struct {
+		Parsed   bool `json:"parsed"`
+		ADE      bool `json:"ade"`
+		Compiled bool `json:"compiled"`
+	} `json:"phases"`
+	Result string `json:"result"`
+	Output *struct {
+		Count    uint64 `json:"count"`
+		Checksum uint64 `json:"checksum"`
+	} `json:"output"`
 	Error *struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`

@@ -11,7 +11,10 @@ import (
 // The harness against a real in-process server: cold requests bypass
 // the cache (zero hits), hot requests all hit, and no phase errors.
 func TestPhasesAgainstServer(t *testing.T) {
-	s := server.New(server.Config{Workers: 4})
+	s, err := server.New(server.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Shutdown(context.Background())
 	phases, err := loadtest.Run(s.Handler(), loadtest.Config{Requests: 30, Concurrency: 4})
 	if err != nil {

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// storeServer builds a test server over a durable store directory.
+func storeServer(t *testing.T, dir string, mut ...func(*Config)) *Server {
+	t.Helper()
+	return newTestServer(t, append([]func(*Config){func(c *Config) { c.StoreDir = dir }}, mut...)...)
+}
+
+// Acceptance: a restart serves byte-identical outputs from recovered
+// state — the repeat request touches no pipeline phase at all (the
+// persisted alias index makes it a no-parse hit).
+func TestRestartServesRecoveredArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s1 := storeServer(t, dir)
+	first, _ := postJSON(t, s1.Handler(), "/v1/run", Request{Program: histProg})
+	if !first.OK {
+		t.Fatalf("first run: %+v", first.Error)
+	}
+	if ss, _ := s1.StoreStats(); ss.Writes == 0 {
+		t.Fatal("compile did not persist an artifact")
+	}
+
+	s2 := storeServer(t, dir)
+	if s2.recoveredArtifacts != 1 || s2.recoveredQuarantined != 0 {
+		t.Fatalf("recovery: %d ok, %d quarantined; want 1, 0",
+			s2.recoveredArtifacts, s2.recoveredQuarantined)
+	}
+	again, _ := postJSON(t, s2.Handler(), "/v1/run", Request{Program: histProg})
+	if !again.OK || again.Cache == nil || !again.Cache.Hit {
+		t.Fatalf("restart miss: %+v", again)
+	}
+	if p := again.Phases; p.Parsed || p.ADE || p.Compiled {
+		t.Fatalf("restart repeat ran pipeline phases: %+v", p)
+	}
+	if snap := s2.phases.snapshot(); snap.Parses != 0 || snap.ADEApplies != 0 || snap.Compiles != 0 {
+		t.Fatalf("phase counters advanced on a recovered hit: %+v", snap)
+	}
+	if again.Result != first.Result || *again.Output != *first.Output {
+		t.Fatalf("answers differ across restart:\n before: %s %+v\n after:  %s %+v",
+			first.Result, first.Output, again.Result, again.Output)
+	}
+}
+
+// An LRU-evicted artifact hot-loads from disk without re-running ADE;
+// the phase counters prove it (parses +1 for the hash lookup,
+// ADEApplies and Compiles frozen) and the response is marked as a
+// disk hit.
+func TestEvictedArtifactHotLoadsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := storeServer(t, dir, func(c *Config) { c.CacheEntries = 1 })
+	h := s.Handler()
+	progB := strings.ReplaceAll(histProg, "97", "61")
+
+	first, _ := postJSON(t, h, "/v1/run", Request{Program: histProg})
+	if !first.OK {
+		t.Fatalf("first: %+v", first.Error)
+	}
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: progB}); !r.OK {
+		t.Fatalf("evictor: %+v", r.Error)
+	}
+	if cs := s.CacheStats(); cs.Evictions == 0 {
+		t.Fatal("CacheEntries=1 did not evict")
+	}
+
+	before := s.phases.snapshot()
+	again, _ := postJSON(t, h, "/v1/run", Request{Program: histProg})
+	if !again.OK || again.Cache == nil || !again.Cache.Hit || !again.Cache.Disk {
+		t.Fatalf("want a disk hit, got %+v", again.Cache)
+	}
+	if p := again.Phases; !p.Parsed || p.ADE || p.Compiled {
+		t.Fatalf("disk hit phases: %+v (want parsed only)", p)
+	}
+	after := s.phases.snapshot()
+	if after.ADEApplies != before.ADEApplies || after.Compiles != before.Compiles {
+		t.Fatalf("disk load re-ran the pipeline: before %+v, after %+v", before, after)
+	}
+	if after.Parses != before.Parses+1 {
+		t.Fatalf("disk load parses: before %d, after %d (want +1)", before.Parses, after.Parses)
+	}
+	if s.storeLoads.Load() != 1 {
+		t.Fatalf("storeLoads = %d, want 1", s.storeLoads.Load())
+	}
+	if again.Result != first.Result || *again.Output != *first.Output {
+		t.Fatalf("disk-loaded answer differs: %s vs %s", again.Result, first.Result)
+	}
+}
+
+// Acceptance: a corrupt artifact (flipped byte on disk) is
+// quarantined at recovery — never served — and the program is
+// recompiled on demand; the repaired artifact survives the next
+// restart.
+func TestCorruptArtifactQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	s1 := storeServer(t, dir)
+	first, _ := postJSON(t, s1.Handler(), "/v1/run", Request{Program: histProg})
+	if !first.OK {
+		t.Fatalf("first: %+v", first.Error)
+	}
+
+	arts, err := filepath.Glob(filepath.Join(dir, "artifacts", "*.art"))
+	if err != nil || len(arts) != 1 {
+		t.Fatalf("artifacts on disk: %v (%v)", arts, err)
+	}
+	raw, err := os.ReadFile(arts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(arts[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := storeServer(t, dir)
+	if s2.recoveredArtifacts != 0 {
+		t.Fatalf("recovered %d artifacts from a corrupt store", s2.recoveredArtifacts)
+	}
+	if ss, _ := s2.StoreStats(); ss.Quarantined == 0 {
+		t.Fatal("corrupt artifact was not quarantined")
+	}
+	if _, err := os.Stat(arts[0]); !os.IsNotExist(err) {
+		t.Fatal("corrupt artifact still in artifacts/")
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.art*"))
+	if len(q) == 0 {
+		t.Fatal("quarantine directory is empty — corrupt file was deleted, not preserved")
+	}
+
+	// Recompiled on demand with the right answer, and re-persisted.
+	again, _ := postJSON(t, s2.Handler(), "/v1/run", Request{Program: histProg})
+	if !again.OK || !again.Phases.ADE {
+		t.Fatalf("recompile after quarantine: %+v", again)
+	}
+	if again.Result != first.Result || *again.Output != *first.Output {
+		t.Fatal("recompiled answer differs from the original")
+	}
+	s3 := storeServer(t, dir)
+	if s3.recoveredArtifacts != 1 {
+		t.Fatalf("repaired artifact did not survive restart: recovered %d", s3.recoveredArtifacts)
+	}
+}
+
+// The live fleet profile is snapshotted on drain and merged back on
+// restart; the restarted daemon flags it via profileRecovered.
+func TestProfilePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	mut := func(c *Config) {
+		c.PersistProfile = true
+		c.ProfileSnapshotEvery = -1 // on-drain snapshot only
+		c.ProfileSample = 1         // record every executed request
+	}
+	s1 := storeServer(t, dir, mut)
+	if r, _ := postJSON(t, s1.Handler(), "/v1/run", Request{Program: histProg}); !r.OK {
+		t.Fatalf("run: %+v", r.Error)
+	}
+	doc1 := s1.prof.document()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "profile", "fleet.profile")); err != nil {
+		t.Fatalf("drain did not snapshot the profile: %v", err)
+	}
+
+	s2 := storeServer(t, dir, mut)
+	snap := s2.prof.snapshot()
+	if !snap.Recovered || snap.Programs == 0 {
+		t.Fatalf("profile not recovered: %+v", snap)
+	}
+	// The merge is commutative and the snapshot was the whole
+	// document, so the recovered document is byte-identical.
+	if doc2 := s2.prof.document(); !bytes.Equal(doc1, doc2) {
+		t.Fatalf("recovered profile differs:\n before: %s\n after:  %s", doc1, doc2)
+	}
+	// /v1/stats surfaces the flag.
+	r := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(w, r)
+	if !strings.Contains(w.Body.String(), `"profileRecovered": true`) {
+		t.Fatal("/v1/stats does not surface profileRecovered")
+	}
+}
+
+// Acceptance: a program hash that repeatedly blows its budget returns
+// the stable `quarantined` code (fast, 422, with a retry hint) until
+// a half-open probe succeeds.
+func TestBreakerQuarantinesProgramHash(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerBackoff = time.Hour // no probe within this test
+	})
+	h := s.Handler()
+	bad := Request{Program: histProg, MaxSteps: 50}
+	for i := 0; i < 2; i++ {
+		if r, status := postJSON(t, h, "/v1/run", bad); status != http.StatusTooManyRequests || r.Error.Code != CodeStepBudget {
+			t.Fatalf("setup run %d: %d %+v", i, status, r.Error)
+		}
+	}
+	// Tripped: even a request with a healthy budget is rejected fast,
+	// with the stable code and a retry hint.
+	r, status := postJSON(t, h, "/v1/run", Request{Program: histProg})
+	if status != http.StatusUnprocessableEntity || r.Error == nil || r.Error.Code != CodeQuarantined {
+		t.Fatalf("want 422 quarantined, got %d %+v", status, r.Error)
+	}
+	if r.Error.RetryAfterMs <= 0 {
+		t.Fatalf("quarantined without a retry hint: %+v", r.Error)
+	}
+	if r.Phases.ADE || r.Phases.Compiled {
+		t.Fatalf("quarantined rejection ran the pipeline: %+v", r.Phases)
+	}
+	// The Retry-After header mirrors the structured hint.
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(`{"program":`+jsonString(histProg)+`}`))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("quarantined response missing Retry-After header")
+	}
+	// Other programs are unaffected.
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: divZeroProg}); r.Error == nil || r.Error.Code != CodeRuntimeError {
+		t.Fatalf("unrelated program affected: %+v", r.Error)
+	}
+	// /v1/compile stays available for the quarantined hash: the
+	// breaker guards execution, not compilation.
+	if r, _ := postJSON(t, h, "/v1/compile", Request{Program: histProg}); !r.OK {
+		t.Fatalf("compile rejected for quarantined hash: %+v", r.Error)
+	}
+	if snap := s.breaker.snapshot(); snap.Trips != 1 || snap.Programs != 1 || snap.Rejects < 2 {
+		t.Fatalf("breaker snapshot: %+v", snap)
+	}
+}
+
+// After the backoff decays, one half-open probe runs; success closes
+// the breaker and the hash serves normally again.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerBackoff = 20 * time.Millisecond
+	})
+	h := s.Handler()
+	bad := Request{Program: histProg, MaxSteps: 50}
+	postJSON(t, h, "/v1/run", bad)
+	postJSON(t, h, "/v1/run", bad)
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: histProg}); r.Error == nil || r.Error.Code != CodeQuarantined {
+		t.Fatalf("not quarantined after threshold: %+v", r.Error)
+	}
+	time.Sleep(40 * time.Millisecond)
+	// The probe runs with the request's own (healthy) budget and
+	// succeeds, closing the breaker.
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: histProg}); !r.OK {
+		t.Fatalf("half-open probe failed: %+v", r.Error)
+	}
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: histProg}); !r.OK {
+		t.Fatalf("recovered hash rejected: %+v", r.Error)
+	}
+	if snap := s.breaker.snapshot(); snap.Recoveries != 1 || snap.Programs != 0 {
+		t.Fatalf("breaker snapshot: %+v", snap)
+	}
+}
+
+// Fault-injected requests never count against the breaker: fault
+// injection is a test surface, not program behavior.
+func TestBreakerIgnoresFaultInjectedRuns(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 1 // hair trigger
+		c.BreakerBackoff = time.Hour
+	})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		r, _ := postJSON(t, h, "/v1/run", Request{Program: histProg, Fault: "alloc-fail:1"})
+		if r.Error == nil || r.Error.Code != CodeRuntimePanic {
+			t.Fatalf("faulted run %d: %+v", i, r.Error)
+		}
+	}
+	if r, _ := postJSON(t, h, "/v1/run", Request{Program: histProg}); !r.OK {
+		t.Fatalf("fault-injected runs tripped the breaker: %+v", r.Error)
+	}
+}
+
+// jsonString JSON-encodes a Go string (for hand-built request bodies).
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

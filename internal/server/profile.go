@@ -22,6 +22,38 @@ type liveProfile struct {
 	mu   sync.Mutex
 	prof *adeprofile.Profile
 	runs uint64
+	// recovered marks a profile seeded from a durable-store snapshot
+	// at startup; surfaced as profileRecovered in /v1/stats so the
+	// chaos harness (and operators) can tell a warm restart apart.
+	recovered bool
+}
+
+// seed merges a recovered snapshot (read back from the durable store
+// at startup) into the live profile, before any traffic is served.
+func (l *liveProfile) seed(p *adeprofile.Profile) {
+	if p == nil || len(p.Programs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prof == nil {
+		l.prof = adeprofile.New()
+	}
+	l.prof.Merge(p)
+	l.recovered = true
+}
+
+// current returns a merged copy of the live profile for snapshotting
+// to the durable store, or nil when nothing was recorded.
+func (l *liveProfile) current() *adeprofile.Profile {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prof == nil {
+		return nil
+	}
+	out := adeprofile.New()
+	out.Merge(l.prof)
+	return out
 }
 
 // sampleNow decides whether the current request is a profiling sample:
@@ -63,12 +95,13 @@ type profileSnapshot struct {
 	RecordedRuns uint64 `json:"recordedRuns"`
 	Programs     int    `json:"programs"`
 	Fingerprint  string `json:"fingerprint,omitempty"`
+	Recovered    bool   `json:"recovered,omitempty"`
 }
 
 func (l *liveProfile) snapshot() profileSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := profileSnapshot{RecordedRuns: l.runs}
+	out := profileSnapshot{RecordedRuns: l.runs, Recovered: l.recovered}
 	if l.prof != nil {
 		out.Programs = len(l.prof.Programs)
 		out.Fingerprint = l.prof.Fingerprint()

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,7 +39,9 @@ import (
 	"memoir/internal/interp"
 	"memoir/internal/ir"
 	"memoir/internal/parser"
+	"memoir/internal/remarks"
 	"memoir/internal/server/cache"
+	"memoir/internal/server/store"
 	"memoir/internal/telemetry"
 	"memoir/internal/vm"
 )
@@ -82,6 +85,32 @@ type Config struct {
 	// sampling; opt-in recordings still fold.
 	ProfileSample int
 
+	// StoreDir, when non-empty, enables the durable artifact/profile
+	// store (internal/server/store) rooted there: compiled artifacts
+	// persist across restarts, recovery re-verifies and warms the
+	// cache, and corrupt entries are quarantined.
+	StoreDir string
+	// PersistProfile snapshots the live fleet profile into the store
+	// (periodically and on drain) and merges it back on restart.
+	// Requires StoreDir.
+	PersistProfile bool
+	// ProfileSnapshotEvery is the periodic profile-snapshot interval;
+	// 0 takes the default, < 0 disables the ticker (on-drain snapshots
+	// still happen).
+	ProfileSnapshotEvery time.Duration
+	// StoreFault names a deterministic I/O fault point (faults
+	// write-fail:N / torn-write:N / corrupt-on-read:N) wired into the
+	// store — chaos mode and tests only.
+	StoreFault string
+
+	// BreakerThreshold is the circuit breaker's consecutive-bad-run
+	// trip count per program hash; 0 takes the default, < 0 disables
+	// the breaker. BreakerBackoff is the first open interval, doubling
+	// per re-trip up to BreakerMaxBackoff.
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+
 	// AccessLog receives one structured JSON line per request; nil
 	// disables access logging.
 	AccessLog io.Writer
@@ -104,6 +133,11 @@ func DefaultConfig() Config {
 		DefaultTimeout:  5 * time.Second,
 		CeilTimeout:     30 * time.Second,
 		Sandbox:         true,
+
+		ProfileSnapshotEvery: 30 * time.Second,
+		BreakerThreshold:     3,
+		BreakerBackoff:       time.Second,
+		BreakerMaxBackoff:    60 * time.Second,
 	}
 }
 
@@ -133,6 +167,21 @@ type Server struct {
 	teleAgg  *teleAggregate
 	prof     *liveProfile
 
+	// Durability & self-protection (nil / disabled without StoreDir).
+	store   *store.Store
+	breaker *breaker
+	// storeLoads counts artifacts re-materialized from disk after an
+	// in-memory miss — deliberately separate from the phase counters,
+	// which track pipeline work only (a disk load never re-runs ADE).
+	storeLoads atomicCounter
+	// recoveredArtifacts / recoveredQuarantined are the startup
+	// recovery tallies (written once in New, before serving).
+	recoveredArtifacts   int
+	recoveredQuarantined int
+	snapStop             chan struct{}
+	snapDone             chan struct{}
+	snapOnce             sync.Once
+
 	reqTotal  atomicCounter
 	reqOK     atomicCounter
 	cacheRuns atomicCounter // runs served from a cached artifact
@@ -143,8 +192,12 @@ type Server struct {
 	reqID atomicCounter
 }
 
-// New builds a Server from cfg (zero fields defaulted).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero fields defaulted). With a
+// StoreDir, it opens the durable store and runs crash recovery before
+// any request can be served: every persisted artifact is re-verified
+// (parse → IR verify → bytecode compile → bytecode verify) and either
+// warms the in-memory cache or is quarantined.
+func New(cfg Config) (*Server, error) {
 	def := DefaultConfig()
 	if cfg.Workers <= 0 {
 		cfg.Workers = def.Workers
@@ -185,6 +238,18 @@ func New(cfg Config) *Server {
 	if cfg.CeilTimeout == 0 {
 		cfg.CeilTimeout = def.CeilTimeout
 	}
+	if cfg.ProfileSnapshotEvery == 0 {
+		cfg.ProfileSnapshotEvery = def.ProfileSnapshotEvery
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = def.BreakerThreshold
+	}
+	if cfg.BreakerBackoff == 0 {
+		cfg.BreakerBackoff = def.BreakerBackoff
+	}
+	if cfg.BreakerMaxBackoff == 0 {
+		cfg.BreakerMaxBackoff = def.BreakerMaxBackoff
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    cache.New(cfg.CacheEntries, cfg.CacheBytes),
@@ -195,9 +260,117 @@ func New(cfg Config) *Server {
 		prof:     &liveProfile{},
 		byEngine: map[string]uint64{},
 		start:    time.Now(),
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.StoreFault != "" {
+			pt, err := faults.ByName(cfg.StoreFault)
+			if err != nil {
+				return nil, fmt.Errorf("store fault: %w", err)
+			}
+			st.SetInjector(faults.NewInjector(pt))
+		}
+		s.store = st
+		s.recoverStore()
+		if cfg.PersistProfile {
+			// Merge the last snapshot back in before any traffic: the
+			// adeprofile merge is commutative, so restart order can't
+			// change the document.
+			if p, err := st.ReadProfile(); err == nil && p != nil {
+				s.prof.seed(p)
+			}
+			if cfg.ProfileSnapshotEvery > 0 {
+				s.snapStop = make(chan struct{})
+				s.snapDone = make(chan struct{})
+				go s.snapshotLoop(cfg.ProfileSnapshotEvery)
+			}
+		}
 	}
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
-	return s
+	return s, nil
+}
+
+// recoverStore replays the durable artifact store into the in-memory
+// cache. Every entry is re-verified from scratch; a failure at any
+// stage quarantines the file (never deletes it) and the daemon serves
+// on without it.
+func (s *Server) recoverStore() {
+	entries, err := s.store.RecoverArtifacts()
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		art, err := materialize(e)
+		if err != nil {
+			s.store.QuarantineArtifact(e.ProgramHash, e.OptionsFP, err.Error())
+			s.recoveredQuarantined++
+			continue
+		}
+		s.cache.Put(art.key, art, art.size)
+		for _, a := range e.Aliases {
+			s.cache.Alias(a, art.key)
+		}
+		s.recoveredArtifacts++
+	}
+}
+
+// materialize rebuilds an executable artifact from its persisted
+// canonical text — parse, IR verify, bytecode compile, bytecode
+// verify — without re-running ADE (the text is already post-ADE).
+func materialize(e *store.Entry) (*artifact, error) {
+	prog, err := parser.Parse(e.Program)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := ir.Verify(prog); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("bytecode: %w", err)
+	}
+	if err := bytecode.Verify(bc); err != nil {
+		return nil, fmt.Errorf("bytecode verify: %w", err)
+	}
+	return &artifact{
+		key:      cache.Key{ProgramHash: e.ProgramHash, OptionsFP: e.OptionsFP},
+		ir:       prog,
+		bc:       bc,
+		degraded: e.Degraded,
+		classes:  e.Classes,
+		size:     artifactSize(e.Program, bc),
+	}, nil
+}
+
+// snapshotLoop periodically persists the live profile until Shutdown.
+func (s *Server) snapshotLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			close(s.snapDone)
+			return
+		case <-t.C:
+			s.persistProfile()
+		}
+	}
+}
+
+// persistProfile writes the current merged profile to the store
+// (best-effort: a failed write is counted in store stats and retried
+// on the next tick or at drain).
+func (s *Server) persistProfile() {
+	if s.store == nil || !s.cfg.PersistProfile {
+		return
+	}
+	if p := s.prof.current(); p != nil {
+		s.store.WriteProfile(p)
+	}
 }
 
 // Handler returns the daemon's routing handler (also used by tests
@@ -219,16 +392,33 @@ func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
 
 // Shutdown drains gracefully: stop accepting, wait for in-flight
-// requests (bounded by ctx), then stop the worker pool.
+// requests (bounded by ctx), stop the worker pool, then take the
+// final durable profile snapshot.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
+	if s.snapStop != nil {
+		s.snapOnce.Do(func() {
+			close(s.snapStop)
+			<-s.snapDone
+		})
+	}
+	s.persistProfile()
 	return err
 }
 
 // CacheStats exposes the artifact-cache counters (for the CLI
 // selftest summary).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// StoreStats exposes the durable-store counters; ok is false when no
+// store is configured.
+func (s *Server) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -252,6 +442,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.engMu.Unlock()
 	cs := s.cache.Stats()
+	ps := s.prof.snapshot()
 	doc := map[string]any{
 		"uptimeMs": time.Since(s.start).Milliseconds(),
 		"requests": map[string]any{
@@ -285,7 +476,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"panics":  s.pool.Panics(),
 		},
 		"telemetry": s.teleAgg.snapshot(),
-		"profile":   s.prof.snapshot(),
+		"profile":   ps,
+		// profileRecovered is surfaced top-level too: the chaos harness
+		// (and CI) greps for it to tell a warm restart from a cold one.
+		"profileRecovered": ps.Recovered,
+		"breaker":          s.breaker.snapshot(),
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		doc["store"] = map[string]any{
+			"dir":                  s.store.Dir(),
+			"writes":               ss.Writes,
+			"writeErrors":          ss.WriteErrors,
+			"fsyncs":               ss.Fsyncs,
+			"loads":                ss.Loads,
+			"loadErrors":           ss.LoadErrors,
+			"quarantined":          ss.Quarantined,
+			"diskLoads":            s.storeLoads.Load(),
+			"recoveredArtifacts":   s.recoveredArtifacts,
+			"recoveredQuarantined": s.recoveredQuarantined,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -353,29 +563,67 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request, runIt bool) 
 // process runs the full pipeline for one request on a pool worker.
 func (s *Server) process(req *Request, runIt bool, id string) *Response {
 	resp := &Response{ID: id}
-	art, phases, hit, aerr := s.compileThroughCache(req)
+	art, phases, hit, disk, aerr := s.compileThroughCache(req)
 	resp.Phases = &phases
 	if aerr != nil {
 		resp.Error = aerr
 		return resp
 	}
-	resp.Cache = &CacheInfo{Hit: hit, Key: art.key.ProgramHash + "|" + art.key.OptionsFP}
+	resp.Cache = &CacheInfo{Hit: hit, Key: art.key.ProgramHash + "|" + art.key.OptionsFP, Disk: disk}
 	resp.Degraded = art.degraded
 	resp.Classes = art.classes
 	if !runIt {
 		resp.OK = true
 		return resp
 	}
+	// The circuit breaker guards execution only, and deliberately
+	// ignores fault-injected requests: fault injection is an opt-in
+	// test surface, not program behavior.
+	guard := req.Fault == ""
+	if guard {
+		if ok, retry := s.breaker.allow(art.key.ProgramHash); !ok {
+			ms := retry.Milliseconds()
+			if ms <= 0 {
+				ms = 1
+			}
+			e := apiErr(CodeQuarantined, http.StatusUnprocessableEntity,
+				"program quarantined after repeated crashes or budget blowouts; retry later")
+			e.RetryAfterMs = ms
+			resp.Error = e
+			return resp
+		}
+	}
 	s.executeInto(resp, art, req, hit)
+	if guard {
+		s.breaker.record(art.key.ProgramHash, breakerBad(resp.Error))
+	}
 	return resp
+}
+
+// breakerBad classifies an execution outcome for the circuit breaker:
+// engine-contained panics and budget blowouts count against the
+// program; success and plain guest runtime errors (div-zero and
+// friends, which cost almost nothing to serve) do not.
+func breakerBad(e *APIError) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Code {
+	case CodeRuntimePanic, CodeStepBudget, CodeMemBudget, CodeDeadline:
+		return true
+	}
+	return false
 }
 
 // compileThroughCache obtains the compiled artifact for a request:
 // from the raw-text alias (no parse), from the canonical key (parse
-// only), or by running the full pipeline. Fault-injected and
-// no-cache requests bypass the cache entirely — injectors are
-// single-run state that must never leak into a shared artifact.
-func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, *APIError) {
+// only), from the durable store (parse + deterministic re-compile of
+// the persisted post-ADE text — never re-running ADE), or by running
+// the full pipeline. Fault-injected and no-cache requests bypass the
+// cache entirely — injectors are single-run state that must never
+// leak into a shared artifact. The disk return flag marks store hits
+// (CacheInfo.Disk).
+func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, bool, *APIError) {
 	var phases PhaseInfo
 	fp := req.fingerprint(s.cfg.Sandbox)
 	bypass := req.Fault != "" || req.NoCache
@@ -384,7 +632,7 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 	rawAlias := hex.EncodeToString(rawSum[:]) + "|" + fp
 	if !bypass {
 		if _, v, ok := s.cache.Resolve(rawAlias); ok {
-			return v.(*artifact), phases, true, nil
+			return v.(*artifact), phases, true, false, nil
 		}
 	}
 
@@ -392,20 +640,39 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 	s.phases.Parses.Add(1)
 	prog, err := parser.Parse(req.Program)
 	if err != nil {
-		return nil, phases, false, apiErr(CodeParseError, http.StatusBadRequest, err.Error())
+		return nil, phases, false, false, apiErr(CodeParseError, http.StatusBadRequest, err.Error())
 	}
 	if err := ir.Verify(prog); err != nil {
-		return nil, phases, false, apiErr(CodeVerifyError, http.StatusBadRequest, err.Error())
+		return nil, phases, false, false, apiErr(CodeVerifyError, http.StatusBadRequest, err.Error())
 	}
 	key := cache.Key{ProgramHash: ir.ProgramHash(prog), OptionsFP: fp}
 	if !bypass {
 		if v, ok := s.cache.Get(key); ok {
 			s.cache.Alias(rawAlias, key)
-			return v.(*artifact), phases, true, nil
+			return v.(*artifact), phases, true, false, nil
+		}
+		// In-memory miss (cold start or LRU eviction): try the durable
+		// store before paying for ADE again. The phase counters stay
+		// honest — ADEApplies and Compiles track pipeline work, and a
+		// disk load does neither; it counts under storeLoads instead.
+		if s.store != nil {
+			if e, serr := s.store.GetArtifact(key.ProgramHash, fp); serr == nil && e != nil {
+				if art, merr := materialize(e); merr == nil {
+					s.storeLoads.Add(1)
+					s.cache.Put(key, art, art.size)
+					s.cache.Alias(rawAlias, key)
+					return art, phases, true, true, nil
+				} else {
+					// Checksum-clean but semantically dead (e.g. written
+					// by a newer compiler): quarantine and recompile.
+					s.store.QuarantineArtifact(key.ProgramHash, fp, merr.Error())
+				}
+			}
 		}
 	}
 
 	art := &artifact{key: key}
+	var em *remarks.Emitter
 	if req.wantADE() {
 		phases.ADE = true
 		s.phases.ADEApplies.Add(1)
@@ -413,14 +680,21 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 		if inj := requestInjector(req, faults.PassPanic); inj != nil {
 			opts.Faults = inj
 		}
+		if s.store != nil && !bypass {
+			// Remarks are only collected when the artifact will be
+			// persisted: the digest in the store entry fingerprints what
+			// the pipeline said about this compile.
+			em = remarks.NewEmitter()
+			opts.Remarks = em
+		}
 		rep, err := core.Apply(prog, opts)
 		if err != nil {
-			return nil, phases, false, apiErr(CodeADEError, http.StatusUnprocessableEntity, err.Error())
+			return nil, phases, false, false, apiErr(CodeADEError, http.StatusUnprocessableEntity, err.Error())
 		}
 		if err := ir.Verify(prog); err != nil {
 			// A verify failure after ADE is a compiler bug, not a
 			// client error.
-			return nil, phases, false, apiErr(CodeInternal, http.StatusInternalServerError, "verify after ADE: "+err.Error())
+			return nil, phases, false, false, apiErr(CodeInternal, http.StatusInternalServerError, "verify after ADE: "+err.Error())
 		}
 		art.degraded = rep.Degraded
 		art.classes = len(rep.Classes)
@@ -429,13 +703,13 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 	s.phases.Compiles.Add(1)
 	bc, err := bytecode.Compile(prog)
 	if err != nil {
-		return nil, phases, false, apiErr(CodeInternal, http.StatusInternalServerError, "bytecode: "+err.Error())
+		return nil, phases, false, false, apiErr(CodeInternal, http.StatusInternalServerError, "bytecode: "+err.Error())
 	}
 	// Never cache an artifact the verifier rejects: a bad compile dies
 	// here, once, instead of being replayed from the cache on every
 	// subsequent request.
 	if err := bytecode.Verify(bc); err != nil {
-		return nil, phases, false, apiErr(CodeInternal, http.StatusInternalServerError, err.Error())
+		return nil, phases, false, false, apiErr(CodeInternal, http.StatusInternalServerError, err.Error())
 	}
 	art.ir = prog
 	art.bc = bc
@@ -443,8 +717,28 @@ func (s *Server) compileThroughCache(req *Request) (*artifact, PhaseInfo, bool, 
 	if !bypass {
 		s.cache.Put(key, art, art.size)
 		s.cache.Alias(rawAlias, key)
+		if s.store != nil {
+			var digest string
+			if em != nil {
+				sum := sha256.Sum256([]byte(remarks.Text(em.Remarks)))
+				digest = hex.EncodeToString(sum[:])
+			}
+			// Best-effort durability: a failed write is counted in store
+			// stats; the in-memory artifact still serves this process.
+			s.store.PutArtifact(&store.Entry{
+				ProgramHash:   key.ProgramHash,
+				OptionsFP:     fp,
+				ADE:           req.wantADE(),
+				Program:       ir.Print(prog),
+				Degraded:      art.degraded,
+				Classes:       art.classes,
+				RemarksDigest: digest,
+				Aliases:       []string{rawAlias},
+				Size:          art.size,
+			})
+		}
 	}
-	return art, phases, false, nil
+	return art, phases, false, false, nil
 }
 
 // artifactSize models the retained footprint of one cache entry:
@@ -583,6 +877,9 @@ func (s *Server) writeResponse(w http.ResponseWriter, r *http.Request, resp *Res
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Request-Id", resp.ID)
+	if resp.Error != nil && resp.Error.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((resp.Error.RetryAfterMs+999)/1000, 10))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
 

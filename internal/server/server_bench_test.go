@@ -22,7 +22,10 @@ func benchServe(b *testing.B, h http.Handler, req Request) *Response {
 func BenchmarkServeHot(b *testing.B) {
 	for _, engine := range []string{"vm", "interp"} {
 		b.Run(engine, func(b *testing.B) {
-			s := New(Config{Workers: 4})
+			s, err := New(Config{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer s.pool.Close()
 			h := s.Handler()
 			benchServe(b, h, Request{Program: histProg, Engine: engine}) // prime
@@ -45,7 +48,10 @@ func BenchmarkServeHot(b *testing.B) {
 func BenchmarkServeCold(b *testing.B) {
 	for _, engine := range []string{"vm", "interp"} {
 		b.Run(engine, func(b *testing.B) {
-			s := New(Config{Workers: 4})
+			s, err := New(Config{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer s.pool.Close()
 			h := s.Handler()
 			b.ReportAllocs()
@@ -60,7 +66,10 @@ func BenchmarkServeCold(b *testing.B) {
 // BenchmarkServeHotParallel is the hot path under client concurrency:
 // concurrent VMs share one immutable bytecode artifact.
 func BenchmarkServeHotParallel(b *testing.B) {
-	s := New(Config{Workers: 8, Backlog: 1024})
+	s, err := New(Config{Workers: 8, Backlog: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.pool.Close()
 	h := s.Handler()
 	benchServe(b, h, Request{Program: histProg, Engine: "vm"})

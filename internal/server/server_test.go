@@ -90,10 +90,18 @@ func newTestServer(t *testing.T, mut ...func(*Config)) *Server {
 	cfg := DefaultConfig()
 	cfg.Workers = 4
 	cfg.AccessLog = nil
+	// The breaker is off by default in tests: the error-taxonomy tests
+	// deliberately hammer one program with budget blowouts and must
+	// see the underlying codes, not `quarantined`. Breaker tests
+	// re-enable it explicitly.
+	cfg.BreakerThreshold = -1
 	for _, m := range mut {
 		m(&cfg)
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	t.Cleanup(func() { s.pool.Close() })
 	return s
 }

@@ -1,0 +1,461 @@
+// Package store is adeserved's crash-safe durable layer: a
+// content-addressed artifact store plus a fleet-profile snapshot,
+// both written with the temp-file + fsync + atomic-rename discipline
+// and wrapped in a per-entry checksum envelope, so a kill -9 at any
+// instant leaves the directory loadable.
+//
+// An artifact entry persists the *result* of the compile pipeline in
+// its canonical durable form: the post-ADE program text (ir.Print is
+// stable and round-trips through the parser — pinned by
+// parser.TestRoundTripSuite), the options fingerprint, the remarks
+// digest, and the compile report fields the server caches. Loading an
+// entry re-materializes the bytecode deterministically from that text
+// without re-running ADE; the caller re-runs the bytecode verifier on
+// the result before anything enters the serving cache.
+//
+// Nothing in this package deletes data on failure. A torn, truncated,
+// or checksum-mismatched file is *quarantined* — renamed aside into
+// quarantine/ with its content intact — so a corrupt artifact is
+// never served and never destroyed. The same posture covers semantic
+// rejections reported by the caller (parse/verify/compile failures on
+// load).
+//
+// The store participates in deterministic fault injection: an
+// injector built from the internal/faults I/O points (write-fail:N,
+// torn-write:N, corrupt-on-read:N) makes the N-th write fail, land
+// torn, or the N-th read return flipped bytes — the chaos harness's
+// stand-in for mid-write kills and media corruption.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"memoir/internal/adeprofile"
+	"memoir/internal/faults"
+)
+
+// formatVersion is the envelope header magic. Bump only with a
+// migration path: recovery quarantines unknown versions rather than
+// guessing.
+const formatVersion = "adestore/v1"
+
+const (
+	artifactsDir  = "artifacts"
+	profileDir    = "profile"
+	quarantineDir = "quarantine"
+	tmpDir        = "tmp"
+
+	artifactExt = ".art"
+	profileName = "fleet.profile"
+)
+
+// Entry is one persisted compile artifact. Program is the canonical
+// post-ADE program text (the pre-ADE text when ADE was off): parsing
+// and bytecode-compiling it re-materializes the executable artifact
+// without re-running the ADE pipeline.
+type Entry struct {
+	// ProgramHash and OptionsFP are the cache key: ir.ProgramHash of
+	// the canonical pre-ADE program and core.Options.Fingerprint (or
+	// the server's "ade=off" marker).
+	ProgramHash string `json:"programHash"`
+	OptionsFP   string `json:"optionsFP"`
+	// ADE records whether the pipeline ran for this artifact.
+	ADE bool `json:"ade"`
+	// Program is the canonical post-ADE (or pre-ADE when !ADE) text.
+	Program string `json:"program"`
+	// Degraded and Classes mirror the compile report fields the
+	// server serves from its cache.
+	Degraded []string `json:"degraded,omitempty"`
+	Classes  int      `json:"classes,omitempty"`
+	// RemarksDigest is sha256 over the stable remark text of the
+	// compile that produced this artifact ("" when remarks were off).
+	RemarksDigest string `json:"remarksDigest,omitempty"`
+	// Aliases are the raw-text alias index entries known at persist
+	// time, so a restarted daemon serves byte-identical repeats
+	// without even a parse.
+	Aliases []string `json:"aliases,omitempty"`
+	// Size is the modeled in-memory footprint (the LRU byte bound's
+	// unit), carried so recovery warms the cache with the same
+	// accounting the original compile used.
+	Size int64 `json:"size"`
+}
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	Writes      uint64 `json:"writes"`      // successful atomic writes
+	WriteErrors uint64 `json:"writeErrors"` // failed writes (incl. injected)
+	Fsyncs      uint64 `json:"fsyncs"`      // file + directory fsyncs issued
+	Loads       uint64 `json:"loads"`       // artifact reads served intact
+	LoadErrors  uint64 `json:"loadErrors"`  // reads rejected (corrupt, torn, bad version)
+	Quarantined uint64 `json:"quarantined"` // files renamed aside, never deleted
+}
+
+// Store is the durable layer rooted at one directory. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	inj    *faults.Injector
+	tmpSeq uint64
+	stats  Stats
+	nosync bool // tests only: skip fsync for speed
+}
+
+// Open creates (if needed) the store layout under dir and removes
+// stale temp files from a previous incarnation's interrupted writes.
+// Artifacts and profiles are never touched here — recovery decides
+// their fate entry by entry.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{artifactsDir, profileDir, quarantineDir, tmpDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Temp files are pre-rename by construction: whatever is in tmp/
+	// never became visible, so dropping it is not data loss.
+	if stale, err := filepath.Glob(filepath.Join(dir, tmpDir, "*")); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetInjector wires a deterministic I/O fault injector (chaos mode
+// and tests). The injector is single-store state: never share one.
+func (s *Store) SetInjector(inj *faults.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// fileName maps a cache key to its content-addressed artifact file.
+func fileName(programHash, optionsFP string) string {
+	sum := sha256.Sum256([]byte(programHash + "\x00" + optionsFP))
+	return hex.EncodeToString(sum[:]) + artifactExt
+}
+
+// envelope wraps payload with the checksum header:
+//
+//	adestore/v1 sha256=<hex> len=<n>\n<payload>
+//
+// The header binds both length and content, so truncation (torn
+// write) and bit flips are equally detectable.
+func envelope(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	head := fmt.Sprintf("%s sha256=%s len=%d\n", formatVersion, hex.EncodeToString(sum[:]), len(payload))
+	return append([]byte(head), payload...)
+}
+
+// openEnvelope verifies the header and returns the payload.
+func openEnvelope(raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, errors.New("missing envelope header")
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 3 || fields[0] != formatVersion {
+		return nil, fmt.Errorf("bad envelope header %q", string(raw[:nl]))
+	}
+	wantSum, ok1 := strings.CutPrefix(fields[1], "sha256=")
+	wantLenS, ok2 := strings.CutPrefix(fields[2], "len=")
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("bad envelope header %q", string(raw[:nl]))
+	}
+	wantLen, err := strconv.Atoi(wantLenS)
+	if err != nil {
+		return nil, fmt.Errorf("bad envelope length %q", wantLenS)
+	}
+	payload := raw[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("torn payload: %d bytes, header says %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeAtomic durably lands data at rel (relative to the store root):
+// unique temp file, write, fsync, rename, fsync the parent directory.
+// The injected write faults hook in here: a write-fail aborts before
+// any bytes land; a torn write truncates the data mid-payload and
+// skips the fsyncs — exactly the state a kill -9 between write and
+// sync leaves behind — while still reporting success.
+func (s *Store) writeAtomic(rel string, data []byte) error {
+	s.mu.Lock()
+	inj := s.inj
+	if inj.FailWrite() {
+		s.stats.WriteErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: injected fault write-fail on %s", rel)
+	}
+	torn := inj.TornWrite()
+	s.tmpSeq++
+	seq := s.tmpSeq
+	nosync := s.nosync
+	s.mu.Unlock()
+
+	if torn {
+		data = data[:len(data)/2]
+	}
+	tmp := filepath.Join(s.dir, tmpDir, fmt.Sprintf("%s.%d.tmp", filepath.Base(rel), seq))
+	final := filepath.Join(s.dir, rel)
+	err := func() error {
+		f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+		if !torn && !nosync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return err
+			}
+			s.countFsync()
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, final); err != nil {
+			return err
+		}
+		if !torn && !nosync {
+			if dir, err := os.Open(filepath.Dir(final)); err == nil {
+				if dir.Sync() == nil {
+					s.countFsync()
+				}
+				dir.Close()
+			}
+		}
+		return nil
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		os.Remove(tmp)
+		s.stats.WriteErrors++
+		return fmt.Errorf("store: %w", err)
+	}
+	s.stats.Writes++
+	return nil
+}
+
+func (s *Store) countFsync() {
+	s.mu.Lock()
+	s.stats.Fsyncs++
+	s.mu.Unlock()
+}
+
+// readVerified reads rel and opens its envelope, applying the
+// injected corrupt-on-read fault first. On any integrity failure the
+// file is quarantined and an error returned.
+func (s *Store) readVerified(rel string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, rel))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	corrupt := s.inj.CorruptRead()
+	s.mu.Unlock()
+	if corrupt && len(raw) > 0 {
+		// Flip one bit deep in the payload, past any header bytes.
+		raw = append([]byte(nil), raw...)
+		raw[len(raw)-1-len(raw)/4] ^= 0x40
+	}
+	payload, err := openEnvelope(raw)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.LoadErrors++
+		s.mu.Unlock()
+		qerr := s.Quarantine(rel, err.Error())
+		return nil, fmt.Errorf("store: %s: %w (quarantined: %v)", rel, err, qerr == nil)
+	}
+	s.mu.Lock()
+	s.stats.Loads++
+	s.mu.Unlock()
+	return payload, nil
+}
+
+// PutArtifact durably persists one compiled artifact.
+func (s *Store) PutArtifact(e *Entry) error {
+	payload, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	rel := filepath.Join(artifactsDir, fileName(e.ProgramHash, e.OptionsFP))
+	return s.writeAtomic(rel, envelope(payload))
+}
+
+// GetArtifact loads the artifact for (programHash, optionsFP).
+// Returns (nil, nil) when no such entry exists; a corrupt entry is
+// quarantined and reported as an error. The caller still owns
+// semantic validation (parse, verify, compile, bytecode verify) and
+// quarantines semantic failures itself via Quarantine.
+func (s *Store) GetArtifact(programHash, optionsFP string) (*Entry, error) {
+	rel := filepath.Join(artifactsDir, fileName(programHash, optionsFP))
+	payload, err := s.readVerified(rel)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	e, err := decodeEntry(payload)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.LoadErrors++
+		s.mu.Unlock()
+		s.Quarantine(rel, err.Error())
+		return nil, fmt.Errorf("store: %s: %w", rel, err)
+	}
+	if e.ProgramHash != programHash || e.OptionsFP != optionsFP {
+		// A checksum-valid file holding the wrong key means the
+		// content-address mapping itself is broken; never serve it.
+		s.mu.Lock()
+		s.stats.LoadErrors++
+		s.mu.Unlock()
+		s.Quarantine(rel, "key mismatch")
+		return nil, fmt.Errorf("store: %s: entry key does not match its address", rel)
+	}
+	return e, nil
+}
+
+func decodeEntry(payload []byte) (*Entry, error) {
+	e := &Entry{}
+	if err := json.Unmarshal(payload, e); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if e.ProgramHash == "" || e.OptionsFP == "" || e.Program == "" {
+		return nil, errors.New("decode: entry missing required fields")
+	}
+	return e, nil
+}
+
+// QuarantineArtifact renames the artifact for a key aside (semantic
+// rejection by the caller: the entry's checksum was fine but its
+// program no longer parses, verifies, or compiles).
+func (s *Store) QuarantineArtifact(programHash, optionsFP, reason string) error {
+	return s.Quarantine(filepath.Join(artifactsDir, fileName(programHash, optionsFP)), reason)
+}
+
+// Quarantine moves rel (relative to the store root) into quarantine/,
+// never clobbering an earlier quarantined file of the same name. The
+// file's bytes are preserved exactly for post-mortem analysis; a
+// sibling ".reason" file records why.
+func (s *Store) Quarantine(rel, reason string) error {
+	src := filepath.Join(s.dir, rel)
+	base := filepath.Base(rel)
+	dst := filepath.Join(s.dir, quarantineDir, base)
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d", base, n))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("store: quarantine %s: %w", rel, err)
+	}
+	os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+	return nil
+}
+
+// RecoverArtifacts scans the artifact directory, quarantines every
+// torn/corrupt/undecodable file, and returns the intact entries in a
+// deterministic (file name) order. Semantic validation is the
+// caller's job: entries that fail to re-materialize must be handed
+// back via QuarantineArtifact.
+func (s *Store) RecoverArtifacts() ([]*Entry, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, artifactsDir, "*"+artifactExt))
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	sort.Strings(names)
+	var out []*Entry
+	for _, name := range names {
+		rel := filepath.Join(artifactsDir, filepath.Base(name))
+		payload, err := s.readVerified(rel)
+		if err != nil {
+			continue // quarantined by readVerified
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.LoadErrors++
+			s.mu.Unlock()
+			s.Quarantine(rel, err.Error())
+			continue
+		}
+		if fileName(e.ProgramHash, e.OptionsFP) != filepath.Base(name) {
+			s.mu.Lock()
+			s.stats.LoadErrors++
+			s.mu.Unlock()
+			s.Quarantine(rel, "key mismatch")
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// WriteProfile atomically snapshots the merged fleet profile in its
+// canonical adeprofile/v1 serialization, checksummed like artifacts.
+func (s *Store) WriteProfile(p *adeprofile.Profile) error {
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		return fmt.Errorf("store: profile: %w", err)
+	}
+	return s.writeAtomic(filepath.Join(profileDir, profileName), envelope(buf.Bytes()))
+}
+
+// ReadProfile loads the persisted fleet profile. Returns (nil, nil)
+// when no snapshot exists; a corrupt or invalid snapshot is
+// quarantined and reported as an error.
+func (s *Store) ReadProfile() (*adeprofile.Profile, error) {
+	rel := filepath.Join(profileDir, profileName)
+	payload, err := s.readVerified(rel)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	p, err := adeprofile.Read(bytes.NewReader(payload))
+	if err != nil {
+		s.mu.Lock()
+		s.stats.LoadErrors++
+		s.mu.Unlock()
+		s.Quarantine(rel, err.Error())
+		return nil, fmt.Errorf("store: profile: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"memoir/internal/adeprofile"
+	"memoir/internal/faults"
+)
+
+func testEntry(i int) *Entry {
+	return &Entry{
+		ProgramHash: fmt.Sprintf("hash-%04d", i),
+		OptionsFP:   "rte=on",
+		ADE:         true,
+		Program:     fmt.Sprintf("fn u64 @main():\n  ret %d\n", i),
+		Degraded:    nil,
+		Classes:     i,
+		Aliases:     []string{fmt.Sprintf("alias-%d", i)},
+		Size:        int64(100 + i),
+	}
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.nosync = true
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, e *Entry) {
+	t.Helper()
+	if err := s.PutArtifact(e); err != nil {
+		t.Fatalf("PutArtifact: %v", err)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	s := open(t)
+	e := testEntry(1)
+	mustPut(t, s, e)
+	got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP)
+	if err != nil {
+		t.Fatalf("GetArtifact: %v", err)
+	}
+	if got == nil {
+		t.Fatal("entry missing")
+	}
+	if got.Program != e.Program || got.Classes != e.Classes || got.Size != e.Size ||
+		got.ProgramHash != e.ProgramHash || got.OptionsFP != e.OptionsFP ||
+		len(got.Aliases) != 1 || got.Aliases[0] != e.Aliases[0] {
+		t.Fatalf("round trip mutated entry: %+v vs %+v", got, e)
+	}
+	if miss, err := s.GetArtifact("nope", "rte=on"); err != nil || miss != nil {
+		t.Fatalf("missing entry: got (%v, %v), want (nil, nil)", miss, err)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Loads != 1 || st.LoadErrors != 0 || st.Quarantined != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// No temp debris after a successful write.
+	if debris, _ := filepath.Glob(filepath.Join(s.dir, tmpDir, "*")); len(debris) != 0 {
+		t.Fatalf("temp debris left behind: %v", debris)
+	}
+}
+
+// artifactPath returns the single on-disk artifact file (fails the
+// test unless exactly one exists).
+func artifactPath(t *testing.T, s *Store) string {
+	t.Helper()
+	names, _ := filepath.Glob(filepath.Join(s.dir, artifactsDir, "*"+artifactExt))
+	if len(names) != 1 {
+		t.Fatalf("want exactly 1 artifact file, have %d", len(names))
+	}
+	return names[0]
+}
+
+func TestCorruptArtifactQuarantinedNotServed(t *testing.T) {
+	for _, mutate := range []struct {
+		name string
+		f    func(raw []byte) []byte
+	}{
+		{"bit-flip", func(raw []byte) []byte { raw[len(raw)-2] ^= 1; return raw }},
+		{"truncate", func(raw []byte) []byte { return raw[:len(raw)/2] }},
+		{"bad-version", func(raw []byte) []byte { return append([]byte("adestore/v9 x y\n"), raw...) }},
+		{"empty", func(raw []byte) []byte { return nil }},
+	} {
+		t.Run(mutate.name, func(t *testing.T) {
+			s := open(t)
+			e := testEntry(2)
+			mustPut(t, s, e)
+			path := artifactPath(t, s)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate.f(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP)
+			if err == nil || got != nil {
+				t.Fatalf("corrupt entry served: (%v, %v)", got, err)
+			}
+			// The file moved aside, bytes intact — never deleted.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still at %s", path)
+			}
+			q, _ := filepath.Glob(filepath.Join(s.dir, quarantineDir, "*"+artifactExt))
+			if len(q) != 1 {
+				t.Fatalf("quarantine has %d artifact files, want 1", len(q))
+			}
+			if st := s.Stats(); st.Quarantined != 1 || st.LoadErrors != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+			// A second Get is a clean miss, not an error loop.
+			if again, err := s.GetArtifact(e.ProgramHash, e.OptionsFP); err != nil || again != nil {
+				t.Fatalf("after quarantine: (%v, %v), want clean miss", again, err)
+			}
+		})
+	}
+}
+
+func TestKeyMismatchQuarantined(t *testing.T) {
+	s := open(t)
+	e := testEntry(3)
+	mustPut(t, s, e)
+	// Copy the (checksum-valid) file to a different key's address.
+	raw, err := os.ReadFile(artifactPath(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(s.dir, artifactsDir, fileName("other-hash", e.OptionsFP))
+	if err := os.WriteFile(wrong, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.GetArtifact("other-hash", e.OptionsFP); err == nil || got != nil {
+		t.Fatalf("mis-addressed entry served: (%v, %v)", got, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestInjectedWriteFail(t *testing.T) {
+	s := open(t)
+	pt, err := faults.ByName("write-fail:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInjector(faults.NewInjector(pt))
+	e := testEntry(4)
+	if err := s.PutArtifact(e); err == nil {
+		t.Fatal("injected write-fail did not fail the write")
+	}
+	if got, _ := s.GetArtifact(e.ProgramHash, e.OptionsFP); got != nil {
+		t.Fatal("failed write left a readable entry")
+	}
+	// The injector fired once; the next write succeeds.
+	mustPut(t, s, e)
+	if got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP); err != nil || got == nil {
+		t.Fatalf("write after fault: (%v, %v)", got, err)
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Writes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestInjectedTornWriteDetectedOnRead(t *testing.T) {
+	s := open(t)
+	pt, err := faults.ByName("torn-write:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInjector(faults.NewInjector(pt))
+	e := testEntry(5)
+	// The torn write reports success — that is the point: the crash
+	// happened after the syscall returned, before the data was durable.
+	mustPut(t, s, e)
+	got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP)
+	if err == nil || got != nil {
+		t.Fatalf("torn entry served: (%v, %v)", got, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("torn file not quarantined: %+v", st)
+	}
+}
+
+func TestInjectedCorruptRead(t *testing.T) {
+	s := open(t)
+	e := testEntry(6)
+	mustPut(t, s, e)
+	pt, err := faults.ByName("corrupt-on-read:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInjector(faults.NewInjector(pt))
+	if got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP); err == nil || got != nil {
+		t.Fatalf("corrupted read served: (%v, %v)", got, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.LoadErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRecoverArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.nosync = true
+	for i := 0; i < 5; i++ {
+		mustPut(t, s, testEntry(i))
+	}
+	// Corrupt one, truncate another, drop debris in tmp/.
+	names, _ := filepath.Glob(filepath.Join(dir, artifactsDir, "*"+artifactExt))
+	if len(names) != 5 {
+		t.Fatalf("have %d files", len(names))
+	}
+	raw, _ := os.ReadFile(names[1])
+	raw[len(raw)-3] ^= 0xff
+	os.WriteFile(names[1], raw, 0o644)
+	raw2, _ := os.ReadFile(names[3])
+	os.WriteFile(names[3], raw2[:10], 0o644)
+	os.WriteFile(filepath.Join(dir, tmpDir, "left.over.tmp"), []byte("junk"), 0o644)
+
+	// A fresh store (the restarted daemon) recovers.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s2.RecoverArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want 3", len(entries))
+	}
+	if st := s2.Stats(); st.Quarantined != 2 || st.Loads != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if debris, _ := filepath.Glob(filepath.Join(dir, tmpDir, "*")); len(debris) != 0 {
+		t.Fatalf("Open did not clear temp debris: %v", debris)
+	}
+	// Recovery order is deterministic (file-name order).
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries2, err := again.RecoverArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries2) != len(entries) {
+		t.Fatalf("second recovery found %d entries", len(entries2))
+	}
+	for i := range entries {
+		if entries[i].ProgramHash != entries2[i].ProgramHash {
+			t.Fatalf("recovery order unstable at %d", i)
+		}
+	}
+}
+
+func TestProfileRoundTripAndQuarantine(t *testing.T) {
+	s := open(t)
+	// No snapshot yet: clean miss.
+	if p, err := s.ReadProfile(); err != nil || p != nil {
+		t.Fatalf("missing profile: (%v, %v)", p, err)
+	}
+	p := adeprofile.New()
+	if err := s.WriteProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadProfile()
+	if err != nil || got == nil {
+		t.Fatalf("ReadProfile: (%v, %v)", got, err)
+	}
+	var a, b bytes.Buffer
+	p.Write(&a)
+	got.Write(&b)
+	if a.String() != b.String() {
+		t.Fatal("profile round trip not byte-identical")
+	}
+	// Overwrite keeps exactly one live snapshot.
+	if err := s.WriteProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it: quarantined, clean miss after.
+	path := filepath.Join(s.dir, profileDir, profileName)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0x10
+	os.WriteFile(path, raw, 0o644)
+	if bad, err := s.ReadProfile(); err == nil || bad != nil {
+		t.Fatalf("corrupt profile served: (%v, %v)", bad, err)
+	}
+	if p2, err := s.ReadProfile(); err != nil || p2 != nil {
+		t.Fatalf("after quarantine: (%v, %v), want clean miss", p2, err)
+	}
+}
+
+func TestQuarantineNeverClobbers(t *testing.T) {
+	s := open(t)
+	e := testEntry(7)
+	for i := 0; i < 3; i++ {
+		mustPut(t, s, e)
+		path := artifactPath(t, s)
+		raw, _ := os.ReadFile(path)
+		raw[len(raw)-1] ^= 1
+		os.WriteFile(path, raw, 0o644)
+		if got, err := s.GetArtifact(e.ProgramHash, e.OptionsFP); err == nil || got != nil {
+			t.Fatalf("round %d: corrupt served", i)
+		}
+	}
+	q, _ := filepath.Glob(filepath.Join(s.dir, quarantineDir, "*"+artifactExt+"*"))
+	var files int
+	for _, name := range q {
+		if !strings.HasSuffix(name, ".reason") {
+			files++
+		}
+	}
+	if files != 3 {
+		t.Fatalf("quarantine kept %d generations, want 3 (%v)", files, q)
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s := open(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e := testEntry(i % 5)
+				if err := s.PutArtifact(e); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := s.GetArtifact(e.ProgramHash, e.OptionsFP); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.WriteErrors != 0 || st.LoadErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFsyncCounter(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, testEntry(8))
+	if st := s.Stats(); st.Fsyncs < 2 {
+		// One for the temp file, one for the directory.
+		t.Fatalf("fsyncs = %d, want >= 2", st.Fsyncs)
+	}
+}
